@@ -1,0 +1,148 @@
+//! Criterion benches for the paper's tables: one group per table, timing
+//! the work each experiment performs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids_core::{Nids, NidsConfig};
+use snids_extract::BinaryExtractor;
+use snids_gen::traces::{codered_capture, AddressPlan};
+use snids_gen::{shellcode, AdmMutate, Clet, SCENARIOS};
+use snids_semantic::{templates, Analyzer, NaiveAnalyzer};
+
+/// Table 1: per-exploit analysis latency through extraction + semantics.
+fn table1_shell_spawning(c: &mut Criterion) {
+    let extractor = BinaryExtractor::default();
+    let analyzer = Analyzer::default();
+    let mut group = c.benchmark_group("table1_shell_spawning");
+    for (i, sc) in SCENARIOS.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(42 + i as u64);
+        let payload = sc.build_payload(&mut rng);
+        group.throughput(Throughput::Bytes(payload.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(sc.name), &payload, |b, p| {
+            b.iter(|| {
+                let frames = extractor.extract(p);
+                frames
+                    .iter()
+                    .map(|f| analyzer.analyze(&f.data).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 2: per-instance detection latency for each polymorphic engine.
+fn table2_polymorphic(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let inner = shellcode::execve_variant(&mut rng, 0);
+    let adm = AdmMutate::default().generate(&mut rng, &inner).0;
+    let clet = Clet::default().generate(&mut rng, &inner);
+    let xor_only = Analyzer::new(templates::xor_only_templates());
+    let full = Analyzer::default();
+
+    let mut group = c.benchmark_group("table2_polymorphic");
+    group.bench_function("admmutate/xor_only", |b| {
+        b.iter(|| xor_only.detects(&adm))
+    });
+    group.bench_function("admmutate/full_set", |b| b.iter(|| full.detects(&adm)));
+    group.bench_function("clet/xor_only", |b| b.iter(|| xor_only.detects(&clet)));
+    group.finish();
+}
+
+/// Table 3: whole-pipeline throughput over a CRII capture.
+fn table3_codered(c: &mut Criterion) {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let (packets, _) = codered_capture(&mut rng, &plan, 2000, 2);
+    let total_bytes: u64 = packets.iter().map(|p| p.raw().len() as u64).sum();
+
+    let mut group = c.benchmark_group("table3_codered");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.sample_size(10);
+    group.bench_function("pipeline_2k_packets", |b| {
+        b.iter(|| {
+            let mut nids = Nids::new(NidsConfig {
+                honeypots: plan.honeypots.clone(),
+                dark_nets: vec![(plan.dark_net, 16)],
+                ..NidsConfig::default()
+            });
+            nids.process_capture(&packets).len()
+        })
+    });
+    group.finish();
+}
+
+/// §5.4: benign-corpus analysis throughput with classification disabled.
+fn fp_benign(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let corpus = snids_gen::traces::benign_corpus(&mut rng, 512 * 1024);
+    let bytes: u64 = corpus.iter().map(|p| p.len() as u64).sum();
+    let nids = Nids::new(NidsConfig {
+        classification_enabled: false,
+        ..NidsConfig::default()
+    });
+
+    let mut group = c.benchmark_group("fp_benign");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.bench_function("analyze_512KiB_corpus", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|p| nids.analyze_payload(p).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Ablation A2: pruned vs naive matcher on one exploit frame.
+fn ablation_naive_matcher(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let inner = shellcode::execve_variant(&mut rng, 0);
+    let (frame, _) = AdmMutate::default().generate(&mut rng, &inner);
+    let pruned = Analyzer::default();
+    let naive = NaiveAnalyzer::default();
+
+    let mut group = c.benchmark_group("ablation_naive_matcher");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("pruned", |b| b.iter(|| pruned.detects(&frame)));
+    group.sample_size(10);
+    group.bench_function("naive_every_offset", |b| b.iter(|| naive.detects(&frame)));
+    group.finish();
+}
+
+/// Ablation A1: classification cost per packet (the cheap gate).
+fn ablation_classifier(c: &mut Criterion) {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(15);
+    let (packets, _) = codered_capture(&mut rng, &plan, 1000, 0);
+    let mut group = c.benchmark_group("ablation_classifier");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("classify_1k_packets", |b| {
+        b.iter(|| {
+            let mut nids = Nids::new(NidsConfig {
+                honeypots: plan.honeypots.clone(),
+                dark_nets: vec![(plan.dark_net, 16)],
+                ..NidsConfig::default()
+            });
+            for p in &packets {
+                nids.process_packet(p);
+            }
+            nids.stats().suspicious_packets
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_shell_spawning,
+    table2_polymorphic,
+    table3_codered,
+    fp_benign,
+    ablation_naive_matcher,
+    ablation_classifier
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Experiment runners regenerating every table and figure of the paper.
+//!
+//! Each experiment lives in its own module and returns structured rows;
+//! the `repro` binary prints them in the paper's format, and the criterion
+//! benches time the underlying work. Absolute numbers differ from the 2006
+//! testbed (different hardware, different disassembler); the *shapes* the
+//! paper reports are asserted in the integration tests and reproduced
+//! here — see `EXPERIMENTS.md` at the workspace root.
+
+pub mod ablation;
+pub mod figures;
+pub mod fp;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// The deterministic base seed used by `repro` (override with `--seed`).
+pub const DEFAULT_SEED: u64 = 2006;

@@ -1,0 +1,173 @@
+//! Table 1 — Linux shell spawning buffer overflow exploits.
+//!
+//! Paper: eight remote exploits, all detected as spawning a shell, the two
+//! port-binding ones noted as such; running times 2.36–3.27 s per exploit
+//! (~10 KB of binary), two ~22 KB Netsky samples at ~6.5 s, versus ~40 s
+//! for `[5]`'s host-based checker.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use snids_extract::BinaryExtractor;
+use snids_gen::{binaries, SCENARIOS};
+use snids_semantic::{Analyzer, NaiveAnalyzer};
+use std::time::Instant;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Exploit (or binary sample) name.
+    pub name: &'static str,
+    /// Payload bytes handed to the pipeline.
+    pub payload_bytes: usize,
+    /// Binary frame bytes after extraction.
+    pub frame_bytes: usize,
+    /// Shell-spawning behaviour detected.
+    pub shell_detected: bool,
+    /// Port-binding behaviour detected.
+    pub bind_detected: bool,
+    /// Expected bind flag (ground truth).
+    pub bind_expected: bool,
+    /// Analysis time, pruned pipeline (microseconds).
+    pub pruned_micros: u128,
+    /// Analysis time, naive every-offset matcher — the `[5]` stand-in
+    /// (microseconds).
+    pub naive_micros: u128,
+}
+
+/// Run the Table 1 experiment.
+pub fn run(seed: u64) -> Vec<Row> {
+    let extractor = BinaryExtractor::default();
+    let analyzer = Analyzer::default();
+    let naive = NaiveAnalyzer::default();
+    let mut rows = Vec::new();
+
+    for (i, sc) in SCENARIOS.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let payload = sc.build_payload(&mut rng);
+        let frames = extractor.extract(&payload);
+        let frame_bytes: usize = frames.iter().map(|f| f.data.len()).sum();
+
+        let t0 = Instant::now();
+        let mut shell = false;
+        let mut bind = false;
+        for f in &frames {
+            for m in analyzer.analyze(&f.data) {
+                shell |= m.template == "linux-shell-spawn";
+                bind |= m.template == "bind-shell";
+            }
+        }
+        let pruned = t0.elapsed().as_micros();
+
+        let t1 = Instant::now();
+        for f in &frames {
+            let _ = naive.analyze(&f.data);
+        }
+        let naive_t = t1.elapsed().as_micros();
+
+        rows.push(Row {
+            name: sc.name,
+            payload_bytes: payload.len(),
+            frame_bytes,
+            shell_detected: shell,
+            bind_detected: bind,
+            bind_expected: sc.bind_port.is_some(),
+            pruned_micros: pruned,
+            naive_micros: naive_t,
+        });
+    }
+
+    // The Netsky throughput datapoints: two ~22 KB benign code samples.
+    for (j, name) in ["netsky-like sample 1", "netsky-like sample 2"]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(100 + j as u64));
+        let blob = binaries::netsky_like(&mut rng, 22 * 1024);
+        let t0 = Instant::now();
+        let ms = analyzer.analyze(&blob);
+        let pruned = t0.elapsed().as_micros();
+        let t1 = Instant::now();
+        let _ = naive.analyze(&blob[..4096.min(blob.len())]); // naive on full 22 KB is minutes; sample it
+        let naive_scaled = t1.elapsed().as_micros() * (blob.len() as u128) / 4096;
+        rows.push(Row {
+            name,
+            payload_bytes: blob.len(),
+            frame_bytes: blob.len(),
+            shell_detected: !ms.is_empty(),
+            bind_detected: false,
+            bind_expected: false,
+            pruned_micros: pruned,
+            naive_micros: naive_scaled,
+        });
+    }
+    rows
+}
+
+/// Render rows in the paper's tabular style.
+pub fn render(rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:>9} {:>9} {:>8} {:>10} {:>12} {:>14}",
+        "exploit", "bytes", "frame B", "shell", "bind-port", "pruned (µs)", "naive[5] (µs)"
+    );
+    for r in rows {
+        let bind = match (r.bind_expected, r.bind_detected) {
+            (true, true) => "noted",
+            (false, false) => "-",
+            _ => "WRONG",
+        };
+        let _ = writeln!(
+            s,
+            "{:<24} {:>9} {:>9} {:>8} {:>10} {:>12} {:>14}",
+            r.name,
+            r.payload_bytes,
+            r.frame_bytes,
+            if r.shell_detected || r.name.starts_with("netsky") {
+                if r.name.starts_with("netsky") && !r.shell_detected {
+                    "clean"
+                } else {
+                    "yes"
+                }
+            } else {
+                "MISS"
+            },
+            bind,
+            r.pruned_micros,
+            r.naive_micros,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let rows = run(42);
+        assert_eq!(rows.len(), 10);
+        let exploits = &rows[..8];
+        assert!(exploits.iter().all(|r| r.shell_detected), "{rows:?}");
+        assert!(exploits.iter().all(|r| r.bind_detected == r.bind_expected));
+        assert_eq!(exploits.iter().filter(|r| r.bind_expected).count(), 2);
+        // the efficiency claim: pruned beats naive on every exploit
+        for r in exploits {
+            assert!(
+                r.naive_micros > r.pruned_micros,
+                "{}: naive {} <= pruned {}",
+                r.name,
+                r.naive_micros,
+                r.pruned_micros
+            );
+        }
+        // netsky-like rows are clean
+        assert!(rows[8..].iter().all(|r| !r.shell_detected));
+        let rendered = render(&rows);
+        assert!(rendered.contains("ftpd-pass-overflow"));
+        assert!(!rendered.contains("WRONG"));
+    }
+}

@@ -1,0 +1,159 @@
+//! The dark-address-space scan detector (paper §4.1, second scheme).
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// A CIDR subnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subnet {
+    network: u32,
+    prefix: u8,
+}
+
+impl Subnet {
+    /// `network/prefix` (host bits of `network` are masked off).
+    pub fn new(network: Ipv4Addr, prefix: u8) -> Self {
+        let prefix = prefix.min(32);
+        let mask = Self::mask(prefix);
+        Subnet {
+            network: u32::from(network) & mask,
+            prefix,
+        }
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// Does the subnet contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.prefix) == self.network
+    }
+}
+
+/// Default flagging threshold `t` (distinct dark addresses probed).
+pub const DEFAULT_THRESHOLD: u32 = 5;
+
+/// Tracks probes into unused address space per source.
+///
+/// "If a host sends an initial packet to an un-used address, a count n is
+/// initialized. If we continue to observe this host sending additional
+/// packets to other un-used addresses, the count will be incremented until
+/// it reaches a threshold t, at which point, packets emanating from that
+/// suspicious host will be considered for further analysis."
+#[derive(Debug, Default, Clone)]
+pub struct DarkSpaceMonitor {
+    dark: Vec<Subnet>,
+    /// distinct dark addresses seen per source
+    probes: HashMap<Ipv4Addr, HashSet<Ipv4Addr>>,
+    flagged: HashSet<Ipv4Addr>,
+    threshold: u32,
+}
+
+impl DarkSpaceMonitor {
+    /// Monitor with flagging threshold `t`.
+    pub fn new(threshold: u32) -> Self {
+        DarkSpaceMonitor {
+            dark: Vec::new(),
+            probes: HashMap::new(),
+            flagged: HashSet::new(),
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Register an unused range.
+    pub fn add_dark(&mut self, subnet: Subnet) {
+        self.dark.push(subnet);
+    }
+
+    /// Is the destination inside dark space?
+    pub fn is_dark(&self, dst: Ipv4Addr) -> bool {
+        self.dark.iter().any(|s| s.contains(dst))
+    }
+
+    /// Record a probe; returns true when the source crosses the threshold.
+    pub fn record_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let set = self.probes.entry(src).or_default();
+        set.insert(dst);
+        if set.len() as u32 >= self.threshold {
+            self.flagged.insert(src);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the source already flagged?
+    pub fn is_flagged(&self, src: Ipv4Addr) -> bool {
+        self.flagged.contains(&src)
+    }
+
+    /// Number of flagged sources.
+    pub fn flagged_count(&self) -> usize {
+        self.flagged.len()
+    }
+
+    /// The threshold `t`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subnet_membership() {
+        let s = Subnet::new(Ipv4Addr::new(10, 99, 12, 34), 16);
+        assert!(s.contains(Ipv4Addr::new(10, 99, 0, 1)));
+        assert!(s.contains(Ipv4Addr::new(10, 99, 255, 255)));
+        assert!(!s.contains(Ipv4Addr::new(10, 98, 0, 1)));
+        let all = Subnet::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        let host = Subnet::new(Ipv4Addr::new(1, 2, 3, 4), 32);
+        assert!(host.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Ipv4Addr::new(1, 2, 3, 5)));
+    }
+
+    #[test]
+    fn threshold_requires_distinct_addresses() {
+        let mut m = DarkSpaceMonitor::new(3);
+        m.add_dark(Subnet::new(Ipv4Addr::new(10, 99, 0, 0), 16));
+        let src = Ipv4Addr::new(6, 6, 6, 6);
+        let a = Ipv4Addr::new(10, 99, 0, 1);
+        assert!(!m.record_probe(src, a));
+        assert!(!m.record_probe(src, a), "repeat probe must not count");
+        assert!(!m.record_probe(src, Ipv4Addr::new(10, 99, 0, 2)));
+        assert!(m.record_probe(src, Ipv4Addr::new(10, 99, 0, 3)));
+        assert!(m.is_flagged(src));
+        assert_eq!(m.flagged_count(), 1);
+    }
+
+    #[test]
+    fn threshold_floor_is_one() {
+        let mut m = DarkSpaceMonitor::new(0);
+        assert_eq!(m.threshold(), 1);
+        m.add_dark(Subnet::new(Ipv4Addr::new(10, 0, 0, 0), 8));
+        assert!(m.record_probe(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn sources_are_tracked_independently() {
+        let mut m = DarkSpaceMonitor::new(2);
+        m.add_dark(Subnet::new(Ipv4Addr::new(10, 99, 0, 0), 16));
+        let a = Ipv4Addr::new(1, 1, 1, 1);
+        let b = Ipv4Addr::new(2, 2, 2, 2);
+        m.record_probe(a, Ipv4Addr::new(10, 99, 0, 1));
+        m.record_probe(b, Ipv4Addr::new(10, 99, 0, 2));
+        assert!(!m.is_flagged(a));
+        assert!(!m.is_flagged(b));
+        assert!(m.record_probe(a, Ipv4Addr::new(10, 99, 0, 9)));
+        assert!(m.is_flagged(a));
+        assert!(!m.is_flagged(b));
+    }
+}

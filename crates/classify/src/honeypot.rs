@@ -1,0 +1,80 @@
+//! The honeypot decoy registry (paper §4.1, first scheme).
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Decoy addresses and the set of sources that have touched them.
+///
+/// "When the system is initialized, it is given a list of decoy hosts that
+/// exist for no other purpose than to attract unsolicited traffic. Any
+/// sending host emitting traffic destined for a honeypot address is
+/// considered suspicious; and any packets sent by such a host will be
+/// analyzed."
+#[derive(Debug, Default, Clone)]
+pub struct HoneypotRegistry {
+    decoys: HashSet<Ipv4Addr>,
+    tainted: HashSet<Ipv4Addr>,
+}
+
+impl HoneypotRegistry {
+    /// Registry over the given decoy list.
+    pub fn with_decoys(decoys: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        HoneypotRegistry {
+            decoys: decoys.into_iter().collect(),
+            tainted: HashSet::new(),
+        }
+    }
+
+    /// Register a decoy address.
+    pub fn add_decoy(&mut self, addr: Ipv4Addr) {
+        self.decoys.insert(addr);
+    }
+
+    /// Is this address a decoy?
+    pub fn is_decoy(&self, addr: Ipv4Addr) -> bool {
+        self.decoys.contains(&addr)
+    }
+
+    /// Mark a source as having touched a decoy.
+    pub fn taint(&mut self, src: Ipv4Addr) {
+        self.tainted.insert(src);
+    }
+
+    /// Has this source ever touched a decoy?
+    pub fn is_tainted(&self, src: Ipv4Addr) -> bool {
+        self.tainted.contains(&src)
+    }
+
+    /// Number of registered decoys.
+    pub fn decoy_count(&self) -> usize {
+        self.decoys.len()
+    }
+
+    /// Number of tainted sources.
+    pub fn tainted_count(&self) -> usize {
+        self.tainted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoy_registration_and_taint() {
+        let mut hp = HoneypotRegistry::with_decoys([Ipv4Addr::new(10, 0, 0, 200)]);
+        hp.add_decoy(Ipv4Addr::new(10, 0, 0, 201));
+        assert_eq!(hp.decoy_count(), 2);
+        assert!(hp.is_decoy(Ipv4Addr::new(10, 0, 0, 200)));
+        assert!(!hp.is_decoy(Ipv4Addr::new(10, 0, 0, 1)));
+
+        let bad = Ipv4Addr::new(6, 6, 6, 6);
+        assert!(!hp.is_tainted(bad));
+        hp.taint(bad);
+        assert!(hp.is_tainted(bad));
+        assert_eq!(hp.tainted_count(), 1);
+        // idempotent
+        hp.taint(bad);
+        assert_eq!(hp.tainted_count(), 1);
+    }
+}

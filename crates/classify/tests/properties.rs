@@ -1,0 +1,76 @@
+//! Property-based tests for the classification schemes.
+
+use proptest::prelude::*;
+use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier, Verdict};
+use snids_packet::PacketBuilder;
+use std::net::Ipv4Addr;
+
+fn syn(src: Ipv4Addr, dst: Ipv4Addr) -> snids_packet::Packet {
+    PacketBuilder::new(src, dst).tcp_syn(40_000, 80, 1).unwrap()
+}
+
+proptest! {
+    /// Suspicion is monotone: once a source is flagged, it stays flagged
+    /// no matter what it sends next.
+    #[test]
+    fn suspicion_is_monotone(
+        src in any::<u32>(),
+        later_dsts in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let decoy = Ipv4Addr::new(192, 168, 9, 9);
+        let mut hp = HoneypotRegistry::default();
+        hp.add_decoy(decoy);
+        let c = TrafficClassifier::new(hp, DarkSpaceMonitor::new(3));
+        let src = Ipv4Addr::from(src);
+        prop_assert!(c.classify(&syn(src, decoy)).is_suspicious());
+        for d in later_dsts {
+            prop_assert!(c.classify(&syn(src, Ipv4Addr::from(d))).is_suspicious());
+        }
+    }
+
+    /// The dark-space threshold is exact: t-1 distinct probes stay benign,
+    /// the t-th flags (for any threshold and any probe addresses).
+    #[test]
+    fn darkspace_threshold_is_exact(t in 1u32..12) {
+        let mut ds = DarkSpaceMonitor::new(t);
+        ds.add_dark(Subnet::new(Ipv4Addr::new(10, 99, 0, 0), 16));
+        let c = TrafficClassifier::new(HoneypotRegistry::default(), ds);
+        let scanner = Ipv4Addr::new(6, 6, 6, 6);
+        for i in 1..t {
+            let dst = Ipv4Addr::new(10, 99, (i >> 8) as u8, i as u8);
+            prop_assert_eq!(c.classify(&syn(scanner, dst)), Verdict::Benign, "probe {}", i);
+        }
+        let dst = Ipv4Addr::new(10, 99, (t >> 8) as u8, t as u8);
+        prop_assert!(c.classify(&syn(scanner, dst)).is_suspicious());
+    }
+
+    /// Sources that never touch a decoy or dark space are never flagged,
+    /// regardless of volume.
+    #[test]
+    fn clean_sources_stay_benign(
+        srcs in proptest::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let mut hp = HoneypotRegistry::default();
+        hp.add_decoy(Ipv4Addr::new(192, 168, 9, 9));
+        let mut ds = DarkSpaceMonitor::new(2);
+        ds.add_dark(Subnet::new(Ipv4Addr::new(10, 99, 0, 0), 16));
+        let c = TrafficClassifier::new(hp, ds);
+        let server = Ipv4Addr::new(192, 168, 1, 10);
+        for s in srcs {
+            let src = Ipv4Addr::from(s);
+            prop_assume!(src != Ipv4Addr::new(192, 168, 9, 9));
+            for _ in 0..3 {
+                prop_assert_eq!(c.classify(&syn(src, server)), Verdict::Benign);
+            }
+        }
+    }
+
+    /// Subnet membership agrees with explicit mask arithmetic.
+    #[test]
+    fn subnet_matches_mask_arithmetic(net in any::<u32>(), prefix in 0u8..=32, addr in any::<u32>()) {
+        let s = Subnet::new(Ipv4Addr::from(net), prefix);
+        let mask: u32 = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix) };
+        let expect = (net & mask) == (addr & mask);
+        prop_assert_eq!(s.contains(Ipv4Addr::from(addr)), expect);
+    }
+}

@@ -1,0 +1,92 @@
+//! Alerts raised by the semantic analyzer, tied back to network context.
+
+use serde::{Deserialize, Serialize};
+use snids_extract::{BinaryFrame, FrameOrigin};
+use snids_flow::Flow;
+use snids_semantic::{Severity, TemplateMatch};
+use std::net::Ipv4Addr;
+
+/// One alert: "flow F carried code satisfying template T".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Attacking source address.
+    pub src: Ipv4Addr,
+    /// Victim address.
+    pub dst: Ipv4Addr,
+    /// Victim port.
+    pub dst_port: u16,
+    /// Matched template name.
+    pub template: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Where the frame came from.
+    pub origin: FrameOrigin,
+    /// Offset of the matched behaviour within the frame.
+    pub start: usize,
+    /// The full match record.
+    pub detail: TemplateMatch,
+}
+
+impl Alert {
+    /// Build from the pieces the pipeline has in hand.
+    pub fn from_match(flow: &Flow, frame: &BinaryFrame, m: TemplateMatch) -> Alert {
+        Alert {
+            src: flow.key.src,
+            dst: flow.key.dst,
+            dst_port: flow.key.dst_port,
+            template: m.template,
+            severity: m.severity,
+            origin: frame.origin,
+            start: m.start,
+            detail: m,
+        }
+    }
+
+    /// One-line rendering for logs.
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] {} -> {}:{} template={} origin={:?} offset=0x{:x}",
+            self.severity, self.src, self.dst, self.dst_port, self.template, self.origin, self.start
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_the_essentials() {
+        let m = TemplateMatch {
+            template: "xor-decrypt-loop",
+            severity: Severity::High,
+            start: 16,
+            end: 32,
+            trace_start: 0,
+            bound_regs: vec![(0, "eax".into())],
+            consts: vec![],
+        };
+        let frame = BinaryFrame {
+            data: vec![0x90],
+            origin: FrameOrigin::Raw,
+            offset: 0,
+            reason: "test",
+        };
+        let mut flow_table = snids_flow::FlowTable::default();
+        let p = snids_packet::PacketBuilder::new(
+            Ipv4Addr::new(6, 6, 6, 6),
+            Ipv4Addr::new(10, 0, 0, 1),
+        )
+        .tcp(1234, 80, 0, 0, snids_packet::TcpFlags::ACK, b"x")
+        .unwrap();
+        let key = flow_table.process(&p).unwrap();
+        let flow = flow_table.get(&key).unwrap();
+        let a = Alert::from_match(flow, &frame, m);
+        let line = a.render();
+        assert!(line.contains("6.6.6.6"));
+        assert!(line.contains("xor-decrypt-loop"));
+        assert!(line.contains("high"));
+        // serializable for the JSON sink
+        assert!(serde_json::to_string(&a).unwrap().contains("10.0.0.1"));
+    }
+}

@@ -1,0 +1,56 @@
+//! NIDS configuration.
+
+use snids_extract::ExtractorConfig;
+use snids_flow::FlowTableConfig;
+use snids_semantic::{default_templates, Template};
+use std::net::Ipv4Addr;
+
+/// Configuration for the assembled pipeline.
+#[derive(Debug, Clone)]
+pub struct NidsConfig {
+    /// When false, every packet is analyzed (the §5.4 experiment mode).
+    pub classification_enabled: bool,
+    /// Honeypot decoy addresses.
+    pub honeypots: Vec<Ipv4Addr>,
+    /// Dark (unused) address ranges as `(network, prefix)`.
+    pub dark_nets: Vec<(Ipv4Addr, u8)>,
+    /// Dark-space scan threshold `t`.
+    pub dark_threshold: u32,
+    /// Extraction thresholds.
+    pub extractor: ExtractorConfig,
+    /// The semantic template set.
+    pub templates: Vec<Template>,
+    /// Flow-table limits.
+    pub flow_table: FlowTableConfig,
+    /// Analyze flows on the rayon pool.
+    pub parallel: bool,
+}
+
+impl Default for NidsConfig {
+    fn default() -> Self {
+        NidsConfig {
+            classification_enabled: true,
+            honeypots: Vec::new(),
+            dark_nets: Vec::new(),
+            dark_threshold: 5,
+            extractor: ExtractorConfig::default(),
+            templates: default_templates(),
+            flow_table: FlowTableConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = NidsConfig::default();
+        assert!(c.classification_enabled);
+        assert!(c.parallel);
+        assert_eq!(c.templates.len(), 9);
+        assert_eq!(c.dark_threshold, 5);
+    }
+}

@@ -1,0 +1,405 @@
+//! The five-stage semantics-aware NIDS pipeline (paper Figure 3).
+//!
+//! ```text
+//!            ┌────────────┐   ┌──────────────────┐   ┌──────────────┐
+//! packets ──▶│ traffic    │──▶│ binary detection │──▶│ disassembler │
+//!            │ classifier │   │ & extraction     │   │  (snids-x86) │
+//!            └────────────┘   └──────────────────┘   └──────┬───────┘
+//!                                                           ▼
+//!                                    ┌──────────┐   ┌──────────────┐
+//!                        alerts ◀────│ semantic │◀──│ IR generator │
+//!                                    │ analyzer │   │  (snids-ir)  │
+//!                                    └──────────┘   └──────────────┘
+//! ```
+//!
+//! The classifier prunes traffic (honeypot + dark-space schemes, §4.1);
+//! only suspicious sources' flows are reassembled and handed to extraction;
+//! only extracted binary frames reach the CPU-intensive disassembly and
+//! template matching. Flow analysis is data-parallel (rayon): flows are
+//! independent, so the expensive tail scales across cores with no shared
+//! mutable state.
+
+pub mod alert;
+pub mod config;
+pub mod stats;
+
+pub use alert::Alert;
+pub use config::NidsConfig;
+pub use stats::PipelineStats;
+
+use rayon::prelude::*;
+use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier};
+use snids_extract::BinaryExtractor;
+use snids_flow::{Defragmenter, Flow, FlowTable};
+use snids_packet::Packet;
+use snids_semantic::{Analyzer, TemplateMatch};
+use std::time::Instant;
+
+/// The assembled NIDS.
+pub struct Nids {
+    classifier: TrafficClassifier,
+    extractor: BinaryExtractor,
+    analyzer: Analyzer,
+    flows: FlowTable,
+    defrag: Defragmenter,
+    stats: PipelineStats,
+    parallel: bool,
+}
+
+impl Nids {
+    /// Build the pipeline from a configuration.
+    pub fn new(config: NidsConfig) -> Self {
+        let classifier = if config.classification_enabled {
+            let hp = HoneypotRegistry::with_decoys(config.honeypots.iter().copied());
+            let mut ds = DarkSpaceMonitor::new(config.dark_threshold);
+            for (net, prefix) in &config.dark_nets {
+                ds.add_dark(Subnet::new(*net, *prefix));
+            }
+            TrafficClassifier::new(hp, ds)
+        } else {
+            TrafficClassifier::disabled()
+        };
+        Nids {
+            classifier,
+            extractor: BinaryExtractor::new(config.extractor.clone()),
+            analyzer: Analyzer::new(config.templates.clone()),
+            flows: FlowTable::new(config.flow_table.clone()),
+            defrag: Defragmenter::default(),
+            stats: PipelineStats::default(),
+            parallel: config.parallel,
+        }
+    }
+
+    /// Default production configuration.
+    pub fn with_defaults() -> Self {
+        Nids::new(NidsConfig::default())
+    }
+
+    /// Pipeline statistics so far.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Stage 1+2: classify one packet and, when suspicious, fold it into
+    /// its flow for later analysis. IP fragments are reassembled first so
+    /// frag-evasion never hides a transport payload.
+    pub fn process_packet(&mut self, packet: &Packet) {
+        self.stats.packets += 1;
+        // Defragment before anything else; incomplete fragments buffer.
+        let whole;
+        let packet = if packet
+            .ip()
+            .map(|h| h.more_fragments || h.fragment_offset != 0)
+            .unwrap_or(false)
+        {
+            match self.defrag.process(packet.clone()) {
+                Some(p) => {
+                    whole = p;
+                    &whole
+                }
+                None => return,
+            }
+        } else {
+            packet
+        };
+        let t0 = Instant::now();
+        let verdict = self.classifier.classify(packet);
+        self.stats.classify_nanos += t0.elapsed().as_nanos() as u64;
+        if !verdict.is_suspicious() {
+            return;
+        }
+        self.stats.suspicious_packets += 1;
+        let t1 = Instant::now();
+        self.flows.process(packet);
+        self.stats.reassembly_nanos += t1.elapsed().as_nanos() as u64;
+    }
+
+    /// Stages 3–5 for one application payload: extraction, disassembly,
+    /// IR and template matching. Usable directly for standalone binaries
+    /// (the paper's Netsky datapoints) and by the benchmark harness.
+    pub fn analyze_payload(&self, payload: &[u8]) -> Vec<TemplateMatch> {
+        let frames = self.extractor.extract(payload);
+        let mut out = Vec::new();
+        for frame in frames {
+            out.extend(self.analyzer.analyze(&frame.data));
+        }
+        out
+    }
+
+    /// Drain and analyze all pending flows, producing alerts.
+    ///
+    /// Flow payloads are independent, so this is the rayon-parallel stage.
+    pub fn finish(&mut self) -> Vec<Alert> {
+        let flows = self.flows.drain();
+        self.analyze_flows(flows)
+    }
+
+    /// Streaming mode: expire flows idle since before `now` minus the
+    /// configured timeout and analyze just those, keeping live flows
+    /// buffered. A long-running deployment calls this periodically so
+    /// memory stays bounded and alerts arrive while the attack is still
+    /// in progress, then [`Nids::finish`] once at teardown.
+    pub fn poll(&mut self, now: u64) -> Vec<Alert> {
+        let expired = self.flows.expire(now);
+        if expired.is_empty() {
+            return Vec::new();
+        }
+        self.analyze_flows(expired)
+    }
+
+    fn analyze_flows(&mut self, flows: Vec<Flow>) -> Vec<Alert> {
+        self.stats.flows_analyzed += flows.len() as u64;
+
+        let t0 = Instant::now();
+        let extractor = &self.extractor;
+        let analyzer = &self.analyzer;
+
+        let analyze_flow = |flow: &Flow| -> Vec<Alert> {
+            let payload = flow.payload();
+            let frames = extractor.extract(&payload);
+            let mut alerts = Vec::new();
+            for frame in &frames {
+                for m in analyzer.analyze(&frame.data) {
+                    alerts.push(Alert::from_match(flow, frame, m));
+                }
+            }
+            alerts
+        };
+
+        let (mut alerts, frames_stats): (Vec<Alert>, (u64, u64)) = if self.parallel {
+            let alerts: Vec<Alert> = flows.par_iter().flat_map_iter(analyze_flow).collect();
+            let fs = flows
+                .par_iter()
+                .map(|f| {
+                    let payload = f.payload();
+                    let frames = extractor.extract(&payload);
+                    (
+                        frames.len() as u64,
+                        frames.iter().map(|fr| fr.data.len() as u64).sum::<u64>(),
+                    )
+                })
+                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            (alerts, fs)
+        } else {
+            let mut all = Vec::new();
+            let mut fs = (0u64, 0u64);
+            for flow in &flows {
+                let payload = flow.payload();
+                let frames = extractor.extract(&payload);
+                fs.0 += frames.len() as u64;
+                fs.1 += frames.iter().map(|fr| fr.data.len() as u64).sum::<u64>();
+                all.extend(analyze_flow(flow));
+            }
+            (all, fs)
+        };
+
+        self.stats.analysis_nanos += t0.elapsed().as_nanos() as u64;
+        self.stats.frames_extracted += frames_stats.0;
+        self.stats.frame_bytes += frames_stats.1;
+        alerts.sort_by_key(|a| (a.src, a.template));
+        alerts.dedup_by(|a, b| a.src == b.src && a.template == b.template && a.start == b.start);
+        self.stats.alerts += alerts.len() as u64;
+        alerts
+    }
+
+    /// Convenience: run a whole capture through the pipeline.
+    pub fn process_capture(&mut self, packets: &[Packet]) -> Vec<Alert> {
+        for p in packets {
+            self.process_packet(p);
+        }
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_gen::traces::{codered_capture, tcp_flow_packets, AddressPlan};
+    use snids_gen::SCENARIOS;
+    use std::net::Ipv4Addr;
+
+    fn plan_config(plan: &AddressPlan) -> NidsConfig {
+        NidsConfig {
+            honeypots: plan.honeypots.clone(),
+            dark_nets: vec![(plan.dark_net, 16)],
+            dark_threshold: 5,
+            ..NidsConfig::default()
+        }
+    }
+
+    /// End-to-end Table 1 shape: exploit to a honeypot is classified,
+    /// reassembled, extracted and semantically detected.
+    #[test]
+    fn honeypot_exploit_end_to_end() {
+        let plan = AddressPlan::default();
+        let mut nids = Nids::new(plan_config(&plan));
+        let mut rng = StdRng::seed_from_u64(5);
+        let attacker = Ipv4Addr::new(198, 18, 7, 7);
+
+        let payload = SCENARIOS[0].build_payload(&mut rng);
+        // the attacker first touches a honeypot, then hits the real service
+        let probe = snids_packet::PacketBuilder::new(attacker, plan.honeypots[0])
+            .at(100)
+            .tcp_syn(4000, 21, 1)
+            .unwrap();
+        let mut nids_packets = vec![probe];
+        nids_packets.extend(tcp_flow_packets(
+            attacker,
+            plan.web_server,
+            4001,
+            21,
+            &payload,
+            200,
+            0x42,
+        ));
+        let alerts = nids.process_capture(&nids_packets);
+        assert!(
+            alerts.iter().any(|a| a.template == "linux-shell-spawn"),
+            "{alerts:?}"
+        );
+        assert_eq!(nids.stats().packets, nids_packets.len() as u64);
+        assert!(nids.stats().suspicious_packets >= 2);
+    }
+
+    /// A benign client to the same service never reaches analysis.
+    #[test]
+    fn benign_flow_is_pruned_by_classification() {
+        let plan = AddressPlan::default();
+        let mut nids = Nids::new(plan_config(&plan));
+        let mut rng = StdRng::seed_from_u64(6);
+        let client = plan.client(&mut rng);
+        let packets = tcp_flow_packets(
+            client,
+            plan.web_server,
+            5000,
+            80,
+            &snids_gen::benign::http_get(&mut rng),
+            0,
+            7,
+        );
+        let alerts = nids.process_capture(&packets);
+        assert!(alerts.is_empty());
+        assert_eq!(nids.stats().suspicious_packets, 0);
+        assert_eq!(nids.stats().flows_analyzed, 0);
+    }
+
+    /// Table 3 shape in miniature: a capture with planted Code Red II
+    /// instances; every instance is classified and matched.
+    #[test]
+    fn codered_capture_all_instances_found() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (packets, truth) = codered_capture(&mut rng, &plan, 3000, 4);
+        let mut nids = Nids::new(plan_config(&plan));
+        let alerts = nids.process_capture(&packets);
+        let crii: Vec<_> = alerts
+            .iter()
+            .filter(|a| a.template == "code-red-ii")
+            .collect();
+        let mut sources: Vec<_> = crii.iter().map(|a| a.src).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(
+            sources.len(),
+            truth.crii_sources.len(),
+            "every planted instance must alert: {alerts:?}"
+        );
+        for s in &truth.crii_sources {
+            assert!(sources.contains(s), "missed source {s}");
+        }
+    }
+
+    /// §5.4 shape in miniature: classification disabled, benign corpus,
+    /// zero alerts.
+    #[test]
+    fn fp_study_miniature() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = NidsConfig {
+            classification_enabled: false,
+            ..NidsConfig::default()
+        };
+        let mut nids = Nids::new(config);
+        let corpus = snids_gen::traces::benign_corpus(&mut rng, 128 * 1024);
+        let src = Ipv4Addr::new(10, 1, 1, 1);
+        let dst = Ipv4Addr::new(10, 1, 1, 2);
+        let mut all = Vec::new();
+        for (i, payload) in corpus.iter().enumerate() {
+            all.extend(tcp_flow_packets(
+                src,
+                dst,
+                10_000 + i as u16,
+                80,
+                payload,
+                i as u64 * 10_000,
+                i as u32,
+            ));
+        }
+        let alerts = nids.process_capture(&all);
+        assert!(alerts.is_empty(), "false positives: {alerts:?}");
+        assert!(nids.stats().flows_analyzed > 0, "everything was analyzed");
+    }
+
+    /// Parallel and sequential analysis agree.
+    #[test]
+    fn parallel_matches_sequential() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (packets, _) = codered_capture(&mut rng, &plan, 1500, 3);
+        let run = |parallel: bool| {
+            let mut nids = Nids::new(NidsConfig {
+                parallel,
+                ..plan_config(&plan)
+            });
+            let mut alerts = nids.process_capture(&packets);
+            alerts.sort_by(|a, b| (a.src, a.template, a.start).cmp(&(b.src, b.template, b.start)));
+            alerts
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// Streaming mode: poll() surfaces alerts for idle flows while the
+    /// capture is still being fed, and finish() drains the rest.
+    #[test]
+    fn streaming_poll_yields_alerts_incrementally() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut config = plan_config(&plan);
+        config.flow_table.idle_timeout_micros = 10_000;
+        let mut nids = Nids::new(config);
+
+        let attacker = Ipv4Addr::new(198, 18, 3, 3);
+        let payload = SCENARIOS[0].build_payload(&mut rng);
+        let probe = snids_packet::PacketBuilder::new(attacker, plan.honeypots[0])
+            .at(0)
+            .tcp_syn(4000, 21, 1)
+            .unwrap();
+        nids.process_packet(&probe);
+        for p in tcp_flow_packets(attacker, plan.web_server, 4001, 21, &payload, 100, 9) {
+            nids.process_packet(&p);
+        }
+        // Nothing has expired yet.
+        assert!(nids.poll(5_000).is_empty());
+        // Well past the idle horizon: the exploit flow is analyzed.
+        let alerts = nids.poll(10_000_000);
+        assert!(
+            alerts.iter().any(|a| a.template == "linux-shell-spawn"),
+            "{alerts:?}"
+        );
+        // And finish() has nothing left to say about that flow.
+        assert!(nids.finish().is_empty());
+    }
+
+    /// The direct payload path works for standalone binaries.
+    #[test]
+    fn standalone_binary_analysis() {
+        let nids = Nids::with_defaults();
+        let mut rng = StdRng::seed_from_u64(10);
+        let blob = snids_gen::binaries::netsky_like(&mut rng, 8 * 1024);
+        assert!(nids.analyze_payload(&blob).is_empty());
+        let sc = snids_gen::shellcode::execve_variant(&mut rng, 0);
+        let (exploit, _) = snids_gen::OverflowExploit::new(sc).build(&mut rng);
+        assert!(!nids.analyze_payload(&exploit).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Pipeline counters and per-stage timing (feeds the Figure-3 stage
+//! breakdown experiment).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and stage timings for one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Packets seen.
+    pub packets: u64,
+    /// Packets classified suspicious.
+    pub suspicious_packets: u64,
+    /// Flows handed to the analysis tail.
+    pub flows_analyzed: u64,
+    /// Binary frames extracted.
+    pub frames_extracted: u64,
+    /// Total bytes across extracted frames.
+    pub frame_bytes: u64,
+    /// Alerts raised.
+    pub alerts: u64,
+    /// Time in the classifier stage.
+    pub classify_nanos: u64,
+    /// Time in flow tracking / reassembly.
+    pub reassembly_nanos: u64,
+    /// Time in extraction + disassembly + IR + matching.
+    pub analysis_nanos: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of packets that passed the classifier.
+    pub fn suspicious_ratio(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.suspicious_packets as f64 / self.packets as f64
+        }
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "packets={} suspicious={} ({:.2}%) flows={} frames={} ({} B) alerts={} | classify={:.2}ms reasm={:.2}ms analysis={:.2}ms",
+            self.packets,
+            self.suspicious_packets,
+            self.suspicious_ratio() * 100.0,
+            self.flows_analyzed,
+            self.frames_extracted,
+            self.frame_bytes,
+            self.alerts,
+            self.classify_nanos as f64 / 1e6,
+            self.reassembly_nanos as f64 / 1e6,
+            self.analysis_nanos as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_summary() {
+        let mut s = PipelineStats::default();
+        assert_eq!(s.suspicious_ratio(), 0.0);
+        s.packets = 200;
+        s.suspicious_packets = 5;
+        assert!((s.suspicious_ratio() - 0.025).abs() < 1e-12);
+        let line = s.summary();
+        assert!(line.contains("packets=200"));
+        assert!(line.contains("2.50%"));
+    }
+}

@@ -1,0 +1,142 @@
+//! A tolerant HTTP/1.x request parser.
+//!
+//! Exploit requests are *mostly* well-formed ("a well-formed initial
+//! application layer protocol request, with exploit content … encapsulated
+//! within it" — §4.2), so the parser accepts anything with a recognizable
+//! request line and splits out the URI and body for the anomaly checks.
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest<'a> {
+    /// The method token (`GET`, `POST`, ...).
+    pub method: &'a [u8],
+    /// The request target, exactly as sent.
+    pub uri: &'a [u8],
+    /// The version token (`HTTP/1.0`, ...).
+    pub version: &'a [u8],
+    /// Raw header block (between the request line and the empty line).
+    pub headers: &'a [u8],
+    /// The body (after the empty line), possibly empty.
+    pub body: &'a [u8],
+}
+
+/// Methods we recognize as starting a plausible request line.
+const METHODS: [&[u8]; 8] = [
+    b"GET", b"POST", b"HEAD", b"PUT", b"DELETE", b"OPTIONS", b"TRACE", b"SEARCH",
+];
+
+impl<'a> HttpRequest<'a> {
+    /// Parse the front of `payload` as an HTTP request.
+    ///
+    /// Returns `None` when the payload does not begin with a recognizable
+    /// method token — callers then treat it as opaque data.
+    pub fn parse(payload: &'a [u8]) -> Option<Self> {
+        let method = METHODS
+            .iter()
+            .find(|m| payload.starts_with(m) && payload.get(m.len()) == Some(&b' '))?;
+        let rest = &payload[method.len() + 1..];
+        // The URI runs to the *last* " HTTP/" marker on the request line —
+        // exploit URIs may themselves contain spaces.
+        let line_end = find(rest, b"\r\n").unwrap_or(rest.len());
+        let line = &rest[..line_end];
+        let vpos = rfind(line, b" HTTP/")?;
+        let uri = &line[..vpos];
+        let version = &line[vpos + 1..];
+        let after_line = &rest[(line_end + 2).min(rest.len())..];
+        let (headers, body) = match find(after_line, b"\r\n\r\n") {
+            Some(h) => (&after_line[..h], &after_line[h + 4..]),
+            None => (after_line, &[][..]),
+        };
+        Some(HttpRequest {
+            method,
+            uri,
+            version,
+            headers,
+            body,
+        })
+    }
+
+    /// Look up a header value (case-insensitive name match).
+    pub fn header(&self, name: &str) -> Option<&'a [u8]> {
+        for line in self.headers.split(|&b| b == b'\n') {
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            let colon = line.iter().position(|&b| b == b':')?;
+            let (n, v) = line.split_at(colon);
+            if n.eq_ignore_ascii_case(name.as_bytes()) {
+                let v = &v[1..];
+                let start = v.iter().position(|&b| b != b' ').unwrap_or(v.len());
+                return Some(&v[start..]);
+            }
+        }
+        None
+    }
+}
+
+fn find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+fn rfind(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).rposition(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let req = b"GET /index.html HTTP/1.1\r\nHost: example.com\r\nUser-Agent: test\r\n\r\n";
+        let r = HttpRequest::parse(req).unwrap();
+        assert_eq!(r.method, b"GET");
+        assert_eq!(r.uri, b"/index.html");
+        assert_eq!(r.version, b"HTTP/1.1");
+        assert_eq!(r.header("host").unwrap(), b"example.com");
+        assert_eq!(r.header("HOST").unwrap(), b"example.com");
+        assert!(r.header("cookie").is_none());
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = b"POST /cgi HTTP/1.0\r\nContent-Length: 4\r\n\r\nBODY";
+        let r = HttpRequest::parse(req).unwrap();
+        assert_eq!(r.method, b"POST");
+        assert_eq!(r.body, b"BODY");
+    }
+
+    #[test]
+    fn uri_with_spaces_is_handled() {
+        // the URI may contain spaces; version anchor is the LAST " HTTP/"
+        let req = b"GET /a b c HTTP/1.0\r\n\r\n";
+        let r = HttpRequest::parse(req).unwrap();
+        assert_eq!(r.uri, b"/a b c");
+    }
+
+    #[test]
+    fn code_red_style_uri_parses() {
+        let mut req = b"GET /default.ida?".to_vec();
+        req.extend_from_slice(&[b'X'; 224]);
+        req.extend_from_slice(b"%u9090%u6858%ucbd3%u7801=a HTTP/1.0\r\n\r\n");
+        let r = HttpRequest::parse(&req).unwrap();
+        assert!(r.uri.starts_with(b"/default.ida?XXXX"));
+        assert!(r.uri.ends_with(b"=a"));
+    }
+
+    #[test]
+    fn non_http_is_rejected() {
+        assert!(HttpRequest::parse(b"\x90\x90\x90\x90").is_none());
+        assert!(HttpRequest::parse(b"GETX / HTTP/1.0\r\n").is_none());
+        assert!(HttpRequest::parse(b"").is_none());
+        // request line without a version anchor
+        assert!(HttpRequest::parse(b"GET /nothing\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn truncated_requests_parse_partially() {
+        let r = HttpRequest::parse(b"GET / HTTP/1.0\r\nHost: x").unwrap();
+        assert_eq!(r.uri, b"/");
+        assert_eq!(r.headers, b"Host: x");
+        assert!(r.body.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Suspicious-repetition detection.
+//!
+//! "Our module has the ability to distinguish between acceptable protocol
+//! usage and suspicious repetition" (§4.2). Overflow exploits pad with long
+//! runs of one byte (`XXXX…` in Code Red II) to reach the vulnerable
+//! offset; legitimate requests do not.
+
+/// A maximal run of one repeated byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// The repeated byte.
+    pub byte: u8,
+    /// Offset of the first byte of the run.
+    pub start: usize,
+    /// Run length.
+    pub len: usize,
+}
+
+impl Run {
+    /// Offset just past the run.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// The longest run in `data` (ties resolve to the earliest).
+pub fn longest_run(data: &[u8]) -> Option<Run> {
+    let mut best: Option<Run> = None;
+    for r in runs_at_least(data, 1) {
+        if best.map(|b| r.len > b.len) != Some(false) {
+            best = Some(r);
+        }
+    }
+    best
+}
+
+/// Iterate maximal runs of length ≥ `min_len`.
+pub fn runs_at_least(data: &[u8], min_len: usize) -> impl Iterator<Item = Run> + '_ {
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        while i < data.len() {
+            let b = data[i];
+            let start = i;
+            while i < data.len() && data[i] == b {
+                i += 1;
+            }
+            let len = i - start;
+            if len >= min_len {
+                return Some(Run {
+                    byte: b,
+                    start,
+                    len,
+                });
+            }
+        }
+        None
+    })
+}
+
+/// Fraction of printable ASCII (plus whitespace) bytes.
+pub fn printable_ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    let printable = data
+        .iter()
+        .filter(|&&b| (0x20..0x7f).contains(&b) || b == b'\r' || b == b'\n' || b == b'\t')
+        .count();
+    printable as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_longest_run() {
+        let mut data = b"abc".to_vec();
+        data.extend_from_slice(&[b'X'; 40]);
+        data.extend_from_slice(b"tail");
+        let r = longest_run(&data).unwrap();
+        assert_eq!(r.byte, b'X');
+        assert_eq!(r.start, 3);
+        assert_eq!(r.len, 40);
+        assert_eq!(r.end(), 43);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(longest_run(&[]).is_none());
+        assert_eq!(printable_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn runs_at_least_filters() {
+        let data = b"aaabbbbccddddddd";
+        let runs: Vec<Run> = runs_at_least(data, 4).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].byte, b'b');
+        assert_eq!(runs[0].len, 4);
+        assert_eq!(runs[1].byte, b'd');
+        assert_eq!(runs[1].len, 7);
+    }
+
+    #[test]
+    fn ties_resolve_to_earliest() {
+        let r = longest_run(b"aabb").unwrap();
+        assert_eq!(r.byte, b'a');
+    }
+
+    #[test]
+    fn printable_ratio_behaviour() {
+        assert_eq!(printable_ratio(b"hello world\r\n"), 1.0);
+        assert_eq!(printable_ratio(&[0u8; 10]), 0.0);
+        let half: Vec<u8> = (0..10).map(|i| if i < 5 { b'a' } else { 0x01 }).collect();
+        assert!((printable_ratio(&half) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Return-address region detection (paper Figure 4, highest stack region).
+//!
+//! "This leaves us with the return address region as a possible place to
+//! observe some invariant data. Only the least significant byte can be
+//! varied, since the return address must point back to a valid address in
+//! the buffer."
+
+/// A detected return-address region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetAddrRegion {
+    /// Offset of the first repeated address.
+    pub start: usize,
+    /// Region length in bytes.
+    pub len: usize,
+    /// The invariant upper 24 bits (address & 0xffffff00).
+    pub base: u32,
+    /// Number of repeated addresses.
+    pub count: usize,
+}
+
+/// Find a run of at least `min_count` consecutive little-endian dwords that
+/// agree in their upper 24 bits (the LSB may vary) and look like addresses
+/// (non-zero, not all-ones).
+pub fn find_retaddr_region(data: &[u8], min_count: usize) -> Option<RetAddrRegion> {
+    let min_count = min_count.max(2);
+    if data.len() < 4 * min_count {
+        return None;
+    }
+    // Addresses repeat with dword alignment relative to the region start,
+    // but the region itself may start at any byte offset.
+    for phase in 0..4usize {
+        let mut i = phase;
+        while i + 4 * min_count <= data.len() {
+            let first = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+            let base = first & 0xffff_ff00;
+            if base == 0 || base == 0xffff_ff00 {
+                i += 4;
+                continue;
+            }
+            let mut count = 1usize;
+            let mut j = i + 4;
+            while j + 4 <= data.len() {
+                let w = u32::from_le_bytes([data[j], data[j + 1], data[j + 2], data[j + 3]]);
+                if w & 0xffff_ff00 != base {
+                    break;
+                }
+                count += 1;
+                j += 4;
+            }
+            if count >= min_count {
+                return Some(RetAddrRegion {
+                    start: i,
+                    len: count * 4,
+                    base,
+                    count,
+                });
+            }
+            i = j.max(i + 4);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses(base: u32, lsbs: &[u8]) -> Vec<u8> {
+        let mut v = Vec::new();
+        for &l in lsbs {
+            v.extend_from_slice(&((base & 0xffff_ff00) | u32::from(l)).to_le_bytes());
+        }
+        v
+    }
+
+    #[test]
+    fn finds_repeated_addresses_with_varying_lsb() {
+        let mut data = b"prefix!".to_vec(); // 7 bytes: region at odd phase
+        data.extend_from_slice(&addresses(0xbffff500, &[0x10, 0x20, 0x30, 0x40, 0x50]));
+        data.extend_from_slice(b"tail");
+        let r = find_retaddr_region(&data, 4).unwrap();
+        assert_eq!(r.start, 7);
+        assert_eq!(r.base, 0xbffff500);
+        assert_eq!(r.count, 5);
+        assert_eq!(r.len, 20);
+    }
+
+    #[test]
+    fn identical_addresses_also_match() {
+        let data = addresses(0x0804_9700, &[0x88; 8]);
+        let r = find_retaddr_region(&data, 8).unwrap();
+        assert_eq!(r.count, 8);
+    }
+
+    #[test]
+    fn too_few_repeats_rejected() {
+        let data = addresses(0xbffff500, &[1, 2, 3]);
+        assert!(find_retaddr_region(&data, 4).is_none());
+    }
+
+    #[test]
+    fn zero_and_ones_are_not_addresses() {
+        let zeros = vec![0u8; 64];
+        assert!(find_retaddr_region(&zeros, 4).is_none());
+        let ones = vec![0xffu8; 64];
+        assert!(find_retaddr_region(&ones, 4).is_none());
+    }
+
+    #[test]
+    fn text_has_no_region() {
+        let data = b"GET /index.html HTTP/1.1\r\nHost: www.example.com\r\n\r\n";
+        assert!(find_retaddr_region(data, 4).is_none());
+    }
+
+    #[test]
+    fn short_input() {
+        assert!(find_retaddr_region(&[0x41; 8], 4).is_none());
+        assert!(find_retaddr_region(&[], 2).is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! `%uXXXX` (IIS overlong Unicode) and `%XX` percent decoding.
+//!
+//! Code Red II carries its binary payload as `%uXXXX` groups inside the
+//! request URI (paper Figure 5): each group encodes a little-endian 16-bit
+//! word. "In the case of Unicode data … we translate it into an appropriate
+//! binary form, for further analysis."
+
+/// One decoded region of a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRegion {
+    /// Offset of the first encoded byte in the source buffer.
+    pub start: usize,
+    /// Offset just past the last encoded byte.
+    pub end: usize,
+    /// The decoded binary data.
+    pub data: Vec<u8>,
+    /// Number of `%uXXXX` groups decoded.
+    pub unicode_groups: usize,
+}
+
+fn hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn hex16(s: &[u8]) -> Option<u16> {
+    if s.len() < 4 {
+        return None;
+    }
+    let mut v = 0u16;
+    for &b in &s[..4] {
+        v = (v << 4) | u16::from(hex(b)?);
+    }
+    Some(v)
+}
+
+/// Decode the longest run of consecutive `%uXXXX` / `%XX` groups starting
+/// at or after `from`. Returns `None` if no group exists.
+pub fn decode_region(buf: &[u8], from: usize) -> Option<DecodedRegion> {
+    let mut i = from;
+    // find the first group
+    while i < buf.len() {
+        if buf[i] == b'%' && (peek_u(buf, i).is_some() || peek_x(buf, i).is_some()) {
+            break;
+        }
+        i += 1;
+    }
+    if i >= buf.len() {
+        return None;
+    }
+    let start = i;
+    let mut data = Vec::new();
+    let mut groups = 0usize;
+    while i < buf.len() {
+        if let Some(w) = peek_u(buf, i) {
+            data.extend_from_slice(&w.to_le_bytes());
+            groups += 1;
+            i += 6;
+        } else if let Some(b) = peek_x(buf, i) {
+            data.push(b);
+            i += 3;
+        } else {
+            break;
+        }
+    }
+    Some(DecodedRegion {
+        start,
+        end: i,
+        data,
+        unicode_groups: groups,
+    })
+}
+
+fn peek_u(buf: &[u8], i: usize) -> Option<u16> {
+    if buf.get(i) == Some(&b'%') && matches!(buf.get(i + 1), Some(&b'u') | Some(&b'U')) {
+        hex16(&buf[i + 2..])
+    } else {
+        None
+    }
+}
+
+fn peek_x(buf: &[u8], i: usize) -> Option<u8> {
+    if buf.get(i) == Some(&b'%') {
+        let h = hex(*buf.get(i + 1)?)?;
+        let l = hex(*buf.get(i + 2)?)?;
+        Some((h << 4) | l)
+    } else {
+        None
+    }
+}
+
+/// Count the total `%uXXXX` groups anywhere in the buffer (the CRII
+/// suspicion signal — benign URIs essentially never use `%u` encoding).
+pub fn count_unicode_groups(buf: &[u8]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i + 6 <= buf.len() {
+        if peek_u(buf, i).is_some() {
+            n += 1;
+            i += 6;
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_unicode_groups_little_endian() {
+        let r = decode_region(b"AAA%u9090%u6858BBB", 0).unwrap();
+        assert_eq!(r.start, 3);
+        assert_eq!(r.end, 15);
+        assert_eq!(r.data, vec![0x90, 0x90, 0x58, 0x68]);
+        assert_eq!(r.unicode_groups, 2);
+    }
+
+    #[test]
+    fn decodes_figure_5_fragment() {
+        // %u9090%u6858%ucbd3%u7801 from the Code Red II URI
+        let r = decode_region(b"%u9090%u6858%ucbd3%u7801", 0).unwrap();
+        assert_eq!(
+            r.data,
+            vec![0x90, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78]
+        );
+        assert_eq!(r.unicode_groups, 4);
+    }
+
+    #[test]
+    fn mixes_percent_x_and_percent_u() {
+        let r = decode_region(b"%41%u4242%43", 0).unwrap();
+        assert_eq!(r.data, vec![0x41, 0x42, 0x42, 0x43]);
+        assert_eq!(r.unicode_groups, 1);
+    }
+
+    #[test]
+    fn stops_at_invalid_group() {
+        let r = decode_region(b"%u9090stop%u1111", 0).unwrap();
+        assert_eq!(r.data, vec![0x90, 0x90]);
+        assert_eq!(r.end, 6);
+        // a second call picks up the next region
+        let r2 = decode_region(b"%u9090stop%u1111", r.end).unwrap();
+        assert_eq!(r2.data, vec![0x11, 0x11]);
+    }
+
+    #[test]
+    fn none_when_no_groups() {
+        assert!(decode_region(b"plain text without escapes", 0).is_none());
+        assert!(decode_region(b"100% organic", 0).is_none());
+        assert!(decode_region(b"", 0).is_none());
+    }
+
+    #[test]
+    fn counts_groups() {
+        assert_eq!(count_unicode_groups(b"%u9090%u6858 and %ucbd3"), 3);
+        assert_eq!(count_unicode_groups(b"%u909"), 0);
+        assert_eq!(count_unicode_groups(b"nothing"), 0);
+        // uppercase U accepted
+        assert_eq!(count_unicode_groups(b"%U1234"), 1);
+    }
+
+    #[test]
+    fn malformed_hex_rejected() {
+        assert!(peek_u(b"%uZZZZ", 0).is_none());
+        assert!(peek_x(b"%G1", 0).is_none());
+        assert!(peek_x(b"%4", 0).is_none());
+    }
+}

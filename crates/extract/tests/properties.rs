@@ -1,0 +1,91 @@
+//! Property-based tests for the extraction stage.
+
+use proptest::prelude::*;
+use snids_extract::unicode::{count_unicode_groups, decode_region};
+use snids_extract::{BinaryExtractor, HttpRequest};
+
+/// Re-encode a byte buffer the way Code Red II does.
+fn unicode_encode(data: &[u8]) -> String {
+    let mut s = String::new();
+    for w in data.chunks(2) {
+        if w.len() == 2 {
+            s.push_str(&format!("%u{:02x}{:02x}", w[1], w[0]));
+        }
+    }
+    s
+}
+
+proptest! {
+    /// The extractor is total on arbitrary payloads.
+    #[test]
+    fn extract_total(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let frames = BinaryExtractor::default().extract(&payload);
+        for f in &frames {
+            prop_assert!(f.offset <= payload.len());
+            prop_assert!(!f.data.is_empty());
+        }
+    }
+
+    /// %u encoding round-trips for any even-length buffer.
+    #[test]
+    fn unicode_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let even = &data[..data.len() & !1];
+        if even.is_empty() { return Ok(()); }
+        let enc = unicode_encode(even);
+        let region = decode_region(enc.as_bytes(), 0).unwrap();
+        prop_assert_eq!(&region.data, even);
+        prop_assert_eq!(region.unicode_groups, even.len() / 2);
+        prop_assert_eq!(count_unicode_groups(enc.as_bytes()), even.len() / 2);
+    }
+
+    /// The unicode decoder is total and never decodes more groups than fit.
+    #[test]
+    fn unicode_decode_total(buf in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Some(r) = decode_region(&buf, 0) {
+            prop_assert!(r.start <= r.end);
+            prop_assert!(r.end <= buf.len());
+            prop_assert!(r.unicode_groups <= buf.len() / 6 + 1);
+        }
+    }
+
+    /// The HTTP parser is total and the parts tile the payload.
+    #[test]
+    fn http_parse_total(payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        if let Some(req) = HttpRequest::parse(&payload) {
+            prop_assert!(req.uri.len() <= payload.len());
+            prop_assert!(req.body.len() <= payload.len());
+        }
+    }
+
+    /// A well-formed request with an arbitrary printable path always parses
+    /// back to the same URI.
+    #[test]
+    fn http_request_uri_roundtrip(path in "[a-zA-Z0-9/._-]{1,64}") {
+        let req = format!("GET /{path} HTTP/1.1\r\nHost: x\r\n\r\n");
+        let parsed = HttpRequest::parse(req.as_bytes()).unwrap();
+        let want = format!("/{path}");
+        prop_assert_eq!(parsed.uri, want.as_bytes());
+        prop_assert_eq!(parsed.method, b"GET");
+    }
+
+    /// Pure printable payloads (no long runs) never produce frames —
+    /// the paper's "acceptable protocol usage" guarantee.
+    #[test]
+    fn diverse_printable_is_never_extracted(words in proptest::collection::vec("[a-z]{1,8}", 1..64)) {
+        let payload = words.join(" ");
+        let frames = BinaryExtractor::default().extract(payload.as_bytes());
+        prop_assert!(frames.is_empty(), "extracted from {payload:?}");
+    }
+
+    /// Frames never exceed the configured cap.
+    #[test]
+    fn frame_cap_is_respected(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let config = snids_extract::ExtractorConfig {
+            max_frame_bytes: 256,
+            ..Default::default()
+        };
+        for f in snids_extract::BinaryExtractor::new(config).extract(&payload) {
+            prop_assert!(f.data.len() <= 256);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! IPv4 fragment reassembly.
+//!
+//! Attackers split exploit datagrams across IP fragments so that no single
+//! packet contains a parseable transport header (fragroute-style evasion).
+//! The defragmenter buffers fragments by `(src, dst, id, proto)` and, once
+//! the datagram is complete, rebuilds a whole packet the rest of the
+//! pipeline can dissect normally.
+
+use snids_packet::{Ipv4Header, Packet, ETHERNET_HEADER_LEN};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Reassembly key per RFC 791.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FragKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    id: u16,
+    proto: u8,
+}
+
+#[derive(Debug, Default)]
+struct Datagram {
+    /// (offset, bytes) pieces, first-copy-wins on overlap.
+    pieces: Vec<(usize, Vec<u8>)>,
+    /// Total length once the final fragment arrives.
+    total_len: Option<usize>,
+    first_ts: u64,
+}
+
+impl Datagram {
+    fn complete(&self) -> Option<Vec<u8>> {
+        let total = self.total_len?;
+        let mut out = vec![0u8; total];
+        let mut covered = vec![false; total];
+        let mut pieces = self.pieces.clone();
+        pieces.sort_by_key(|(off, _)| *off);
+        for (off, data) in &pieces {
+            for (i, &b) in data.iter().enumerate() {
+                let at = off + i;
+                if at < total && !covered[at] {
+                    out[at] = b;
+                    covered[at] = true;
+                }
+            }
+        }
+        covered.iter().all(|&c| c).then_some(out)
+    }
+}
+
+/// Caps to bound memory on hostile fragment floods.
+#[derive(Debug, Clone)]
+pub struct DefragConfig {
+    /// Maximum datagrams under reassembly at once.
+    pub max_pending: usize,
+    /// Maximum reassembled datagram size.
+    pub max_datagram: usize,
+    /// Reassembly timeout in microseconds.
+    pub timeout_micros: u64,
+}
+
+impl Default for DefragConfig {
+    fn default() -> Self {
+        DefragConfig {
+            max_pending: 4096,
+            max_datagram: 65_535,
+            timeout_micros: 30 * 1_000_000,
+        }
+    }
+}
+
+/// The defragmenter.
+#[derive(Debug, Default)]
+pub struct Defragmenter {
+    pending: HashMap<FragKey, Datagram>,
+    config: DefragConfig,
+}
+
+impl Defragmenter {
+    /// With custom caps.
+    pub fn new(config: DefragConfig) -> Self {
+        Defragmenter {
+            pending: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Number of datagrams currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feed one packet.
+    ///
+    /// Non-fragments pass through untouched (`Some(packet)` as-is).
+    /// Fragments are buffered; when one completes its datagram, the
+    /// reassembled packet is returned in its place.
+    pub fn process(&mut self, packet: Packet) -> Option<Packet> {
+        let Some(ip) = packet.ip().copied() else {
+            return Some(packet);
+        };
+        if !ip.more_fragments && ip.fragment_offset == 0 {
+            return Some(packet);
+        }
+
+        // Expire stale datagrams opportunistically.
+        let horizon = packet.ts_micros.saturating_sub(self.config.timeout_micros);
+        self.pending.retain(|_, d| d.first_ts >= horizon);
+
+        let key = FragKey {
+            src: ip.src,
+            dst: ip.dst,
+            id: ip.identification,
+            proto: ip.protocol.value(),
+        };
+        if !self.pending.contains_key(&key) && self.pending.len() >= self.config.max_pending {
+            return None; // flood cap: drop rather than balloon
+        }
+        let offset = usize::from(ip.fragment_offset) * 8;
+        let payload = packet.payload();
+        if offset + payload.len() > self.config.max_datagram {
+            self.pending.remove(&key);
+            return None;
+        }
+
+        let entry = self.pending.entry(key).or_insert_with(|| Datagram {
+            first_ts: packet.ts_micros,
+            ..Datagram::default()
+        });
+        entry.pieces.push((offset, payload.to_vec()));
+        if !ip.more_fragments {
+            entry.total_len = Some(offset + payload.len());
+        }
+
+        let done = entry.complete()?;
+        self.pending.remove(&key);
+        Some(rebuild(&packet, &ip, &done))
+    }
+}
+
+/// Rebuild a whole unfragmented packet around the reassembled transport
+/// payload.
+fn rebuild(template: &Packet, ip: &Ipv4Header, l4: &[u8]) -> Packet {
+    let mut frame = Vec::with_capacity(ETHERNET_HEADER_LEN + 20 + l4.len());
+    frame.extend_from_slice(&template.ethernet().to_bytes());
+    frame.extend_from_slice(&Ipv4Header::build(
+        ip.src,
+        ip.dst,
+        ip.protocol,
+        l4.len(),
+        ip.identification,
+        ip.ttl,
+    ));
+    frame.extend_from_slice(l4);
+    // The rebuilt frame is well-formed by construction.
+    Packet::decode(template.ts_micros, frame).expect("rebuilt packet is well-formed")
+}
+
+/// Split a packet's transport payload into IP fragments (test/workload
+/// helper — this is what an evading attacker sends).
+pub fn fragment_packet(packet: &Packet, mtu_payload: usize) -> Vec<Packet> {
+    let Some(ip) = packet.ip() else {
+        return vec![packet.clone()];
+    };
+    let l4 = &packet.raw()[ETHERNET_HEADER_LEN + ip.header_len..ETHERNET_HEADER_LEN + ip.total_len];
+    let chunk = (mtu_payload / 8).max(1) * 8; // fragment offsets are 8-byte units
+    if l4.len() <= chunk {
+        return vec![packet.clone()];
+    }
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < l4.len() {
+        let end = (off + chunk).min(l4.len());
+        let more = end < l4.len();
+        let mut hdr = Ipv4Header::build(
+            ip.src,
+            ip.dst,
+            ip.protocol,
+            end - off,
+            ip.identification,
+            ip.ttl,
+        );
+        // splice fragment flags/offset into the prebuilt header
+        let frag_field = ((off / 8) as u16 & 0x1fff) | if more { 0x2000 } else { 0 };
+        hdr[6..8].copy_from_slice(&frag_field.to_be_bytes());
+        hdr[10..12].copy_from_slice(&[0, 0]);
+        let c = snids_packet::checksum::checksum(&hdr);
+        hdr[10..12].copy_from_slice(&c.to_be_bytes());
+
+        let mut frame = Vec::with_capacity(ETHERNET_HEADER_LEN + 20 + end - off);
+        frame.extend_from_slice(&packet.ethernet().to_bytes());
+        frame.extend_from_slice(&hdr);
+        frame.extend_from_slice(&l4[off..end]);
+        out.push(Packet::decode(packet.ts_micros + (off / chunk) as u64, frame).expect("fragment"));
+        off = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snids_packet::{PacketBuilder, TcpFlags};
+
+    fn sample(payload_len: usize) -> Packet {
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .at(500)
+            .tcp(4000, 80, 7, 0, TcpFlags::ACK | TcpFlags::PSH, &payload)
+            .unwrap()
+    }
+
+    #[test]
+    fn non_fragments_pass_through() {
+        let p = sample(100);
+        let mut d = Defragmenter::default();
+        let out = d.process(p.clone()).unwrap();
+        assert_eq!(out.raw(), p.raw());
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn fragments_reassemble_to_the_original_segment() {
+        let p = sample(3000);
+        let frags = fragment_packet(&p, 800);
+        assert!(frags.len() >= 4);
+        // mid-fragments must not claim to be TCP
+        assert!(frags[1].tcp().is_none());
+
+        let mut d = Defragmenter::default();
+        let mut done = None;
+        for f in frags {
+            if let Some(out) = d.process(f) {
+                done = Some(out);
+            }
+        }
+        let out = done.expect("datagram completes");
+        assert_eq!(out.payload(), p.payload());
+        assert_eq!(out.tcp().unwrap().seq, 7);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_fragments_reassemble() {
+        let p = sample(2400);
+        let mut frags = fragment_packet(&p, 800);
+        frags.reverse();
+        let mut d = Defragmenter::default();
+        let mut done = None;
+        for f in frags {
+            if let Some(out) = d.process(f) {
+                done = Some(out);
+            }
+        }
+        assert_eq!(done.unwrap().payload(), p.payload());
+    }
+
+    #[test]
+    fn incomplete_datagram_stays_pending() {
+        let p = sample(2400);
+        let frags = fragment_packet(&p, 800);
+        let mut d = Defragmenter::default();
+        for f in &frags[..frags.len() - 1] {
+            assert!(d.process(f.clone()).is_none());
+        }
+        assert_eq!(d.pending(), 1);
+    }
+
+    #[test]
+    fn interleaved_datagrams_reassemble_independently() {
+        let a = sample(1600);
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 9), Ipv4Addr::new(10, 0, 0, 2))
+            .at(600)
+            .identification(99)
+            .tcp(5000, 80, 1, 0, TcpFlags::ACK, &vec![0xE5u8; 1600])
+            .unwrap();
+        let fa = fragment_packet(&a, 800);
+        let fb = fragment_packet(&b, 800);
+        let mut d = Defragmenter::default();
+        let mut outs = Vec::new();
+        for (x, y) in fa.iter().zip(&fb) {
+            if let Some(o) = d.process(x.clone()) {
+                outs.push(o);
+            }
+            if let Some(o) = d.process(y.clone()) {
+                outs.push(o);
+            }
+        }
+        assert_eq!(outs.len(), 2);
+        assert!(outs.iter().any(|o| o.payload() == a.payload()));
+        assert!(outs.iter().any(|o| o.payload() == b.payload()));
+    }
+
+    #[test]
+    fn stale_datagrams_expire() {
+        let p = sample(2400);
+        let frags = fragment_packet(&p, 800);
+        let mut d = Defragmenter::new(DefragConfig {
+            timeout_micros: 1_000,
+            ..DefragConfig::default()
+        });
+        d.process(frags[0].clone());
+        assert_eq!(d.pending(), 1);
+        // a much later unrelated fragment expires the stale one
+        let late = PacketBuilder::new(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .at(10_000_000)
+            .tcp(1, 2, 0, 0, TcpFlags::ACK, &vec![0u8; 1600])
+            .unwrap();
+        let late_frag = fragment_packet(&late, 800).remove(0);
+        d.process(late_frag);
+        assert_eq!(d.pending(), 1, "only the fresh datagram remains");
+    }
+
+    #[test]
+    fn oversize_and_flood_caps() {
+        let mut d = Defragmenter::new(DefragConfig {
+            max_pending: 2,
+            max_datagram: 1024,
+            ..DefragConfig::default()
+        });
+        // oversize: offset+len beyond cap is dropped
+        let p = sample(4000);
+        let frags = fragment_packet(&p, 1600);
+        assert!(d.process(frags[1].clone()).is_none());
+        // flood: at most max_pending distinct datagrams tracked
+        for i in 0..5u16 {
+            let q = PacketBuilder::new(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(8, 8, 8, 8))
+                .identification(i)
+                .tcp(1, 2, 0, 0, TcpFlags::ACK, &vec![1u8; 900])
+                .unwrap();
+            let f = fragment_packet(&q, 256).remove(0);
+            d.process(f);
+        }
+        assert!(d.pending() <= 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Directional flow identification.
+
+use snids_packet::{IpProtocol, Packet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A directional five-tuple. Flows are kept per direction because the NIDS
+/// analyzes the *client → server* byte stream (where exploit payloads live)
+/// independently of the response stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: IpProtocol,
+}
+
+impl FlowKey {
+    /// Extract the key from a decoded packet, if it is TCP or UDP over IPv4.
+    pub fn of(packet: &Packet) -> Option<FlowKey> {
+        let ip = packet.ip()?;
+        if !matches!(ip.protocol, IpProtocol::Tcp | IpProtocol::Udp) {
+            return None;
+        }
+        Some(FlowKey {
+            src: ip.src,
+            dst: ip.dst,
+            src_port: packet.src_port()?,
+            dst_port: packet.dst_port()?,
+            proto: ip.protocol,
+        })
+    }
+
+    /// The key of the opposite direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.proto {
+            IpProtocol::Tcp => "tcp",
+            IpProtocol::Udp => "udp",
+            _ => "?",
+        };
+        write!(
+            f,
+            "{p} {}:{} -> {}:{}",
+            self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snids_packet::{PacketBuilder, TcpFlags};
+
+    #[test]
+    fn key_extraction_and_reversal() {
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let p = b.tcp(1234, 80, 0, 0, TcpFlags::SYN, &[]).unwrap();
+        let k = FlowKey::of(&p).unwrap();
+        assert_eq!(k.src_port, 1234);
+        assert_eq!(k.dst_port, 80);
+        assert_eq!(k.proto, IpProtocol::Tcp);
+        let r = k.reversed();
+        assert_eq!(r.src, k.dst);
+        assert_eq!(r.src_port, 80);
+        assert_eq!(r.reversed(), k);
+        assert_eq!(k.to_string(), "tcp 10.0.0.1:1234 -> 10.0.0.2:80");
+    }
+
+    #[test]
+    fn non_transport_packets_have_no_key() {
+        use snids_packet::{EtherType, EthernetFrame, MacAddr};
+        let eth = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::new(2, 0, 0, 0, 0, 1),
+            ethertype: EtherType::Arp,
+        };
+        let mut raw = eth.to_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 28]);
+        let p = snids_packet::Packet::decode(0, raw).unwrap();
+        assert!(FlowKey::of(&p).is_none());
+    }
+}

@@ -1,0 +1,17 @@
+//! Flow tracking and TCP stream reassembly.
+//!
+//! Exploit payloads regularly span several TCP segments (a 10 KB overflow
+//! does not fit one MTU), and attackers deliberately fragment to evade
+//! packet-at-a-time inspection. The NIDS therefore reassembles each
+//! directional flow's byte stream before handing it to the extraction
+//! stage.
+
+pub mod defrag;
+pub mod key;
+pub mod reassembly;
+pub mod table;
+
+pub use defrag::{DefragConfig, Defragmenter};
+pub use key::FlowKey;
+pub use reassembly::Reassembler;
+pub use table::{Flow, FlowTable, FlowTableConfig};

@@ -1,0 +1,200 @@
+//! TCP stream reassembly for one direction of one connection.
+
+use std::collections::BTreeMap;
+
+/// Default cap on reassembled bytes per stream (the paper's exploits are
+/// ≤ ~10 KB; we keep a wide margin without letting an attacker balloon
+/// memory).
+pub const DEFAULT_MAX_STREAM: usize = 1 << 20;
+
+/// Reassembles one direction of a TCP connection from possibly
+/// out-of-order, overlapping segments.
+///
+/// Sequence handling: the first observed segment anchors the stream (its
+/// sequence number becomes relative offset 0; a SYN consumes one sequence
+/// number). Overlaps resolve **first-copy-wins**, matching what a typical
+/// receiver that buffered the earlier segment would deliver — the NIDS must
+/// see the same bytes the victim does.
+#[derive(Debug, Clone)]
+pub struct Reassembler {
+    isn: Option<u32>,
+    /// relative offset → segment bytes
+    segments: BTreeMap<u32, Vec<u8>>,
+    max_bytes: usize,
+    buffered: usize,
+    /// set when data had to be dropped (cap exceeded)
+    truncated: bool,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler::new(DEFAULT_MAX_STREAM)
+    }
+}
+
+impl Reassembler {
+    /// A reassembler with a custom byte cap.
+    pub fn new(max_bytes: usize) -> Self {
+        Reassembler {
+            isn: None,
+            segments: BTreeMap::new(),
+            max_bytes,
+            buffered: 0,
+            truncated: false,
+        }
+    }
+
+    /// Record a SYN with sequence number `seq` (anchors relative offset 0
+    /// at `seq + 1`).
+    pub fn on_syn(&mut self, seq: u32) {
+        if self.isn.is_none() {
+            self.isn = Some(seq.wrapping_add(1));
+        }
+    }
+
+    /// Add a data segment with absolute sequence number `seq`.
+    pub fn on_data(&mut self, seq: u32, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let isn = *self.isn.get_or_insert(seq);
+        let rel = seq.wrapping_sub(isn);
+        // Reject segments wildly outside the window (wrapped negatives).
+        if rel > u32::MAX / 2 {
+            return;
+        }
+        if (rel as usize).saturating_add(data.len()) > self.max_bytes {
+            self.truncated = true;
+            return;
+        }
+        if self.buffered + data.len() > self.max_bytes {
+            self.truncated = true;
+            return;
+        }
+        self.buffered += data.len();
+        // first-copy-wins: keep existing segments, insert only if new offset
+        self.segments.entry(rel).or_insert_with(|| data.to_vec());
+    }
+
+    /// True if data was dropped due to the cap.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Total bytes currently buffered (before overlap resolution).
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// The contiguous byte stream from relative offset 0 (stops at the
+    /// first gap). Overlapping regions resolve first-copy-wins.
+    pub fn assembled(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.buffered.min(self.max_bytes));
+        for (&rel, data) in &self.segments {
+            let rel = rel as usize;
+            if rel > out.len() {
+                break; // gap
+            }
+            if rel + data.len() <= out.len() {
+                continue; // fully covered by earlier copy
+            }
+            let skip = out.len() - rel;
+            out.extend_from_slice(&data[skip..]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_assembly() {
+        let mut r = Reassembler::default();
+        r.on_syn(999);
+        r.on_data(1000, b"GET /");
+        r.on_data(1005, b"index");
+        assert_eq!(r.assembled(), b"GET /index");
+    }
+
+    #[test]
+    fn out_of_order_assembly() {
+        let mut r = Reassembler::default();
+        r.on_syn(0);
+        r.on_data(6, b"world");
+        assert_eq!(r.assembled(), b"", "gap before offset 0 data");
+        r.on_data(1, b"hello");
+        assert_eq!(r.assembled(), b"helloworld");
+    }
+
+    #[test]
+    fn anchors_on_first_data_without_syn() {
+        let mut r = Reassembler::default();
+        r.on_data(5000, b"abc");
+        r.on_data(5003, b"def");
+        assert_eq!(r.assembled(), b"abcdef");
+    }
+
+    #[test]
+    fn overlap_first_copy_wins() {
+        let mut r = Reassembler::default();
+        r.on_data(100, b"AAAA");
+        r.on_data(102, b"BBBB"); // overlaps last two As
+        assert_eq!(r.assembled(), b"AAAABB");
+        // retransmission of the same offset keeps the original
+        r.on_data(100, b"XXXX");
+        assert_eq!(r.assembled(), b"AAAABB");
+    }
+
+    #[test]
+    fn sequence_wraparound() {
+        let mut r = Reassembler::default();
+        r.on_syn(u32::MAX - 2); // isn = MAX-1
+        r.on_data(u32::MAX - 1, b"ab"); // rel 0
+        r.on_data(0, b"cd"); // rel 2 (wrapped past 2^32)
+        assert_eq!(r.assembled(), b"abcd");
+    }
+
+    #[test]
+    fn old_segments_below_isn_are_dropped() {
+        let mut r = Reassembler::default();
+        r.on_syn(1000); // isn = 1001
+        r.on_data(500, b"stale"); // rel wraps negative
+        assert_eq!(r.assembled(), b"");
+    }
+
+    #[test]
+    fn byte_cap_enforced() {
+        let mut r = Reassembler::new(16);
+        r.on_data(0, &[0x41; 16]);
+        assert!(!r.truncated());
+        r.on_data(16, b"overflow");
+        assert!(r.truncated());
+        assert_eq!(r.assembled().len(), 16);
+        // far offsets cannot allocate memory either
+        let mut r = Reassembler::new(16);
+        r.on_data(0, b"x");
+        r.on_data(1 << 20, b"far");
+        assert!(r.truncated());
+    }
+
+    #[test]
+    fn empty_segments_ignored() {
+        let mut r = Reassembler::default();
+        r.on_data(10, b"");
+        assert!(r.isn.is_none());
+        r.on_data(10, b"data");
+        assert_eq!(r.assembled(), b"data");
+    }
+
+    #[test]
+    fn gap_stops_assembly_until_filled() {
+        let mut r = Reassembler::default();
+        r.on_data(0, b"one");
+        r.on_data(10, b"three");
+        assert_eq!(r.assembled(), b"one");
+        r.on_data(3, b"_two___");
+        assert_eq!(r.assembled(), b"one_two___three");
+    }
+}

@@ -1,0 +1,284 @@
+//! The flow table: per-flow state with idle eviction.
+
+use crate::key::FlowKey;
+use crate::reassembly::Reassembler;
+use snids_packet::{IpProtocol, Packet, TransportSummary};
+use std::collections::HashMap;
+
+/// Limits for the flow table.
+#[derive(Debug, Clone)]
+pub struct FlowTableConfig {
+    /// Maximum tracked flows; the coldest flow is evicted beyond this.
+    pub max_flows: usize,
+    /// Idle eviction horizon in microseconds.
+    pub idle_timeout_micros: u64,
+    /// Per-stream reassembly byte cap.
+    pub max_stream_bytes: usize,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig {
+            max_flows: 65_536,
+            idle_timeout_micros: 120 * 1_000_000,
+            max_stream_bytes: crate::reassembly::DEFAULT_MAX_STREAM,
+        }
+    }
+}
+
+/// Per-direction flow state.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// The flow's identity.
+    pub key: FlowKey,
+    /// Timestamp of the first packet.
+    pub first_seen: u64,
+    /// Timestamp of the most recent packet.
+    pub last_seen: u64,
+    /// Packets observed.
+    pub packets: u64,
+    /// Payload bytes observed.
+    pub payload_bytes: u64,
+    /// TCP reassembly state (UDP flows concatenate datagrams here too —
+    /// the analyzer wants "the bytes this source sent" either way).
+    pub stream: Reassembler,
+    udp_next: u32,
+}
+
+impl Flow {
+    fn new(key: FlowKey, ts: u64, max_stream: usize) -> Flow {
+        Flow {
+            key,
+            first_seen: ts,
+            last_seen: ts,
+            packets: 0,
+            payload_bytes: 0,
+            stream: Reassembler::new(max_stream),
+            udp_next: 0,
+        }
+    }
+
+    /// The reassembled client-to-server byte stream.
+    pub fn payload(&self) -> Vec<u8> {
+        self.stream.assembled()
+    }
+}
+
+/// Directional flow table.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, Flow>,
+    config: FlowTableConfig,
+}
+
+impl FlowTable {
+    /// A table with custom limits.
+    pub fn new(config: FlowTableConfig) -> Self {
+        FlowTable {
+            flows: HashMap::with_capacity(1024),
+            config,
+        }
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Feed a packet; returns the flow key when the packet belonged to a
+    /// trackable flow.
+    pub fn process(&mut self, packet: &Packet) -> Option<FlowKey> {
+        let key = FlowKey::of(packet)?;
+        if !self.flows.contains_key(&key) && self.flows.len() >= self.config.max_flows {
+            self.evict_coldest();
+        }
+        let max_stream = self.config.max_stream_bytes;
+        let flow = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| Flow::new(key, packet.ts_micros, max_stream));
+        flow.last_seen = flow.last_seen.max(packet.ts_micros);
+        flow.packets += 1;
+        flow.payload_bytes += packet.payload().len() as u64;
+        match (key.proto, packet.transport()) {
+            (IpProtocol::Tcp, Some(TransportSummary::Tcp(tcp))) => {
+                if tcp.flags.syn() && !tcp.flags.ack() {
+                    flow.stream.on_syn(tcp.seq);
+                }
+                if !packet.payload().is_empty() {
+                    flow.stream.on_data(tcp.seq, packet.payload());
+                }
+            }
+            (IpProtocol::Udp, _) => {
+                // Concatenate datagrams in arrival order.
+                let data = packet.payload();
+                if !data.is_empty() {
+                    let at = flow.udp_next;
+                    flow.stream.on_data(at, data);
+                    flow.udp_next = at.wrapping_add(data.len() as u32);
+                }
+            }
+            _ => {}
+        }
+        Some(key)
+    }
+
+    /// Look up a flow.
+    pub fn get(&self, key: &FlowKey) -> Option<&Flow> {
+        self.flows.get(key)
+    }
+
+    /// Iterate all flows.
+    pub fn flows(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.values()
+    }
+
+    /// Remove and return flows idle since before `now - idle_timeout`.
+    pub fn expire(&mut self, now: u64) -> Vec<Flow> {
+        let horizon = now.saturating_sub(self.config.idle_timeout_micros);
+        let expired: Vec<FlowKey> = self
+            .flows
+            .values()
+            .filter(|f| f.last_seen < horizon)
+            .map(|f| f.key)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|k| self.flows.remove(&k))
+            .collect()
+    }
+
+    /// Drain every flow (end of trace).
+    pub fn drain(&mut self) -> Vec<Flow> {
+        self.flows.drain().map(|(_, f)| f).collect()
+    }
+
+    fn evict_coldest(&mut self) {
+        if let Some(k) = self
+            .flows
+            .values()
+            .min_by_key(|f| f.last_seen)
+            .map(|f| f.key)
+        {
+            self.flows.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snids_packet::{PacketBuilder, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn tcp_flow_reassembles_across_segments() {
+        let mut t = FlowTable::default();
+        let b = builder();
+        let syn = b.tcp(4000, 80, 100, 0, TcpFlags::SYN, &[]).unwrap();
+        let d1 = b
+            .tcp(4000, 80, 101, 1, TcpFlags::ACK | TcpFlags::PSH, b"GET /a")
+            .unwrap();
+        let d2 = b
+            .tcp(4000, 80, 107, 1, TcpFlags::ACK | TcpFlags::PSH, b"bc HTTP/1.0\r\n\r\n")
+            .unwrap();
+        // deliver out of order
+        let k = t.process(&syn).unwrap();
+        t.process(&d2).unwrap();
+        t.process(&d1).unwrap();
+        let flow = t.get(&k).unwrap();
+        assert_eq!(flow.payload(), b"GET /abc HTTP/1.0\r\n\r\n");
+        assert_eq!(flow.packets, 3);
+    }
+
+    #[test]
+    fn udp_flow_concatenates() {
+        let mut t = FlowTable::default();
+        let b = builder();
+        let k = t.process(&b.udp(500, 53, b"one").unwrap()).unwrap();
+        t.process(&b.udp(500, 53, b"two").unwrap()).unwrap();
+        assert_eq!(t.get(&k).unwrap().payload(), b"onetwo");
+    }
+
+    #[test]
+    fn directions_are_separate_flows() {
+        let mut t = FlowTable::default();
+        let fwd = builder();
+        let rev = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 0, 1));
+        let k1 = t
+            .process(&fwd.tcp(4000, 80, 0, 0, TcpFlags::ACK, b"req").unwrap())
+            .unwrap();
+        let k2 = t
+            .process(&rev.tcp(80, 4000, 0, 0, TcpFlags::ACK, b"resp").unwrap())
+            .unwrap();
+        assert_ne!(k1, k2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&k1).unwrap().payload(), b"req");
+        assert_eq!(t.get(&k2).unwrap().payload(), b"resp");
+    }
+
+    #[test]
+    fn idle_flows_expire() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_micros: 1_000,
+            ..FlowTableConfig::default()
+        });
+        let b = builder();
+        t.process(&b.clone().at(0).tcp(1, 2, 0, 0, TcpFlags::ACK, b"x").unwrap());
+        t.process(&b.clone().at(5_000).tcp(3, 4, 0, 0, TcpFlags::ACK, b"y").unwrap());
+        let expired = t.expire(5_500);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].key.src_port, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn max_flows_evicts_coldest() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            max_flows: 2,
+            ..FlowTableConfig::default()
+        });
+        let b = builder();
+        t.process(&b.clone().at(10).tcp(1, 80, 0, 0, TcpFlags::ACK, b"a").unwrap());
+        t.process(&b.clone().at(20).tcp(2, 80, 0, 0, TcpFlags::ACK, b"b").unwrap());
+        t.process(&b.clone().at(30).tcp(3, 80, 0, 0, TcpFlags::ACK, b"c").unwrap());
+        assert_eq!(t.len(), 2);
+        // the ts=10 flow is gone
+        assert!(t.flows().all(|f| f.last_seen != 10));
+    }
+
+    #[test]
+    fn drain_empties_table() {
+        let mut t = FlowTable::default();
+        let b = builder();
+        t.process(&b.tcp(1, 2, 0, 0, TcpFlags::ACK, b"x").unwrap());
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn non_flow_packets_are_ignored() {
+        use snids_packet::{EtherType, EthernetFrame, MacAddr};
+        let mut t = FlowTable::default();
+        let eth = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::new(2, 0, 0, 0, 0, 1),
+            ethertype: EtherType::Arp,
+        };
+        let mut raw = eth.to_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 28]);
+        let p = snids_packet::Packet::decode(0, raw).unwrap();
+        assert!(t.process(&p).is_none());
+        assert!(t.is_empty());
+    }
+}

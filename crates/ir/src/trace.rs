@@ -1,0 +1,274 @@
+//! Execution-order normalization: turn a byte buffer into the instruction
+//! sequence the CPU would actually execute from a given start offset.
+//!
+//! Out-of-order code (paper Figure 1(c)) scatters a routine's instructions
+//! and stitches them back together with unconditional `jmp`s. A pattern
+//! matcher over the *storage* order never sees the routine; a matcher over
+//! the *execution* order sees it verbatim. This module follows:
+//!
+//! * unconditional relative `jmp`s (to unvisited, in-range targets),
+//! * relative `call`s (shellcode `call/pop` GetPC idioms and subroutine
+//!   bodies execute at the target),
+//!
+//! and falls through conditional branches and `loop`s (taking the exit
+//! path, which is where the decrypted payload continues). Each visited
+//! offset is recorded so cyclic control flow terminates.
+
+use crate::eval;
+use crate::lift::lift;
+use crate::op::{IrInsn, SemOp, Target};
+use snids_x86::decode;
+use std::collections::HashSet;
+
+/// An execution-order instruction sequence with constant annotations.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The offset the walk started at.
+    pub start: usize,
+    /// The ops in execution order, annotated by the constant evaluator.
+    pub ops: Vec<IrInsn>,
+}
+
+/// Default cap on trace length; generous for shellcode-sized inputs.
+pub const MAX_TRACE_OPS: usize = 4096;
+
+/// Build the execution-order trace starting at `start`.
+pub fn trace_from(buf: &[u8], start: usize, max_ops: usize) -> Trace {
+    let mut ops = Vec::new();
+    let mut visited: HashSet<usize> = HashSet::new();
+    let mut pos = start;
+
+    while pos < buf.len() && ops.len() < max_ops && visited.insert(pos) {
+        let insn = decode(buf, pos);
+        let ir = lift(&insn);
+        let next = insn.end();
+        let op = ir.op.clone();
+        ops.push(ir);
+        match op {
+            SemOp::Bad | SemOp::Ret => break,
+            SemOp::Jmp(Target::Off(t)) | SemOp::Call(Target::Off(t)) => {
+                let t_us = usize::try_from(t).ok();
+                match t_us {
+                    Some(t) if t < buf.len() && !visited.contains(&t) => pos = t,
+                    // A call whose target is the next byte (GetPC) or out of
+                    // range: fall through; a jmp with a bad target ends the
+                    // trace.
+                    _ if matches!(op, SemOp::Call(_)) => pos = next,
+                    _ => break,
+                }
+            }
+            SemOp::Jmp(Target::Indirect) => break,
+            // Conditional branches and loops: take the fall-through path.
+            _ => pos = next,
+        }
+    }
+
+    eval::annotate(&mut ops);
+    Trace { start, ops }
+}
+
+impl Trace {
+    /// The non-`Nop` ops — what matchers iterate.
+    pub fn effective_ops(&self) -> impl Iterator<Item = &IrInsn> {
+        self.ops.iter().filter(|o| o.op != SemOp::Nop)
+    }
+
+    /// Pretty listing for diagnostics.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for op in &self.ops {
+            let _ = writeln!(s, "{op}");
+        }
+        s
+    }
+}
+
+/// Candidate start offsets for the *pruned* analyzer:
+///
+/// * offset 0 (the extracted frame head — where a sled starts),
+/// * every resynchronisation point after an undecodable byte in a linear
+///   sweep,
+/// * **every in-range branch target found by decoding at every byte
+///   offset** (a sliding scan of single decodes, O(n) and cheap).
+///
+/// The sliding branch scan is the load-bearing prune: a decryption loop
+/// *must* branch backwards to its own body, so the body's start is the
+/// target of some relative branch — and that branch is found no matter how
+/// preceding garbage misaligns a linear sweep. Full traces (the expensive
+/// part) then run only from this small start set, where the naive
+/// (`[5]`-style) analyzer runs one from every byte offset.
+pub fn default_starts(buf: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    // Linear sweep: resynchronisation points.
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let insn = decode(buf, pos);
+        if insn.mnemonic == snids_x86::Mnemonic::Bad && pos + 1 < buf.len() {
+            starts.push(pos + 1);
+        }
+        pos = insn.end();
+    }
+    // Sliding scan: branch targets from a decode at every offset.
+    for off in 0..buf.len() {
+        let insn = decode(buf, off);
+        if let Some(t) = insn.branch_target() {
+            if let Ok(t) = usize::try_from(t) {
+                if t < buf.len() {
+                    starts.push(t);
+                }
+            }
+        }
+    }
+    starts.sort_unstable();
+    starts.dedup();
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinKind;
+
+    /// The paper's Figure 1(c): out-of-order xor decoder stitched with jmps.
+    ///
+    /// ```text
+    ///   decode:  mov ecx, 0
+    ///            inc ecx
+    ///            inc ecx
+    ///            jmp one
+    ///   two:     add eax, 1
+    ///            jmp three
+    ///   one:     mov ebx, 31h
+    ///            add ebx, 64h
+    ///            xor [eax], bl
+    ///            jmp two
+    ///   three:   loop decode
+    /// ```
+    fn figure_1c() -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&[0xb9, 0, 0, 0, 0]); // 0: mov ecx, 0
+        b.extend_from_slice(&[0x41]); // 5: inc ecx
+        b.extend_from_slice(&[0x41]); // 6: inc ecx
+        b.extend_from_slice(&[0xeb, 0x05]); // 7: jmp +5 -> 14 (one)
+        b.extend_from_slice(&[0x83, 0xc0, 0x01]); // 9: two: add eax, 1
+        b.extend_from_slice(&[0xeb, 0x0c]); // 12: jmp +12 -> 26 (three)
+        b.extend_from_slice(&[0xbb, 0x31, 0, 0, 0]); // 14: one: mov ebx, 31h
+        b.extend_from_slice(&[0x83, 0xc3, 0x64]); // 19: add ebx, 64h
+        b.extend_from_slice(&[0x30, 0x18]); // 22: xor [eax], bl
+        b.extend_from_slice(&[0xeb, 0xef]); // 24: jmp -17 -> 9 (two)
+        b.extend_from_slice(&[0xe2, 0xe4]); // 26: three: loop -28 -> 0
+        b
+    }
+
+    #[test]
+    fn follows_jmps_in_execution_order() {
+        let buf = figure_1c();
+        let t = trace_from(&buf, 0, MAX_TRACE_OPS);
+        // Execution order: mov ecx; inc; inc; jmp; mov ebx; add ebx;
+        // xor [eax],bl; jmp; add eax,1; jmp; loop
+        let kinds: Vec<String> = t.ops.iter().map(|o| o.op.to_string()).collect();
+        let joined = kinds.join(" | ");
+        // The xor must appear BEFORE the add eax,1 in execution order,
+        // even though it sits after it in storage order.
+        let xor_pos = kinds.iter().position(|k| k.starts_with("Xor")).unwrap();
+        let add_eax = kinds
+            .iter()
+            .position(|k| k.starts_with("Add eax"))
+            .unwrap();
+        assert!(xor_pos < add_eax, "execution order broken: {joined}");
+        // And the loop back-edge terminates the trace (target 0 is visited).
+        assert!(matches!(t.ops.last().unwrap().op, SemOp::LoopOp(_)));
+    }
+
+    #[test]
+    fn constant_annotation_survives_reordering() {
+        let buf = figure_1c();
+        let t = trace_from(&buf, 0, MAX_TRACE_OPS);
+        let xor = t
+            .ops
+            .iter()
+            .find(|o| matches!(o.op, SemOp::Bin { op: BinKind::Xor, .. }))
+            .unwrap();
+        assert_eq!(xor.src_value, Some(0x95), "key folds through the jmp maze");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        // jmp self
+        let t = trace_from(&[0xeb, 0xfe], 0, MAX_TRACE_OPS);
+        assert_eq!(t.ops.len(), 1);
+        // two-instruction cycle
+        let t = trace_from(&[0xeb, 0x00, 0xeb, 0xfc], 0, MAX_TRACE_OPS);
+        assert!(t.ops.len() <= 3);
+    }
+
+    #[test]
+    fn ret_and_bad_end_traces() {
+        let t = trace_from(&[0x90, 0xc3, 0x90], 0, MAX_TRACE_OPS);
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(t.ops.last().unwrap().op, SemOp::Ret);
+
+        let t = trace_from(&[0x90, 0x0f, 0xff, 0x90], 0, MAX_TRACE_OPS);
+        assert_eq!(t.ops.last().unwrap().op, SemOp::Bad);
+    }
+
+    #[test]
+    fn call_follows_target_like_getpc() {
+        // jmp +5; target: pop esi; ret;  start: call -4 (to pop)
+        // Layout: 0: jmp 7 ; 2: pop esi ; 3: ret ; 4..: call 2
+        let mut b = vec![0xeb, 0x05]; // 0: jmp -> 7
+        b.push(0x5e); // 2: pop esi
+        b.push(0xc3); // 3: ret
+        b.extend_from_slice(&[0x90, 0x90, 0x90]); // 4-6 padding
+        b.extend_from_slice(&[0xe8, 0xf6, 0xff, 0xff, 0xff]); // 7: call -10 -> 2
+        let t = trace_from(&b, 0, MAX_TRACE_OPS);
+        let kinds: Vec<String> = t.ops.iter().map(|o| o.op.to_string()).collect();
+        assert!(
+            kinds.iter().any(|k| k.starts_with("Pop esi")),
+            "call target must be followed: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn call_next_falls_through() {
+        // call +0 (GetPC); pop ecx
+        let b = [0xe8, 0x00, 0x00, 0x00, 0x00, 0x59];
+        let t = trace_from(&b, 0, MAX_TRACE_OPS);
+        assert_eq!(t.ops.len(), 2);
+        assert!(matches!(t.ops[1].op, SemOp::Pop(_)));
+    }
+
+    #[test]
+    fn conditional_branches_fall_through() {
+        // je +2; inc eax; ret
+        let b = [0x74, 0x02, 0x40, 0xc3];
+        let t = trace_from(&b, 0, MAX_TRACE_OPS);
+        let kinds: Vec<String> = t.ops.iter().map(|o| o.op.to_string()).collect();
+        assert!(kinds[1].starts_with("Add eax"));
+    }
+
+    #[test]
+    fn max_ops_is_respected() {
+        let buf = vec![0x90u8; 1000];
+        let t = trace_from(&buf, 0, 10);
+        assert_eq!(t.ops.len(), 10);
+    }
+
+    #[test]
+    fn default_starts_include_branch_targets_and_resync_points() {
+        // bad byte at 0, nop, jmp over, target
+        let buf = [0x0f, 0xff, 0xeb, 0x01, 0x90, 0x40, 0xc3];
+        let starts = default_starts(&buf);
+        assert!(starts.contains(&0));
+        assert!(starts.contains(&1), "resync after bad byte: {starts:?}");
+        assert!(starts.contains(&5), "jmp target: {starts:?}");
+    }
+
+    #[test]
+    fn effective_ops_skips_nops() {
+        let t = trace_from(&[0x90, 0x90, 0x40, 0xc3], 0, MAX_TRACE_OPS);
+        assert_eq!(t.ops.len(), 4);
+        assert_eq!(t.effective_ops().count(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the parsing and I/O paths of this crate.
+
+use std::fmt;
+
+/// Errors produced while parsing headers or reading/writing pcap files.
+#[derive(Debug)]
+pub enum Error {
+    /// The input buffer ended before the fixed part of a header.
+    Truncated {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A header field held a value the parser cannot accept.
+    Malformed {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// The pcap file magic was not recognised.
+    BadMagic(u32),
+    /// Underlying I/O failure while reading or writing a pcap file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{layer}: truncated header (need {needed} bytes, have {available})"
+            ),
+            Error::Malformed { layer, reason } => write!(f, "{layer}: malformed header: {reason}"),
+            Error::BadMagic(m) => write!(f, "pcap: unrecognised magic 0x{m:08x}"),
+            Error::Io(e) => write!(f, "pcap I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let t = Error::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 3,
+        };
+        assert!(t.to_string().contains("ipv4"));
+        assert!(t.to_string().contains("20"));
+        let m = Error::Malformed {
+            layer: "tcp",
+            reason: "data offset below minimum",
+        };
+        assert!(m.to_string().contains("tcp"));
+        let b = Error::BadMagic(0xdeadbeef);
+        assert!(b.to_string().contains("deadbeef"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

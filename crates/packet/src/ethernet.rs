@@ -1,0 +1,154 @@
+//! Ethernet II framing.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Length of an Ethernet II header (dst MAC + src MAC + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Construct from the six octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// True if this is a group (multicast/broadcast) address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// EtherType values the NIDS cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — counted but not analyzed.
+    Arp,
+    /// Anything else, with the raw value preserved.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl EtherType {
+    /// The on-wire 16-bit value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// A parsed Ethernet II header together with the offset of its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthernetFrame {
+    /// Parse the header at the front of `data`; the payload is
+    /// `&data[ETHERNET_HEADER_LEN..]`.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "ethernet",
+                needed: ETHERNET_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = u16::from_be_bytes([data[12], data[13]]).into();
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+        })
+    }
+
+    /// Serialize the header into a 14-byte array.
+    pub fn to_bytes(&self) -> [u8; ETHERNET_HEADER_LEN] {
+        let mut out = [0u8; ETHERNET_HEADER_LEN];
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.value().to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let f = EthernetFrame {
+            dst: MacAddr::new(0, 1, 2, 3, 4, 5),
+            src: MacAddr::new(10, 11, 12, 13, 14, 15),
+            ethertype: EtherType::Ipv4,
+        };
+        let bytes = f.to_bytes();
+        assert_eq!(EthernetFrame::parse(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert!(matches!(
+            EthernetFrame::parse(&[0u8; 13]),
+            Err(Error::Truncated { layer: "ethernet", .. })
+        ));
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(EtherType::Other(0x1234).value(), 0x1234);
+    }
+
+    #[test]
+    fn mac_display_and_multicast() {
+        let m = MacAddr::new(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+        assert!(!m.is_multicast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+}

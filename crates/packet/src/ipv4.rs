@@ -1,0 +1,263 @@
+//! IPv4 header parsing and construction.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Minimum (option-free) IPv4 header length.
+pub const IPV4_MIN_HEADER_LEN: usize = 20;
+
+/// Transport protocols the NIDS distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl IpProtocol {
+    /// The on-wire protocol number.
+    pub fn value(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+/// A parsed IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Header length in bytes (20..=60).
+    pub header_len: usize,
+    /// Differentiated services / TOS byte.
+    pub dscp_ecn: u8,
+    /// Total datagram length (header + payload) as carried on the wire.
+    pub total_len: usize,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units.
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+    /// Header checksum as carried on the wire.
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Parse the header at the front of `data`.
+    ///
+    /// Returns the header; the payload is `&data[hdr.header_len..hdr.total_len]`
+    /// (callers must bound by `total_len`, which is validated to fit).
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: IPV4_MIN_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                reason: "version is not 4",
+            });
+        }
+        let header_len = usize::from(data[0] & 0x0f) * 4;
+        if header_len < IPV4_MIN_HEADER_LEN {
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                reason: "IHL below minimum",
+            });
+        }
+        if data.len() < header_len {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: header_len,
+                available: data.len(),
+            });
+        }
+        let total_len = usize::from(u16::from_be_bytes([data[2], data[3]]));
+        if total_len < header_len {
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                reason: "total length shorter than header",
+            });
+        }
+        if total_len > data.len() {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: total_len,
+                available: data.len(),
+            });
+        }
+        let flags_frag = u16::from_be_bytes([data[6], data[7]]);
+        Ok(Ipv4Header {
+            header_len,
+            dscp_ecn: data[1],
+            total_len,
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            dont_fragment: flags_frag & 0x4000 != 0,
+            more_fragments: flags_frag & 0x2000 != 0,
+            fragment_offset: flags_frag & 0x1fff,
+            ttl: data[8],
+            protocol: data[9].into(),
+            checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+        })
+    }
+
+    /// True if the stored header checksum is consistent with the header bytes.
+    pub fn verify_checksum(data: &[u8]) -> bool {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return false;
+        }
+        let header_len = usize::from(data[0] & 0x0f) * 4;
+        if header_len < IPV4_MIN_HEADER_LEN || data.len() < header_len {
+            return false;
+        }
+        checksum::verify(&data[..header_len])
+    }
+
+    /// Serialize an option-free header for the given payload length,
+    /// computing the checksum.
+    pub fn build(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        payload_len: usize,
+        identification: u16,
+        ttl: u8,
+    ) -> [u8; IPV4_MIN_HEADER_LEN] {
+        let mut h = [0u8; IPV4_MIN_HEADER_LEN];
+        h[0] = 0x45; // version 4, IHL 5
+        let total = (IPV4_MIN_HEADER_LEN + payload_len) as u16;
+        h[2..4].copy_from_slice(&total.to_be_bytes());
+        h[4..6].copy_from_slice(&identification.to_be_bytes());
+        h[6] = 0x40; // DF
+        h[8] = ttl;
+        h[9] = protocol.value();
+        h[12..16].copy_from_slice(&src.octets());
+        h[16..20].copy_from_slice(&dst.octets());
+        let c = checksum::checksum(&h);
+        h[10..12].copy_from_slice(&c.to_be_bytes());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> [u8; IPV4_MIN_HEADER_LEN] {
+        Ipv4Header::build(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(10, 0, 0, 5),
+            IpProtocol::Tcp,
+            0,
+            0x1234,
+            64,
+        )
+    }
+
+    #[test]
+    fn build_then_parse() {
+        let bytes = sample();
+        let h = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(h.header_len, 20);
+        assert_eq!(h.total_len, 20);
+        assert_eq!(h.src, Ipv4Addr::new(192, 168, 1, 10));
+        assert_eq!(h.dst, Ipv4Addr::new(10, 0, 0, 5));
+        assert_eq!(h.protocol, IpProtocol::Tcp);
+        assert!(h.dont_fragment);
+        assert!(!h.more_fragments);
+        assert_eq!(h.ttl, 64);
+        assert!(Ipv4Header::verify_checksum(&bytes));
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut bytes = sample();
+        bytes[8] ^= 0xff; // flip TTL
+        assert!(!Ipv4Header::verify_checksum(&bytes));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = sample();
+        bytes[0] = 0x65;
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_ihl() {
+        let mut bytes = sample();
+        bytes[0] = 0x44;
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut bytes = sample().to_vec();
+        bytes[3] = 200; // total_len > buffer
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_total_len_below_header() {
+        let mut bytes = sample();
+        bytes[2] = 0;
+        bytes[3] = 8;
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for v in [1u8, 6, 17, 47, 255] {
+            assert_eq!(IpProtocol::from(v).value(), v);
+        }
+    }
+}

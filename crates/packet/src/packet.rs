@@ -1,0 +1,337 @@
+//! The decoded packet the NIDS pipeline operates on.
+
+use crate::error::Result;
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+use std::ops::Range;
+
+/// Transport-layer view of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportSummary {
+    /// A TCP segment.
+    Tcp(TcpHeader),
+    /// A UDP datagram.
+    Udp(UdpHeader),
+    /// A transport the NIDS does not dissect (ICMP, GRE, ...).
+    Other(IpProtocol),
+}
+
+/// A fully decoded packet.
+///
+/// Owns its raw bytes via [`Bytes`] so payload slices can be shared
+/// zero-copy with later pipeline stages (reassembly, extraction).
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Capture timestamp in microseconds since the epoch.
+    pub ts_micros: u64,
+    data: Bytes,
+    eth: EthernetFrame,
+    ip: Option<Ipv4Header>,
+    transport: Option<TransportSummary>,
+    payload: Range<usize>,
+}
+
+impl Packet {
+    /// Decode a raw Ethernet frame captured at `ts_micros`.
+    ///
+    /// Non-IPv4 frames decode successfully with `ip() == None`; unknown
+    /// transports decode with `TransportSummary::Other`. Only genuinely
+    /// malformed/truncated headers produce an error — a NIDS must not crash
+    /// on hostile input, but it also must not silently mis-frame payloads.
+    pub fn decode(ts_micros: u64, raw: impl Into<Bytes>) -> Result<Self> {
+        let data: Bytes = raw.into();
+        let eth = EthernetFrame::parse(&data)?;
+        let mut ip = None;
+        let mut transport = None;
+        let mut payload = data.len()..data.len();
+
+        if eth.ethertype == EtherType::Ipv4 {
+            let ip_bytes = &data[ETHERNET_HEADER_LEN..];
+            let h = Ipv4Header::parse(ip_bytes)?;
+            let l4_start = ETHERNET_HEADER_LEN + h.header_len;
+            let l4_end = ETHERNET_HEADER_LEN + h.total_len;
+            let l4 = &data[l4_start..l4_end];
+            // A fragment's payload is a slice of the original datagram, not
+            // a transport header — misparsing it is the classic frag-evasion
+            // bug. Expose fragments as opaque; the defragmenter reassembles.
+            if h.more_fragments || h.fragment_offset != 0 {
+                return Ok(Packet {
+                    ts_micros,
+                    payload: l4_start..l4_end,
+                    transport: Some(TransportSummary::Other(h.protocol)),
+                    ip: Some(h),
+                    data,
+                    eth,
+                });
+            }
+            match h.protocol {
+                IpProtocol::Tcp => {
+                    let t = TcpHeader::parse(l4)?;
+                    payload = l4_start + t.header_len..l4_end;
+                    transport = Some(TransportSummary::Tcp(t));
+                }
+                IpProtocol::Udp => {
+                    let u = UdpHeader::parse(l4)?;
+                    payload = l4_start + UDP_HEADER_LEN..l4_start + u.length;
+                    transport = Some(TransportSummary::Udp(u));
+                }
+                other => {
+                    payload = l4_start..l4_end;
+                    transport = Some(TransportSummary::Other(other));
+                }
+            }
+            ip = Some(h);
+        }
+
+        Ok(Packet {
+            ts_micros,
+            data,
+            eth,
+            ip,
+            transport,
+            payload,
+        })
+    }
+
+    /// The raw frame bytes.
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The Ethernet header.
+    pub fn ethernet(&self) -> &EthernetFrame {
+        &self.eth
+    }
+
+    /// The IPv4 header, if the frame carries IPv4.
+    pub fn ip(&self) -> Option<&Ipv4Header> {
+        self.ip.as_ref()
+    }
+
+    /// The transport header summary, if the frame carries IPv4.
+    pub fn transport(&self) -> Option<&TransportSummary> {
+        self.transport.as_ref()
+    }
+
+    /// Source IPv4 address, if any.
+    pub fn src_ip(&self) -> Option<Ipv4Addr> {
+        self.ip.as_ref().map(|h| h.src)
+    }
+
+    /// Destination IPv4 address, if any.
+    pub fn dst_ip(&self) -> Option<Ipv4Addr> {
+        self.ip.as_ref().map(|h| h.dst)
+    }
+
+    /// Source transport port, if TCP or UDP.
+    pub fn src_port(&self) -> Option<u16> {
+        match self.transport {
+            Some(TransportSummary::Tcp(t)) => Some(t.src_port),
+            Some(TransportSummary::Udp(u)) => Some(u.src_port),
+            _ => None,
+        }
+    }
+
+    /// Destination transport port, if TCP or UDP.
+    pub fn dst_port(&self) -> Option<u16> {
+        match self.transport {
+            Some(TransportSummary::Tcp(t)) => Some(t.dst_port),
+            Some(TransportSummary::Udp(u)) => Some(u.dst_port),
+            _ => None,
+        }
+    }
+
+    /// The TCP header, if this is a TCP segment.
+    pub fn tcp(&self) -> Option<&TcpHeader> {
+        match &self.transport {
+            Some(TransportSummary::Tcp(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Application payload as a borrowed slice.
+    pub fn payload(&self) -> &[u8] {
+        &self.data[self.payload.clone()]
+    }
+
+    /// Application payload as a zero-copy shared buffer.
+    pub fn payload_bytes(&self) -> Bytes {
+        self.data.slice(self.payload.clone())
+    }
+}
+
+/// Builder assembling complete, checksum-correct Ethernet/IPv4 packets.
+///
+/// Used by the workload generators; produces the same [`Packet`] values a
+/// pcap read would.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    ts_micros: u64,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ttl: u8,
+    identification: u16,
+}
+
+impl PacketBuilder {
+    /// Start a builder for traffic from `src` to `dst`.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        PacketBuilder {
+            ts_micros: 0,
+            src_mac: MacAddr::new(0x02, 0x00, 0x00, 0x00, 0x00, 0x01),
+            dst_mac: MacAddr::new(0x02, 0x00, 0x00, 0x00, 0x00, 0x02),
+            src,
+            dst,
+            ttl: 64,
+            identification: 1,
+        }
+    }
+
+    /// Set the capture timestamp in microseconds.
+    pub fn at(mut self, ts_micros: u64) -> Self {
+        self.ts_micros = ts_micros;
+        self
+    }
+
+    /// Set the IP TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Set the IP identification field.
+    pub fn identification(mut self, id: u16) -> Self {
+        self.identification = id;
+        self
+    }
+
+    fn wrap_ip(&self, protocol: IpProtocol, l4: &[u8]) -> Result<Packet> {
+        let mut frame = Vec::with_capacity(ETHERNET_HEADER_LEN + 20 + l4.len());
+        frame.extend_from_slice(
+            &EthernetFrame {
+                dst: self.dst_mac,
+                src: self.src_mac,
+                ethertype: EtherType::Ipv4,
+            }
+            .to_bytes(),
+        );
+        frame.extend_from_slice(&Ipv4Header::build(
+            self.src,
+            self.dst,
+            protocol,
+            l4.len(),
+            self.identification,
+            self.ttl,
+        ));
+        frame.extend_from_slice(l4);
+        Packet::decode(self.ts_micros, frame)
+    }
+
+    /// Build a TCP segment carrying `payload`.
+    pub fn tcp(
+        &self,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Result<Packet> {
+        let seg = TcpHeader::build_segment(
+            self.src, self.dst, src_port, dst_port, seq, ack, flags, 65535, payload,
+        );
+        self.wrap_ip(IpProtocol::Tcp, &seg)
+    }
+
+    /// Build a bare SYN (the common scan probe).
+    pub fn tcp_syn(&self, src_port: u16, dst_port: u16, seq: u32) -> Result<Packet> {
+        self.tcp(src_port, dst_port, seq, 0, TcpFlags::SYN, &[])
+    }
+
+    /// Build a UDP datagram carrying `payload`.
+    pub fn udp(&self, src_port: u16, dst_port: u16, payload: &[u8]) -> Result<Packet> {
+        let dgram = UdpHeader::build_datagram(self.src, self.dst, src_port, dst_port, payload);
+        self.wrap_ip(IpProtocol::Udp, &dgram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_packet_roundtrip() {
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)).at(42);
+        let p = b
+            .tcp(1234, 80, 7, 0, TcpFlags::PSH | TcpFlags::ACK, b"hello")
+            .unwrap();
+        assert_eq!(p.ts_micros, 42);
+        assert_eq!(p.src_ip(), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(p.dst_ip(), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(p.src_port(), Some(1234));
+        assert_eq!(p.dst_port(), Some(80));
+        assert_eq!(p.payload(), b"hello");
+        assert_eq!(p.tcp().unwrap().seq, 7);
+        assert!(Ipv4Header::verify_checksum(&p.raw()[ETHERNET_HEADER_LEN..]));
+    }
+
+    #[test]
+    fn udp_packet_roundtrip() {
+        let b = PacketBuilder::new(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8));
+        let p = b.udp(999, 53, b"dns?").unwrap();
+        assert_eq!(p.payload(), b"dns?");
+        assert_eq!(p.dst_port(), Some(53));
+        assert!(p.tcp().is_none());
+    }
+
+    #[test]
+    fn syn_has_empty_payload() {
+        let b = PacketBuilder::new(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(10, 10, 10, 10));
+        let p = b.tcp_syn(40000, 445, 1).unwrap();
+        assert!(p.payload().is_empty());
+        assert!(p.tcp().unwrap().flags.syn());
+        assert!(!p.tcp().unwrap().flags.ack());
+    }
+
+    #[test]
+    fn non_ipv4_frame_decodes_without_ip() {
+        let eth = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::new(2, 0, 0, 0, 0, 9),
+            ethertype: EtherType::Arp,
+        };
+        let mut raw = eth.to_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 28]);
+        let p = Packet::decode(0, raw).unwrap();
+        assert!(p.ip().is_none());
+        assert!(p.transport().is_none());
+        assert!(p.payload().is_empty());
+    }
+
+    #[test]
+    fn payload_bytes_is_zero_copy_slice() {
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let p = b.tcp(1, 2, 0, 0, TcpFlags::ACK, b"shared").unwrap();
+        let bytes = p.payload_bytes();
+        assert_eq!(&bytes[..], b"shared");
+    }
+
+    #[test]
+    fn other_transport_payload_is_whole_l4() {
+        // Hand-build an ICMP-ish packet.
+        let l4 = [8u8, 0, 0, 0, 1, 2, 3, 4];
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let p = b.wrap_ip(IpProtocol::Icmp, &l4).unwrap();
+        assert_eq!(p.payload(), &l4);
+        assert!(matches!(
+            p.transport(),
+            Some(TransportSummary::Other(IpProtocol::Icmp))
+        ));
+    }
+}

@@ -1,0 +1,305 @@
+//! Classic pcap file format reader and writer.
+//!
+//! Implements the original `0xa1b2c3d4` microsecond-resolution format with
+//! `LINKTYPE_ETHERNET`, which is what the paper's traces (tcpdump captures
+//! of two production networks) would have used. Both byte orders are read;
+//! files are always written little-endian.
+
+use crate::error::{Error, Result};
+use crate::packet::Packet;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC_LE: u32 = 0xa1b2c3d4;
+const MAGIC_BE: u32 = 0xd4c3b2a1;
+const LINKTYPE_ETHERNET: u32 = 1;
+/// Standard tcpdump default snap length.
+pub const DEFAULT_SNAPLEN: u32 = 65535;
+
+/// One captured record: timestamp plus raw frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Seconds part of the capture timestamp.
+    pub ts_sec: u32,
+    /// Microseconds part of the capture timestamp.
+    pub ts_usec: u32,
+    /// Captured frame bytes (may be shorter than the original frame).
+    pub data: Vec<u8>,
+}
+
+impl PcapRecord {
+    /// The timestamp in microseconds since the epoch.
+    pub fn ts_micros(&self) -> u64 {
+        u64::from(self.ts_sec) * 1_000_000 + u64::from(self.ts_usec)
+    }
+
+    /// Decode the record into a [`Packet`].
+    pub fn decode(&self) -> Result<Packet> {
+        Packet::decode(self.ts_micros(), self.data.clone())
+    }
+}
+
+/// Streaming pcap reader.
+pub struct PcapReader<R: Read> {
+    inner: R,
+    swapped: bool,
+    snaplen: u32,
+    linktype: u32,
+}
+
+impl PcapReader<BufReader<std::fs::File>> {
+    /// Open a pcap file on disk.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let f = std::fs::File::open(path)?;
+        PcapReader::new(BufReader::new(f))
+    }
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Wrap any reader positioned at the start of a pcap stream.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC_LE => false,
+            MAGIC_BE => true,
+            other => return Err(Error::BadMagic(other)),
+        };
+        let get32 = |b: &[u8]| {
+            let a = [b[0], b[1], b[2], b[3]];
+            if swapped {
+                u32::from_be_bytes(a)
+            } else {
+                u32::from_le_bytes(a)
+            }
+        };
+        let snaplen = get32(&hdr[16..20]);
+        let linktype = get32(&hdr[20..24]);
+        Ok(PcapReader {
+            inner,
+            swapped,
+            snaplen,
+            linktype,
+        })
+    }
+
+    /// The file's snap length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// The file's link type (1 = Ethernet).
+    pub fn linktype(&self) -> u32 {
+        self.linktype
+    }
+
+    fn read_u32(&mut self) -> std::io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        Ok(if self.swapped {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        })
+    }
+
+    /// Read the next record; `Ok(None)` at clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let ts_sec = match self.read_u32() {
+            Ok(v) => v,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let ts_usec = self.read_u32()?;
+        let incl_len = self.read_u32()?;
+        let _orig_len = self.read_u32()?;
+        if incl_len > self.snaplen.max(DEFAULT_SNAPLEN) {
+            return Err(Error::Malformed {
+                layer: "pcap",
+                reason: "record length exceeds snap length",
+            });
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        self.inner.read_exact(&mut data)?;
+        Ok(Some(PcapRecord {
+            ts_sec,
+            ts_usec,
+            data,
+        }))
+    }
+
+    /// Read and decode every remaining record, skipping frames the decoder
+    /// rejects (a NIDS tolerates damaged captures) and returning the packets.
+    pub fn decode_all(&mut self) -> Result<Vec<Packet>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            if let Ok(p) = rec.decode() {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming pcap writer (little-endian, Ethernet link type).
+pub struct PcapWriter<W: Write> {
+    inner: W,
+}
+
+impl PcapWriter<BufWriter<std::fs::File>> {
+    /// Create (truncate) a pcap file on disk.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let f = std::fs::File::create(path)?;
+        PcapWriter::new(BufWriter::new(f))
+    }
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Wrap any writer; writes the global header immediately.
+    pub fn new(mut inner: W) -> Result<Self> {
+        inner.write_all(&MAGIC_LE.to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&DEFAULT_SNAPLEN.to_le_bytes())?;
+        inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter { inner })
+    }
+
+    /// Append one raw frame with the given timestamp.
+    pub fn write_frame(&mut self, ts_micros: u64, frame: &[u8]) -> Result<()> {
+        let ts_sec = (ts_micros / 1_000_000) as u32;
+        let ts_usec = (ts_micros % 1_000_000) as u32;
+        self.inner.write_all(&ts_sec.to_le_bytes())?;
+        self.inner.write_all(&ts_usec.to_le_bytes())?;
+        self.inner.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.inner.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Append a decoded packet.
+    pub fn write_packet(&mut self, packet: &Packet) -> Result<()> {
+        self.write_frame(packet.ts_micros, packet.raw())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use crate::tcp::TcpFlags;
+    use std::io::Cursor;
+    use std::net::Ipv4Addr;
+
+    fn sample_packets() -> Vec<Packet> {
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        (0..5u32)
+            .map(|i| {
+                b.clone()
+                    .at(u64::from(i) * 1_500_000)
+                    .tcp(1000 + i as u16, 80, i, 0, TcpFlags::ACK, b"abc")
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let pkts = sample_packets();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for p in &pkts {
+            w.write_packet(p).unwrap();
+        }
+        let buf = w.finish().unwrap();
+
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(r.linktype(), LINKTYPE_ETHERNET);
+        let decoded = r.decode_all().unwrap();
+        assert_eq!(decoded.len(), pkts.len());
+        for (a, b) in decoded.iter().zip(&pkts) {
+            assert_eq!(a.raw(), b.raw());
+            assert_eq!(a.ts_micros, b.ts_micros);
+        }
+    }
+
+    #[test]
+    fn big_endian_header_is_accepted() {
+        // Hand-build a big-endian file with one empty-ish record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_LE.to_be_bytes()); // BE writer stores magic natively
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&9u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&3u32.to_be_bytes()); // incl_len
+        buf.extend_from_slice(&3u32.to_be_bytes()); // orig_len
+        buf.extend_from_slice(&[1, 2, 3]);
+
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_sec, 7);
+        assert_eq!(rec.ts_usec, 9);
+        assert_eq!(rec.data, vec![1, 2, 3]);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = vec![0u8; 24];
+        assert!(matches!(
+            PcapReader::new(Cursor::new(buf)),
+            Err(Error::BadMagic(0))
+        ));
+    }
+
+    #[test]
+    fn truncated_record_reports_io_error() {
+        let pkts = sample_packets();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(&pkts[0]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 4); // chop the frame tail
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn decode_all_skips_undecodable_frames() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(0, &[0xff; 6]).unwrap(); // too short for Ethernet
+        w.write_packet(&sample_packets()[0]).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(r.decode_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("snids-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pcap");
+        {
+            let mut w = PcapWriter::create(&path).unwrap();
+            for p in sample_packets() {
+                w.write_packet(&p).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let mut r = PcapReader::open(&path).unwrap();
+        assert_eq!(r.decode_all().unwrap().len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,248 @@
+//! TCP header parsing and construction.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Minimum (option-free) TCP header length.
+pub const TCP_MIN_HEADER_LEN: usize = 20;
+
+/// TCP control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag bit.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag bit.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag bit.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag bit.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag bit.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG flag bit.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// True if every bit in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Bitwise union.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// True for the SYN bit.
+    pub fn syn(self) -> bool {
+        self.contains(Self::SYN)
+    }
+    /// True for the ACK bit.
+    pub fn ack(self) -> bool {
+        self.contains(Self::ACK)
+    }
+    /// True for the FIN bit.
+    pub fn fin(self) -> bool {
+        self.contains(Self::FIN)
+    }
+    /// True for the RST bit.
+    pub fn rst(self) -> bool {
+        self.contains(Self::RST)
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u8, char); 6] = [
+            (0x02, 'S'),
+            (0x10, 'A'),
+            (0x01, 'F'),
+            (0x04, 'R'),
+            (0x08, 'P'),
+            (0x20, 'U'),
+        ];
+        for (bit, ch) in NAMES {
+            if self.0 & bit != 0 {
+                write!(f, "{ch}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Header length in bytes (20..=60).
+    pub header_len: usize,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as carried on the wire.
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// Parse the header at the front of `data`; the segment payload is
+    /// `&data[hdr.header_len..]`.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < TCP_MIN_HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "tcp",
+                needed: TCP_MIN_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let header_len = usize::from(data[12] >> 4) * 4;
+        if header_len < TCP_MIN_HEADER_LEN {
+            return Err(Error::Malformed {
+                layer: "tcp",
+                reason: "data offset below minimum",
+            });
+        }
+        if data.len() < header_len {
+            return Err(Error::Truncated {
+                layer: "tcp",
+                needed: header_len,
+                available: data.len(),
+            });
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            header_len,
+            flags: TcpFlags(data[13] & 0x3f),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            checksum: u16::from_be_bytes([data[16], data[17]]),
+            urgent: u16::from_be_bytes([data[18], data[19]]),
+        })
+    }
+
+    /// Serialize an option-free segment (header + payload), computing the
+    /// checksum over the IPv4 pseudo-header.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_segment(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut seg = Vec::with_capacity(TCP_MIN_HEADER_LEN + payload.len());
+        seg.extend_from_slice(&src_port.to_be_bytes());
+        seg.extend_from_slice(&dst_port.to_be_bytes());
+        seg.extend_from_slice(&seq.to_be_bytes());
+        seg.extend_from_slice(&ack.to_be_bytes());
+        seg.push(0x50); // data offset 5 words
+        seg.push(flags.0);
+        seg.extend_from_slice(&window.to_be_bytes());
+        seg.extend_from_slice(&[0, 0]); // checksum placeholder
+        seg.extend_from_slice(&[0, 0]); // urgent
+        seg.extend_from_slice(payload);
+        let c = checksum::pseudo_header_checksum(src.octets(), dst.octets(), 6, &seg);
+        seg[16..18].copy_from_slice(&c.to_be_bytes());
+        seg
+    }
+
+    /// Verify a segment checksum against its pseudo-header.
+    pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> bool {
+        checksum::pseudo_header_checksum(src.octets(), dst.octets(), 6, segment) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_parse_roundtrip() {
+        let src = Ipv4Addr::new(10, 1, 2, 3);
+        let dst = Ipv4Addr::new(10, 9, 8, 7);
+        let seg = TcpHeader::build_segment(
+            src,
+            dst,
+            49152,
+            80,
+            0x01020304,
+            0x0a0b0c0d,
+            TcpFlags::SYN | TcpFlags::ACK,
+            8192,
+            b"GET / HTTP/1.0\r\n\r\n",
+        );
+        let h = TcpHeader::parse(&seg).unwrap();
+        assert_eq!(h.src_port, 49152);
+        assert_eq!(h.dst_port, 80);
+        assert_eq!(h.seq, 0x01020304);
+        assert_eq!(h.ack, 0x0a0b0c0d);
+        assert!(h.flags.syn() && h.flags.ack() && !h.flags.fin());
+        assert_eq!(h.header_len, TCP_MIN_HEADER_LEN);
+        assert_eq!(&seg[h.header_len..], b"GET / HTTP/1.0\r\n\r\n");
+        assert!(TcpHeader::verify_checksum(src, dst, &seg));
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let mut seg =
+            TcpHeader::build_segment(src, dst, 1, 2, 0, 0, TcpFlags::ACK, 1024, b"payload");
+        seg[25] ^= 0x40;
+        assert!(!TcpHeader::verify_checksum(src, dst, &seg));
+    }
+
+    #[test]
+    fn truncated_and_bad_offset_rejected() {
+        assert!(matches!(
+            TcpHeader::parse(&[0u8; 10]),
+            Err(Error::Truncated { .. })
+        ));
+        let mut seg = [0u8; 20];
+        seg[12] = 0x40; // data offset 4 words = 16 bytes < 20
+        assert!(matches!(
+            TcpHeader::parse(&seg),
+            Err(Error::Malformed { .. })
+        ));
+        let mut seg = [0u8; 20];
+        seg[12] = 0x60; // claims 24 bytes but only 20 available
+        assert!(matches!(
+            TcpHeader::parse(&seg),
+            Err(Error::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn flags_display_is_stable() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert_eq!(f.to_string(), "SA");
+        assert_eq!(TcpFlags::FIN.to_string(), "F");
+        assert_eq!(TcpFlags::default().to_string(), "");
+    }
+}

@@ -1,0 +1,121 @@
+//! UDP header parsing and construction.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// Fixed UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Datagram length (header + payload) as carried on the wire.
+    pub length: usize,
+    /// Checksum as carried on the wire (0 = not computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parse the header at the front of `data`; the payload is
+    /// `&data[UDP_HEADER_LEN..hdr.length]`.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "udp",
+                needed: UDP_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let length = usize::from(u16::from_be_bytes([data[4], data[5]]));
+        if length < UDP_HEADER_LEN {
+            return Err(Error::Malformed {
+                layer: "udp",
+                reason: "length shorter than header",
+            });
+        }
+        if length > data.len() {
+            return Err(Error::Truncated {
+                layer: "udp",
+                needed: length,
+                available: data.len(),
+            });
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length,
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Serialize a datagram (header + payload), computing the checksum over
+    /// the IPv4 pseudo-header.
+    pub fn build_datagram(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut dgram = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
+        dgram.extend_from_slice(&src_port.to_be_bytes());
+        dgram.extend_from_slice(&dst_port.to_be_bytes());
+        dgram.extend_from_slice(&((UDP_HEADER_LEN + payload.len()) as u16).to_be_bytes());
+        dgram.extend_from_slice(&[0, 0]);
+        dgram.extend_from_slice(payload);
+        let mut c = checksum::pseudo_header_checksum(src.octets(), dst.octets(), 17, &dgram);
+        // Per RFC 768 a computed checksum of zero is transmitted as all ones.
+        if c == 0 {
+            c = 0xffff;
+        }
+        dgram[6..8].copy_from_slice(&c.to_be_bytes());
+        dgram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_parse_roundtrip() {
+        let d = UdpHeader::build_datagram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5353,
+            53,
+            b"query",
+        );
+        let h = UdpHeader::parse(&d).unwrap();
+        assert_eq!(h.src_port, 5353);
+        assert_eq!(h.dst_port, 53);
+        assert_eq!(h.length, UDP_HEADER_LEN + 5);
+        assert_eq!(&d[UDP_HEADER_LEN..h.length], b"query");
+        assert_ne!(h.checksum, 0);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(matches!(
+            UdpHeader::parse(&[0u8; 7]),
+            Err(Error::Truncated { .. })
+        ));
+        let mut d = [0u8; 8];
+        d[5] = 4; // length 4 < 8
+        assert!(matches!(
+            UdpHeader::parse(&d),
+            Err(Error::Malformed { .. })
+        ));
+        let mut d = [0u8; 8];
+        d[5] = 20; // length 20 > 8 available
+        assert!(matches!(
+            UdpHeader::parse(&d),
+            Err(Error::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Analysis drivers: the pruned production analyzer and the exhaustive
+//! naive analyzer used as the stand-in for `[5]` in the efficiency
+//! experiments.
+
+use crate::matcher::{match_template, MatchInfo, DEFAULT_BUDGET};
+use crate::pattern::{Severity, Template};
+use crate::templates::default_templates;
+use serde::{Deserialize, Serialize};
+use snids_ir::{default_starts, trace_from, Trace};
+
+/// A reported template match on a binary frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateMatch {
+    /// Which template matched.
+    pub template: &'static str,
+    /// The template's severity.
+    pub severity: Severity,
+    /// Byte offset of the first matched instruction in the frame.
+    pub start: usize,
+    /// Byte offset just past the last matched instruction.
+    pub end: usize,
+    /// The trace start offset that exposed the behaviour.
+    pub trace_start: usize,
+    /// Variable bindings as `(var, register name)` pairs.
+    pub bound_regs: Vec<(u8, String)>,
+    /// Symbolic-constant bindings as `(id, value)` pairs.
+    pub consts: Vec<(u8, u32)>,
+}
+
+fn to_match(tmpl: &Template, trace: &Trace, info: &MatchInfo) -> TemplateMatch {
+    let bound_regs = info
+        .bindings
+        .regs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, g)| {
+            g.map(|g| (i as u8, snids_x86::Reg::r32(g).to_string()))
+        })
+        .collect();
+    let consts = info
+        .bindings
+        .consts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.map(|c| (i as u8, c)))
+        .collect();
+    TemplateMatch {
+        template: tmpl.name,
+        severity: tmpl.severity,
+        start: info.start_offset(trace),
+        end: info.end_offset(trace),
+        trace_start: trace.start,
+        bound_regs,
+        consts,
+    }
+}
+
+/// Shared configuration for both analyzers.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Matcher step budget per (trace, template) pair.
+    pub budget_per_trace: usize,
+    /// Cap on trace length.
+    pub max_trace_ops: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            budget_per_trace: DEFAULT_BUDGET,
+            max_trace_ops: snids_ir::trace::MAX_TRACE_OPS,
+        }
+    }
+}
+
+/// The pruned analyzer: traces start only at offset 0, resynchronisation
+/// points and branch targets ([`snids_ir::default_starts`]). This is the
+/// efficiency improvement over `[5]`'s exhaustive scanning that the paper
+/// claims in contribution (b).
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    templates: Vec<Template>,
+    config: AnalyzerConfig,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new(default_templates())
+    }
+}
+
+impl Analyzer {
+    /// Analyzer over a custom template set.
+    pub fn new(templates: Vec<Template>) -> Self {
+        Analyzer {
+            templates,
+            config: AnalyzerConfig::default(),
+        }
+    }
+
+    /// Override the work bounds.
+    pub fn with_config(mut self, config: AnalyzerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The template set in use.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Analyze one binary frame, reporting all (deduplicated) matches.
+    pub fn analyze(&self, frame: &[u8]) -> Vec<TemplateMatch> {
+        self.analyze_starts(frame, &default_starts(frame))
+    }
+
+    /// True if any template matches — the detection fast path (stops at the
+    /// first hit).
+    pub fn detects(&self, frame: &[u8]) -> bool {
+        for start in default_starts(frame) {
+            let trace = trace_from(frame, start, self.config.max_trace_ops);
+            for tmpl in &self.templates {
+                let mut budget = self.config.budget_per_trace;
+                if match_template(&trace, tmpl, &mut budget).is_some() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Analyze with an explicit start-offset set (shared by the naive path).
+    pub fn analyze_starts(&self, frame: &[u8], starts: &[usize]) -> Vec<TemplateMatch> {
+        let mut out: Vec<TemplateMatch> = Vec::new();
+        for &start in starts {
+            let trace = trace_from(frame, start, self.config.max_trace_ops);
+            for tmpl in &self.templates {
+                let mut budget = self.config.budget_per_trace;
+                if let Some(info) = match_template(&trace, tmpl, &mut budget) {
+                    let m = to_match(tmpl, &trace, &info);
+                    if !out
+                        .iter()
+                        .any(|x| x.template == m.template && x.start == m.start)
+                    {
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Analyze a pre-built trace (used by the pipeline when it already has
+    /// one, and by tests).
+    pub fn analyze_trace(&self, trace: &Trace) -> Vec<TemplateMatch> {
+        let mut out = Vec::new();
+        for tmpl in &self.templates {
+            let mut budget = self.config.budget_per_trace;
+            if let Some(info) = match_template(trace, tmpl, &mut budget) {
+                out.push(to_match(tmpl, trace, &info));
+            }
+        }
+        out
+    }
+}
+
+/// The exhaustive analyzer: a trace from **every byte offset**, the way a
+/// host-based scanner with no entry-point knowledge must operate. Stands in
+/// for `[5]` in the Table 1 / ablation timing comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveAnalyzer {
+    inner: Analyzer,
+}
+
+impl NaiveAnalyzer {
+    /// Naive analyzer over a custom template set.
+    pub fn new(templates: Vec<Template>) -> Self {
+        NaiveAnalyzer {
+            inner: Analyzer::new(templates),
+        }
+    }
+
+    /// Analyze one frame from every byte offset.
+    pub fn analyze(&self, frame: &[u8]) -> Vec<TemplateMatch> {
+        let starts: Vec<usize> = (0..frame.len()).collect();
+        self.inner.analyze_starts(frame, &starts)
+    }
+
+    /// Exhaustive detection (no early exit across starts, matching `[5]`'s
+    /// full-program verification behaviour).
+    pub fn detects(&self, frame: &[u8]) -> bool {
+        !self.analyze(frame).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates;
+
+    fn shell_code() -> Vec<u8> {
+        vec![
+            0x31, 0xc0, 0x50, //
+            0x68, 0x2f, 0x2f, 0x73, 0x68, //
+            0x68, 0x2f, 0x62, 0x69, 0x6e, //
+            0x89, 0xe3, 0x50, 0x53, 0x89, 0xe1, 0x31, 0xd2, //
+            0xb0, 0x0b, 0xcd, 0x80,
+        ]
+    }
+
+    #[test]
+    fn analyzer_reports_shell_spawn() {
+        let a = Analyzer::default();
+        let ms = a.analyze(&shell_code());
+        assert!(ms.iter().any(|m| m.template == "linux-shell-spawn"), "{ms:?}");
+        assert!(a.detects(&shell_code()));
+    }
+
+    #[test]
+    fn analyzer_is_silent_on_benign_data() {
+        let a = Analyzer::default();
+        // ASCII text
+        let text = b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n";
+        assert!(a.analyze(text).is_empty());
+        // zeros and simple structure
+        let zeros = vec![0u8; 512];
+        assert!(a.analyze(&zeros).is_empty());
+    }
+
+    #[test]
+    fn naive_and_pruned_agree_on_detection() {
+        let code = [0x80, 0x30, 0x95, 0x40, 0xe2, 0xfa];
+        let pruned = Analyzer::default().analyze(&code);
+        let naive = NaiveAnalyzer::default().analyze(&code);
+        assert!(!pruned.is_empty());
+        assert!(!naive.is_empty());
+        assert!(naive.len() >= pruned.len());
+    }
+
+    /// The decoder hidden mid-buffer behind garbage: the naive analyzer must
+    /// find it, and the pruned analyzer must too (via resync starts).
+    #[test]
+    fn decoder_found_mid_buffer() {
+        let mut buf = vec![0x00u8, 0x00, 0x0f, 0xff]; // junk incl. bad byte
+        buf.extend_from_slice(&[0x80, 0x30, 0x95, 0x40, 0xe2, 0xfa]);
+        let naive = NaiveAnalyzer::default().analyze(&buf);
+        assert!(naive.iter().any(|m| m.template.starts_with("xor-decrypt")));
+        let pruned = Analyzer::default().analyze(&buf);
+        assert!(
+            pruned.iter().any(|m| m.template.starts_with("xor-decrypt")),
+            "pruned starts must recover the decoder: {pruned:?}"
+        );
+    }
+
+    #[test]
+    fn dedup_suppresses_repeat_reports() {
+        let code = shell_code();
+        let a = Analyzer::default();
+        let ms = a.analyze(&code);
+        let mut keys: Vec<_> = ms.iter().map(|m| (m.template, m.start)).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn xor_only_set_misses_alt_decoder() {
+        let alt = [
+            0x8a, 0x1e, 0x80, 0xcb, 0xa0, 0x80, 0xe3, 0xcf, 0xf6, 0xd3, 0x88, 0x1e, 0x46, 0xe2,
+            0xf1,
+        ];
+        let xor_only = Analyzer::new(templates::xor_only_templates());
+        assert!(!xor_only.detects(&alt), "xor-only must miss the alt scheme");
+        let full = Analyzer::default();
+        assert!(full.detects(&alt), "full set must catch it");
+    }
+
+    #[test]
+    fn match_report_fields_are_sane() {
+        let code = [0x80, 0x30, 0x95, 0x40, 0xe2, 0xfa];
+        let ms = Analyzer::default().analyze(&code);
+        let m = ms
+            .iter()
+            .find(|m| m.template == "xor-decrypt-loop")
+            .unwrap();
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 6);
+        assert_eq!(m.severity, Severity::High);
+        assert_eq!(m.bound_regs, vec![(0, "eax".to_string())]);
+        // serializes for the alert sink
+        let json = serde_json::to_string(m).unwrap();
+        assert!(json.contains("xor-decrypt-loop"));
+    }
+}

@@ -1,0 +1,408 @@
+//! A small text language for authoring templates at deployment time.
+//!
+//! The paper's future work is to "classify more exploit behaviors so that
+//! we can generate additional useful templates" — which only helps a
+//! deployed sensor if new templates load without recompiling. This module
+//! parses a line-oriented description into [`Template`]s:
+//!
+//! ```text
+//! # the Figure-2 decryption loop
+//! template my-decoder severity=high gap=8
+//!   storexform X ops=xor,add src=any
+//!   advance X
+//!   loopback
+//!
+//! template my-shell severity=high
+//!   const "/bin" | "//sh"
+//!   const "/bin" | "//sh"
+//!   syscall 0x80 eax=0xb
+//! ```
+//!
+//! Variables are `X`, `Y`, `Z`, `W` (register variables 0–3). Constants
+//! accept hex (`0x…`), decimal, or a quoted 1–4 byte ASCII string
+//! (little-endian, as pushed immediates spell it).
+//!
+//! Loaded template names are interned for the process lifetime (templates
+//! are loaded once at sensor startup).
+
+use crate::pattern::{PatOp, PatValue, Severity, Template, VarId, XformOp};
+use snids_ir::BinKind;
+use std::fmt;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+fn err(line: usize, message: impl Into<String>) -> DslError {
+    DslError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_var(tok: &str, line: usize) -> Result<VarId, DslError> {
+    match tok {
+        "X" => Ok(VarId(0)),
+        "Y" => Ok(VarId(1)),
+        "Z" => Ok(VarId(2)),
+        "W" => Ok(VarId(3)),
+        other => Err(err(line, format!("unknown variable `{other}` (use X/Y/Z/W)"))),
+    }
+}
+
+/// Parse a constant: hex, decimal, or a quoted ≤4-byte ASCII string
+/// (little-endian dword, the way `push "/bin"` encodes it).
+fn parse_const(tok: &str, line: usize) -> Result<u32, DslError> {
+    if let Some(q) = tok.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        if q.is_empty() || q.len() > 4 || !q.is_ascii() {
+            return Err(err(line, format!("string constant must be 1-4 ASCII bytes: {tok}")));
+        }
+        let mut b = [0u8; 4];
+        b[..q.len()].copy_from_slice(q.as_bytes());
+        return Ok(u32::from_le_bytes(b));
+    }
+    let parsed = if let Some(h) = tok.strip_prefix("0x") {
+        u32::from_str_radix(h, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| err(line, format!("bad constant `{tok}`")))
+}
+
+fn parse_bin_kind(tok: &str, line: usize) -> Result<BinKind, DslError> {
+    Ok(match tok {
+        "xor" => BinKind::Xor,
+        "add" => BinKind::Add,
+        "sub" => BinKind::Sub,
+        "or" => BinKind::Or,
+        "and" => BinKind::And,
+        "rol" => BinKind::Rol,
+        "ror" => BinKind::Ror,
+        "shl" => BinKind::Shl,
+        "shr" => BinKind::Shr,
+        other => return Err(err(line, format!("unknown operator `{other}`"))),
+    })
+}
+
+fn parse_xform_ops(spec: &str, line: usize) -> Result<Vec<XformOp>, DslError> {
+    spec.split(',')
+        .map(|t| match t {
+            "not" => Ok(XformOp::Not),
+            "neg" => Ok(XformOp::Neg),
+            other => parse_bin_kind(other, line).map(XformOp::Bin),
+        })
+        .collect()
+}
+
+/// `key=value` lookup over the remaining tokens of a line.
+fn kv<'a>(tokens: &'a [&'a str], key: &str) -> Option<&'a str> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+/// Parse a whole template file.
+pub fn parse(input: &str) -> Result<Vec<Template>, DslError> {
+    let mut templates: Vec<Template> = Vec::new();
+    let mut current: Option<Template> = None;
+
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "template" => {
+                if let Some(t) = current.take() {
+                    finish_template(t, line_no, &mut templates)?;
+                }
+                let name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "template needs a name"))?;
+                let severity = match kv(&tokens[2..], "severity") {
+                    None | Some("high") => Severity::High,
+                    Some("medium") => Severity::Medium,
+                    Some("info") => Severity::Info,
+                    Some(other) => {
+                        return Err(err(line_no, format!("unknown severity `{other}`")))
+                    }
+                };
+                let max_gap = match kv(&tokens[2..], "gap") {
+                    None => None,
+                    Some(g) => Some(
+                        g.parse()
+                            .map_err(|_| err(line_no, format!("bad gap `{g}`")))?,
+                    ),
+                };
+                current = Some(Template {
+                    name: Box::leak(name.to_string().into_boxed_str()),
+                    description: Box::leak(
+                        format!("user template `{name}` (loaded from DSL)").into_boxed_str(),
+                    ),
+                    ops: Vec::new(),
+                    severity,
+                    max_gap,
+                });
+            }
+            step => {
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "step before any `template` header"))?;
+                t.ops.push(parse_step(step, &tokens, line_no)?);
+            }
+        }
+    }
+    if let Some(t) = current.take() {
+        finish_template(t, input.lines().count(), &mut templates)?;
+    }
+    Ok(templates)
+}
+
+fn finish_template(
+    t: Template,
+    line: usize,
+    out: &mut Vec<Template>,
+) -> Result<(), DslError> {
+    if t.ops.is_empty() {
+        return Err(err(line, format!("template `{}` has no steps", t.name)));
+    }
+    if out.iter().any(|o| o.name == t.name) {
+        return Err(err(line, format!("duplicate template name `{}`", t.name)));
+    }
+    out.push(t);
+    Ok(())
+}
+
+fn parse_step(step: &str, tokens: &[&str], line: usize) -> Result<PatOp, DslError> {
+    match step {
+        "storexform" => {
+            let addr = parse_var(
+                tokens.get(1).ok_or_else(|| err(line, "storexform needs a variable"))?,
+                line,
+            )?;
+            let ops = match kv(&tokens[2..], "ops") {
+                Some(spec) => spec
+                    .split(',')
+                    .map(|t| parse_bin_kind(t, line))
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => vec![BinKind::Xor, BinKind::Add],
+            };
+            let src = match kv(&tokens[2..], "src") {
+                None | Some("any") => PatValue::Any,
+                Some("known") => PatValue::KnownConst(0),
+                Some(c) => PatValue::Const(parse_const(c, line)?),
+            };
+            Ok(PatOp::StoreXform { ops, addr, src })
+        }
+        "loadfrom" => {
+            let dst = parse_var(
+                tokens.get(1).ok_or_else(|| err(line, "loadfrom needs DST ADDR"))?,
+                line,
+            )?;
+            let addr = parse_var(
+                tokens.get(2).ok_or_else(|| err(line, "loadfrom needs DST ADDR"))?,
+                line,
+            )?;
+            Ok(PatOp::LoadFrom { dst, addr })
+        }
+        "storeto" => {
+            let addr = parse_var(
+                tokens.get(1).ok_or_else(|| err(line, "storeto needs ADDR SRC"))?,
+                line,
+            )?;
+            let src = parse_var(
+                tokens.get(2).ok_or_else(|| err(line, "storeto needs ADDR SRC"))?,
+                line,
+            )?;
+            Ok(PatOp::StoreTo { addr, src })
+        }
+        "xform" => {
+            let dst = parse_var(
+                tokens.get(1).ok_or_else(|| err(line, "xform needs a variable"))?,
+                line,
+            )?;
+            let ops = match kv(&tokens[2..], "ops") {
+                Some(spec) => parse_xform_ops(spec, line)?,
+                None => parse_xform_ops("xor,or,and,add,not,neg,rol,ror,shl,shr", line)?,
+            };
+            Ok(PatOp::XformMany { ops, dst })
+        }
+        "advance" => {
+            let addr = parse_var(
+                tokens.get(1).ok_or_else(|| err(line, "advance needs a variable"))?,
+                line,
+            )?;
+            Ok(PatOp::Advance { addr })
+        }
+        "loopback" => Ok(PatOp::LoopBack),
+        "const" => {
+            let rest = tokens[1..].join(" ");
+            let vals = rest
+                .split('|')
+                .map(|t| parse_const(t.trim(), line))
+                .collect::<Result<Vec<_>, _>>()?;
+            if vals.is_empty() {
+                return Err(err(line, "const needs at least one value"));
+            }
+            Ok(PatOp::SrcConstIn(vals))
+        }
+        "syscall" => {
+            let vector = parse_const(
+                tokens.get(1).ok_or_else(|| err(line, "syscall needs a vector"))?,
+                line,
+            )? as u8;
+            let eax = kv(&tokens[2..], "eax")
+                .map(|v| parse_const(v, line))
+                .transpose()?;
+            let ebx = kv(&tokens[2..], "ebx")
+                .map(|v| parse_const(v, line))
+                .transpose()?;
+            Ok(PatOp::Syscall { vector, eax, ebx })
+        }
+        "addr-range" => {
+            let lo = parse_const(
+                tokens.get(1).ok_or_else(|| err(line, "addr-range needs LO HI"))?,
+                line,
+            )?;
+            let hi = parse_const(
+                tokens.get(2).ok_or_else(|| err(line, "addr-range needs LO HI"))?,
+                line,
+            )?;
+            if lo > hi {
+                return Err(err(line, "addr-range LO must be <= HI"));
+            }
+            Ok(PatOp::AddrInRange { lo, hi })
+        }
+        other => Err(err(line, format!("unknown step `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+
+    const DECODER_DSL: &str = r#"
+# the Figure-2 decryption loop, written by hand
+template dsl-decoder severity=high gap=8
+  storexform X ops=xor,add src=any
+  advance X
+  loopback
+"#;
+
+    #[test]
+    fn parses_and_detects_like_the_builtin() {
+        let templates = parse(DECODER_DSL).unwrap();
+        assert_eq!(templates.len(), 1);
+        assert_eq!(templates[0].name, "dsl-decoder");
+        assert_eq!(templates[0].max_gap, Some(8));
+        let analyzer = Analyzer::new(templates);
+        // Figure 1(a)
+        let code = [0x80, 0x30, 0x95, 0x40, 0xe2, 0xfa];
+        let ms = analyzer.analyze(&code);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].template, "dsl-decoder");
+    }
+
+    #[test]
+    fn full_builtin_set_is_expressible() {
+        let dsl = r#"
+template d-xor gap=8
+  storexform X ops=xor,add src=any
+  advance X
+  loopback
+template d-xor-pre gap=8
+  advance X
+  storexform X ops=xor,add src=any
+  loopback
+template d-alt gap=8
+  loadfrom Y X
+  xform Y
+  storeto X Y
+  advance X
+  loopback
+template d-shell
+  const "/bin" | "//sh"
+  const "/bin" | "//sh"
+  syscall 0x80 eax=0xb
+template d-bind
+  syscall 0x66 eax=0x66 ebx=1
+  syscall 0x80 eax=0x66 ebx=2
+  syscall 0x80 eax=0xb
+template d-crii gap=32
+  addr-range 0x78010000 0x7801ffff
+  addr-range 0x78010000 0x7801ffff
+"#;
+        let ts = parse(dsl).unwrap();
+        assert_eq!(ts.len(), 6);
+        // the shell template matches the classic spawner
+        let shell = [
+            0x31, 0xc0, 0x50, 0x68, 0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e, 0x89,
+            0xe3, 0x50, 0x53, 0x89, 0xe1, 0x31, 0xd2, 0xb0, 0x0b, 0xcd, 0x80,
+        ];
+        let analyzer = Analyzer::new(ts);
+        assert!(analyzer
+            .analyze(&shell)
+            .iter()
+            .any(|m| m.template == "d-shell"));
+    }
+
+    #[test]
+    fn string_constants_little_endian() {
+        assert_eq!(parse_const("\"/bin\"", 1).unwrap(), 0x6e69_622f);
+        assert_eq!(parse_const("\"A\"", 1).unwrap(), 0x41);
+        assert!(parse_const("\"toolong\"", 1).is_err());
+        assert_eq!(parse_const("0xff", 1).unwrap(), 0xff);
+        assert_eq!(parse_const("255", 1).unwrap(), 255);
+        assert!(parse_const("zz", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("template t\n  bogus X\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse("  advance X\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before any"));
+
+        let e = parse("template empty\n").unwrap_err();
+        assert!(e.message.contains("no steps"));
+
+        let e = parse("template a\n loopback\ntemplate a\n loopback\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let dsl = "\n# header comment\ntemplate t # trailing\n  loopback # another\n\n";
+        let ts = parse(dsl).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn severity_and_gap_parsing() {
+        let ts = parse("template t severity=medium gap=4\n  loopback\n").unwrap();
+        assert_eq!(ts[0].severity, Severity::Medium);
+        assert_eq!(ts[0].max_gap, Some(4));
+        assert!(parse("template t severity=loud\n  loopback\n").is_err());
+        assert!(parse("template t gap=many\n  loopback\n").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! A from-scratch Aho–Corasick multi-pattern matcher.
+//!
+//! Byte-oriented, dense goto table per node (fast and simple; the rule
+//! sets here are small). Construction is the textbook BFS failure-link
+//! algorithm with output-set merging.
+
+/// One match occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the pattern (in insertion order).
+    pub pattern: usize,
+    /// Offset of the first byte of the occurrence.
+    pub start: usize,
+}
+
+#[derive(Clone)]
+struct Node {
+    next: Box<[i32; 256]>,
+    fail: u32,
+    out: Vec<u32>,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            next: Box::new([-1i32; 256]),
+            fail: 0,
+            out: Vec::new(),
+        }
+    }
+}
+
+/// The compiled automaton.
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Build from a pattern list. Empty patterns are ignored.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let mut nodes = vec![Node::new()];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+        for (pi, pat) in patterns.iter().enumerate() {
+            let pat = pat.as_ref();
+            pattern_lens.push(pat.len());
+            if pat.is_empty() {
+                continue;
+            }
+            let mut cur = 0usize;
+            for &b in pat {
+                let slot = nodes[cur].next[usize::from(b)];
+                cur = if slot >= 0 {
+                    slot as usize
+                } else {
+                    nodes.push(Node::new());
+                    let idx = nodes.len() - 1;
+                    nodes[cur].next[usize::from(b)] = idx as i32;
+                    idx
+                };
+            }
+            nodes[cur].out.push(pi as u32);
+        }
+
+        // BFS to set failure links and complete the goto function.
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256usize {
+            let t = nodes[0].next[b];
+            if t >= 0 {
+                nodes[t as usize].fail = 0;
+                queue.push_back(t as usize);
+            } else {
+                nodes[0].next[b] = 0;
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let ufail = nodes[u].fail as usize;
+            let mut inherited = nodes[ufail].out.clone();
+            nodes[u].out.append(&mut inherited);
+            for b in 0..256usize {
+                let t = nodes[u].next[b];
+                if t >= 0 {
+                    let f = nodes[ufail].next[b].max(0) as u32;
+                    nodes[t as usize].fail = f;
+                    queue.push_back(t as usize);
+                } else {
+                    nodes[u].next[b] = nodes[ufail].next[b];
+                }
+            }
+        }
+
+        AhoCorasick {
+            nodes,
+            pattern_lens,
+        }
+    }
+
+    /// All occurrences of all patterns in `haystack`.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.nodes[state].next[usize::from(b)].max(0) as usize;
+            for &p in &self.nodes[state].out {
+                let len = self.pattern_lens[p as usize];
+                hits.push(Hit {
+                    pattern: p as usize,
+                    start: i + 1 - len,
+                });
+            }
+        }
+        hits
+    }
+
+    /// Fast boolean: does any pattern occur?
+    pub fn matches(&self, haystack: &[u8]) -> bool {
+        let mut state = 0usize;
+        for &b in haystack {
+            state = self.nodes[state].next[usize::from(b)].max(0) as usize;
+            if !self.nodes[state].out.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of automaton states (diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // The classic {he, she, his, hers} example.
+        let ac = AhoCorasick::new(&[b"he".as_ref(), b"she", b"his", b"hers"]);
+        let hits = ac.find_all(b"ushers");
+        let mut pairs: Vec<(usize, usize)> = hits.iter().map(|h| (h.pattern, h.start)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn overlapping_and_repeated() {
+        let ac = AhoCorasick::new(&[b"aa".as_ref()]);
+        let hits = ac.find_all(b"aaaa");
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].start, 0);
+        assert_eq!(hits[2].start, 2);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0xcd, 0x80][..], &[0x90, 0x90, 0x90, 0x90]]);
+        assert!(ac.matches(&[0x31, 0xc0, 0xcd, 0x80]));
+        assert!(!ac.matches(&[0x31, 0xc0, 0xcd, 0x81]));
+        let hits = ac.find_all(&[0x90; 6]);
+        assert_eq!(hits.len(), 3); // sliding occurrences of the 4-NOP pattern
+    }
+
+    #[test]
+    fn substring_patterns_all_fire() {
+        let ac = AhoCorasick::new(&[b"abcd".as_ref(), b"bc", b"c"]);
+        let hits = ac.find_all(b"abcd");
+        let pats: Vec<usize> = hits.iter().map(|h| h.pattern).collect();
+        assert!(pats.contains(&0));
+        assert!(pats.contains(&1));
+        assert!(pats.contains(&2));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ac = AhoCorasick::new(&[b"x".as_ref()]);
+        assert!(ac.find_all(b"").is_empty());
+        let ac2 = AhoCorasick::new::<&[u8]>(&[]);
+        assert!(!ac2.matches(b"anything"));
+        // empty pattern is ignored, not matched everywhere
+        let ac3 = AhoCorasick::new(&[b"".as_ref(), b"yes"]);
+        assert_eq!(ac3.find_all(b"yes").len(), 1);
+    }
+
+    #[test]
+    fn no_false_hits_on_near_misses() {
+        let ac = AhoCorasick::new(&[b"/default.ida?XXXX".as_ref()]);
+        assert!(!ac.matches(b"/default.ida?YYYYXXX"));
+        assert!(ac.matches(b"GET /default.ida?XXXXXXX HTTP/1.0"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Content rules in the style of circa-2005 Snort signatures.
+
+use crate::aho::AhoCorasick;
+use serde::{Deserialize, Serialize};
+
+/// One content rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Rule name (alert message).
+    pub name: &'static str,
+    /// The byte pattern to match in the payload.
+    pub content: Vec<u8>,
+    /// Restrict to this destination port (`None` = any).
+    pub dst_port: Option<u16>,
+}
+
+/// An alert from the signature engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SigAlert {
+    /// The matching rule's name.
+    pub rule: &'static str,
+    /// Offset of the content hit.
+    pub offset: usize,
+}
+
+/// A compiled rule set.
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    ac: AhoCorasick,
+}
+
+impl RuleSet {
+    /// Compile rules into one automaton.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let ac = AhoCorasick::new(&rules.iter().map(|r| r.content.clone()).collect::<Vec<_>>());
+        RuleSet { rules, ac }
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Match one payload (with optional destination-port context).
+    pub fn match_payload(&self, payload: &[u8], dst_port: Option<u16>) -> Vec<SigAlert> {
+        self.ac
+            .find_all(payload)
+            .into_iter()
+            .filter_map(|h| {
+                let rule = &self.rules[h.pattern];
+                match (rule.dst_port, dst_port) {
+                    (Some(rp), Some(dp)) if rp != dp => None,
+                    _ => Some(SigAlert {
+                        rule: rule.name,
+                        offset: h.start,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Fast boolean for throughput benchmarks.
+    pub fn matches(&self, payload: &[u8]) -> bool {
+        self.ac.matches(payload)
+    }
+}
+
+/// The default signature set: what a Snort deployment of the era would
+/// carry for the threats in this evaluation. The semantic experiments show
+/// these catch the *static* exploits but miss every polymorphic variant.
+pub fn default_ruleset() -> RuleSet {
+    RuleSet::new(vec![
+        Rule {
+            name: "WEB-IIS ISAPI .ida overflow (Code Red)",
+            content: b"/default.ida?XXXXXXXX".to_vec(),
+            dst_port: Some(80),
+        },
+        Rule {
+            name: "SHELLCODE x86 setgid0-setuid0 /bin/sh push",
+            // the push "//sh" / push "/bin" pair, verbatim
+            content: vec![0x68, 0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e],
+            dst_port: None,
+        },
+        Rule {
+            name: "SHELLCODE /bin/sh string",
+            content: b"/bin//sh".to_vec(),
+            dst_port: None,
+        },
+        Rule {
+            name: "SHELLCODE x86 NOP sled",
+            content: vec![0x90; 14],
+            dst_port: None,
+        },
+        Rule {
+            name: "SHELLCODE x86 int 0x80 execve",
+            // xor eax,eax; mov al, 0x0b; int 0x80 — the canonical tail
+            content: vec![0x31, 0xc0, 0xb0, 0x0b, 0xcd, 0x80],
+            dst_port: None,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_hit_the_canonical_payloads() {
+        let rs = default_ruleset();
+        // Code Red request line
+        let mut req = b"GET /default.ida?".to_vec();
+        req.extend_from_slice(&[b'X'; 100]);
+        let alerts = rs.match_payload(&req, Some(80));
+        assert!(alerts.iter().any(|a| a.rule.contains("Code Red")));
+        // Port gating: the same content to port 8080 does not fire that rule
+        let alerts = rs.match_payload(&req, Some(8080));
+        assert!(!alerts.iter().any(|a| a.rule.contains("Code Red")));
+    }
+
+    #[test]
+    fn plaintext_shellcode_is_caught() {
+        let rs = default_ruleset();
+        let sc = [
+            0x31, 0xc0, 0x50, 0x68, 0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e, 0x89,
+            0xe3, 0xb0, 0x0b, 0xcd, 0x80,
+        ];
+        assert!(rs.matches(&sc));
+    }
+
+    #[test]
+    fn xored_shellcode_evades_signatures() {
+        let rs = default_ruleset();
+        let sc = [
+            0x31, 0xc0, 0x50, 0x68, 0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e, 0x89,
+            0xe3, 0xb0, 0x0b, 0xcd, 0x80,
+        ];
+        let xored: Vec<u8> = sc.iter().map(|b| b ^ 0x95).collect();
+        assert!(!rs.matches(&xored), "static signatures must miss encoded code");
+    }
+
+    #[test]
+    fn benign_text_is_clean() {
+        let rs = default_ruleset();
+        assert!(rs
+            .match_payload(b"GET /index.html HTTP/1.1\r\nHost: a\r\n\r\n", Some(80))
+            .is_empty());
+    }
+}

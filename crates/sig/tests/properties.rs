@@ -1,0 +1,78 @@
+//! Property-based tests: the Aho–Corasick automaton agrees with naive
+//! search on arbitrary inputs.
+
+use proptest::prelude::*;
+use snids_sig::AhoCorasick;
+
+fn naive_find_all(patterns: &[Vec<u8>], hay: &[u8]) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    for (pi, p) in patterns.iter().enumerate() {
+        if p.is_empty() {
+            continue;
+        }
+        for start in 0..hay.len().saturating_sub(p.len() - 1) {
+            if &hay[start..start + p.len()] == p.as_slice() {
+                hits.push((pi, start));
+            }
+        }
+    }
+    hits.sort_unstable();
+    hits
+}
+
+proptest! {
+    /// find_all matches the naive quadratic search exactly.
+    #[test]
+    fn agrees_with_naive_search(
+        patterns in proptest::collection::vec(proptest::collection::vec(0u8..4, 1..6), 1..8),
+        hay in proptest::collection::vec(0u8..4, 0..128),
+    ) {
+        // A tiny alphabet forces heavy overlap and failure-link traffic.
+        let ac = AhoCorasick::new(&patterns);
+        let mut got: Vec<(usize, usize)> = ac
+            .find_all(&hay)
+            .into_iter()
+            .map(|h| (h.pattern, h.start))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_find_all(&patterns, &hay));
+    }
+
+    /// matches() is exactly "find_all is non-empty".
+    #[test]
+    fn matches_iff_any_hit(
+        patterns in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..5), 1..6),
+        hay in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let ac = AhoCorasick::new(&patterns);
+        prop_assert_eq!(ac.matches(&hay), !ac.find_all(&hay).is_empty());
+    }
+
+    /// Every reported hit really is an occurrence.
+    #[test]
+    fn hits_are_sound(
+        patterns in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..8), 1..6),
+        hay in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let ac = AhoCorasick::new(&patterns);
+        for h in ac.find_all(&hay) {
+            let p = &patterns[h.pattern];
+            prop_assert_eq!(&hay[h.start..h.start + p.len()], p.as_slice());
+        }
+    }
+
+    /// A planted pattern is always found, wherever it lands.
+    #[test]
+    fn planted_pattern_is_found(
+        pattern in proptest::collection::vec(any::<u8>(), 1..16),
+        prefix in proptest::collection::vec(any::<u8>(), 0..64),
+        suffix in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let ac = AhoCorasick::new(std::slice::from_ref(&pattern));
+        let mut hay = prefix.clone();
+        hay.extend_from_slice(&pattern);
+        hay.extend_from_slice(&suffix);
+        let hits = ac.find_all(&hay);
+        prop_assert!(hits.iter().any(|h| h.start == prefix.len()));
+    }
+}

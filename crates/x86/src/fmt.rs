@@ -1,0 +1,127 @@
+//! Intel-syntax instruction formatting.
+
+use crate::insn::{Instruction, Mnemonic};
+use crate::operand::Width;
+use std::fmt;
+
+/// The printable mnemonic, including condition/width suffixes.
+pub fn mnemonic_str(insn: &Instruction) -> String {
+    use Mnemonic::*;
+    let width_suffix = |w: Width| match w {
+        Width::B => "b",
+        Width::W => "w",
+        Width::D => "d",
+    };
+    match insn.mnemonic {
+        Jcc(c) => format!("j{}", c.suffix()),
+        Setcc(c) => format!("set{}", c.suffix()),
+        Loop(kind) => match kind {
+            crate::insn::LoopKind::Ne => "loopne".into(),
+            crate::insn::LoopKind::E => "loope".into(),
+            crate::insn::LoopKind::Plain => "loop".into(),
+        },
+        Movs => format!("movs{}", width_suffix(insn.width)),
+        Cmps => format!("cmps{}", width_suffix(insn.width)),
+        Stos => format!("stos{}", width_suffix(insn.width)),
+        Lods => format!("lods{}", width_suffix(insn.width)),
+        Scas => format!("scas{}", width_suffix(insn.width)),
+        Ins => format!("ins{}", width_suffix(insn.width)),
+        Outs => format!("outs{}", width_suffix(insn.width)),
+        Fpu(op) => format!("fpu{op:02x}"),
+        m => {
+            let s = format!("{m:?}").to_lowercase();
+            // strip payload formatting if Debug rendered parentheses
+            s.split('(').next().unwrap_or(&s).to_string()
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefixes.lock {
+            f.write_str("lock ")?;
+        }
+        if self.prefixes.rep {
+            f.write_str("rep ")?;
+        }
+        if self.prefixes.repne {
+            f.write_str("repne ")?;
+        }
+        f.write_str(&mnemonic_str(self))?;
+        for (i, op) in self.operands.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {op}")?;
+            } else {
+                write!(f, ", {op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Render a disassembly listing (offset, bytes, text) for `buf`.
+pub fn listing(buf: &[u8], insns: &[Instruction]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(insns.len() * 40);
+    for insn in insns {
+        let end = insn.end().min(buf.len());
+        let bytes: String = buf[insn.offset..end]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "{:08x}  {:<24} {}", insn.offset, bytes, insn);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::decode;
+
+    fn text(bytes: &[u8]) -> String {
+        decode(bytes, 0).to_string()
+    }
+
+    #[test]
+    fn formats_figure_1a() {
+        assert_eq!(text(&[0x80, 0x30, 0x95]), "xor byte ptr [eax], 0x95");
+        assert_eq!(text(&[0x40]), "inc eax");
+        assert_eq!(text(&[0xe2, 0xfa]), "loop loc_-4");
+    }
+
+    #[test]
+    fn formats_common_instructions() {
+        assert_eq!(text(&[0x31, 0xc0]), "xor eax, eax");
+        assert_eq!(text(&[0xb0, 0x0b]), "mov al, 0xb");
+        assert_eq!(text(&[0xcd, 0x80]), "int 0x80");
+        assert_eq!(text(&[0x74, 0x05]), "je loc_7");
+        assert_eq!(text(&[0xf3, 0xa4]), "rep movsb");
+        assert_eq!(text(&[0x0f, 0x94, 0xc0]), "sete al");
+        assert_eq!(text(&[0xff, 0xe4]), "jmp esp");
+        assert_eq!(text(&[0x6a, 0x0b]), "push 0xb");
+        assert_eq!(text(&[0x89, 0xe3]), "mov ebx, esp");
+    }
+
+    #[test]
+    fn listing_includes_bytes_and_text() {
+        let code = [0x31, 0xc0, 0x40, 0xc3];
+        let insns = crate::stream::linear_sweep(&code);
+        let l = listing(&code, &insns);
+        assert!(l.contains("31 c0"));
+        assert!(l.contains("xor eax, eax"));
+        assert!(l.contains("inc eax"));
+        assert!(l.contains("ret"));
+    }
+
+    #[test]
+    fn mnemonic_strings_for_payload_variants() {
+        assert_eq!(text(&[0xe0, 0xfe]), "loopne loc_0");
+        assert_eq!(text(&[0xe1, 0xfe]), "loope loc_0");
+        assert_eq!(text(&[0xa5]), "movsd");
+        assert_eq!(text(&[0x66, 0xa5]), "movsw");
+        let fpu = decode(&[0xd9, 0xc0], 0);
+        assert_eq!(mnemonic_str(&fpu), "fpud9");
+    }
+}

@@ -1,0 +1,178 @@
+//! Register model for 32-bit mode.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::operand::Width;
+
+/// The eight general-purpose register *files* (width-independent identity).
+///
+/// `AL`, `AX` and `EAX` all belong to [`Gpr::Eax`]; the semantic matcher
+/// reasons about clobbering at this granularity, which is sound (writing
+/// `AL` invalidates knowledge about `EAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Gpr {
+    /// Accumulator.
+    Eax = 0,
+    /// Counter.
+    Ecx = 1,
+    /// Data.
+    Edx = 2,
+    /// Base.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Base pointer.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Gpr {
+    /// All eight register files, in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    /// Decode a 3-bit register number.
+    pub fn from_index(i: u8) -> Gpr {
+        Self::ALL[usize::from(i & 7)]
+    }
+
+    /// The 3-bit encoding.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+}
+
+/// A concrete register operand: a file plus an access width.
+///
+/// `high` selects AH/CH/DH/BH when `width == Width::B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg {
+    /// Which register file.
+    pub gpr: Gpr,
+    /// Access width.
+    pub width: Width,
+    /// High 8-bit half (AH/CH/DH/BH); only meaningful for byte width.
+    pub high: bool,
+}
+
+impl Reg {
+    /// A 32-bit register.
+    pub fn r32(gpr: Gpr) -> Reg {
+        Reg {
+            gpr,
+            width: Width::D,
+            high: false,
+        }
+    }
+
+    /// A 16-bit register.
+    pub fn r16(gpr: Gpr) -> Reg {
+        Reg {
+            gpr,
+            width: Width::W,
+            high: false,
+        }
+    }
+
+    /// Decode an 8-bit register number (0–7 → AL,CL,DL,BL,AH,CH,DH,BH).
+    pub fn r8(index: u8) -> Reg {
+        let index = index & 7;
+        if index < 4 {
+            Reg {
+                gpr: Gpr::from_index(index),
+                width: Width::B,
+                high: false,
+            }
+        } else {
+            Reg {
+                gpr: Gpr::from_index(index - 4),
+                width: Width::B,
+                high: true,
+            }
+        }
+    }
+
+    /// Decode a register number at the given operand width.
+    pub fn from_index(index: u8, width: Width) -> Reg {
+        match width {
+            Width::B => Reg::r8(index),
+            Width::W => Reg::r16(Gpr::from_index(index)),
+            Width::D => Reg::r32(Gpr::from_index(index)),
+        }
+    }
+
+    /// EAX at the given width (the accumulator forms).
+    pub fn accumulator(width: Width) -> Reg {
+        Reg {
+            gpr: Gpr::Eax,
+            width,
+            high: false,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES32: [&str; 8] = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+        const NAMES16: [&str; 8] = ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"];
+        const NAMES8L: [&str; 8] = ["al", "cl", "dl", "bl", "spl?", "bpl?", "sil?", "dil?"];
+        const NAMES8H: [&str; 4] = ["ah", "ch", "dh", "bh"];
+        let i = self.gpr.index() as usize;
+        match (self.width, self.high) {
+            (Width::D, _) => f.write_str(NAMES32[i]),
+            (Width::W, _) => f.write_str(NAMES16[i]),
+            (Width::B, false) => f.write_str(NAMES8L[i]),
+            (Width::B, true) => f.write_str(NAMES8H[i & 3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_index_roundtrip() {
+        for i in 0..8u8 {
+            assert_eq!(Gpr::from_index(i).index(), i);
+        }
+        assert_eq!(Gpr::from_index(9), Gpr::Ecx); // masked
+    }
+
+    #[test]
+    fn byte_register_decoding() {
+        assert_eq!(Reg::r8(0).to_string(), "al");
+        assert_eq!(Reg::r8(3).to_string(), "bl");
+        assert_eq!(Reg::r8(4).to_string(), "ah");
+        assert_eq!(Reg::r8(7).to_string(), "bh");
+        assert_eq!(Reg::r8(4).gpr, Gpr::Eax);
+        assert_eq!(Reg::r8(7).gpr, Gpr::Ebx);
+    }
+
+    #[test]
+    fn width_selects_name() {
+        assert_eq!(Reg::from_index(0, Width::D).to_string(), "eax");
+        assert_eq!(Reg::from_index(0, Width::W).to_string(), "ax");
+        assert_eq!(Reg::from_index(0, Width::B).to_string(), "al");
+        assert_eq!(Reg::from_index(5, Width::D).to_string(), "ebp");
+        assert_eq!(Reg::from_index(5, Width::B).to_string(), "ch");
+    }
+
+    #[test]
+    fn accumulator_forms() {
+        assert_eq!(Reg::accumulator(Width::D).to_string(), "eax");
+        assert_eq!(Reg::accumulator(Width::B).to_string(), "al");
+    }
+}

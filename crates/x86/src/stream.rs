@@ -1,0 +1,96 @@
+//! Linear-sweep disassembly over byte buffers.
+
+use crate::decoder::decode;
+use crate::insn::Instruction;
+
+/// Iterator yielding consecutive instructions from `offset`, including
+/// [`crate::Mnemonic::Bad`] placeholders (length 1) for undecodable bytes.
+pub struct InsnStream<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> InsnStream<'a> {
+    /// Start a sweep at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        InsnStream { buf, pos: 0 }
+    }
+
+    /// Start a sweep at `offset`.
+    pub fn at(buf: &'a [u8], offset: usize) -> Self {
+        InsnStream { buf, pos: offset }
+    }
+
+    /// The offset the next instruction would decode at.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Iterator for InsnStream<'_> {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let insn = decode(self.buf, self.pos);
+        self.pos = insn.end();
+        Some(insn)
+    }
+}
+
+/// Disassemble the whole buffer in one linear sweep.
+pub fn linear_sweep(buf: &[u8]) -> Vec<Instruction> {
+    InsnStream::new(buf).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Mnemonic;
+
+    #[test]
+    fn sweep_covers_every_byte_exactly_once() {
+        let code = [0x31, 0xc0, 0xb0, 0x0b, 0xcd, 0x80, 0xc3];
+        let insns = linear_sweep(&code);
+        assert_eq!(insns.len(), 4);
+        let mut pos = 0;
+        for i in &insns {
+            assert_eq!(i.offset, pos);
+            pos = i.end();
+        }
+        assert_eq!(pos, code.len());
+    }
+
+    #[test]
+    fn resynchronises_after_bad_byte() {
+        // 0F FF is bad; sweep must continue at the next byte.
+        let code = [0x0f, 0xff, 0x90, 0xc3];
+        let insns = linear_sweep(&code);
+        assert_eq!(insns[0].mnemonic, Mnemonic::Bad);
+        assert_eq!(insns[0].len, 1);
+        // The 0xff now decodes as the start of a group-5 instruction or Bad,
+        // but the sweep always terminates and never skips bytes.
+        let total: usize = insns.iter().map(|i| usize::from(i.len)).sum();
+        assert_eq!(total, code.len());
+    }
+
+    #[test]
+    fn sweep_terminates_on_arbitrary_input() {
+        // A worst case stress: all 0xFF bytes (invalid group-5 /7).
+        let code = [0xffu8; 257];
+        let insns = linear_sweep(&code);
+        let total: usize = insns.iter().map(|i| usize::from(i.len)).sum();
+        assert_eq!(total, code.len());
+    }
+
+    #[test]
+    fn at_offset_starts_mid_buffer() {
+        let code = [0x00, 0x90, 0xc3]; // offset 1: nop; ret
+        let mut s = InsnStream::at(&code, 1);
+        assert_eq!(s.next().unwrap().mnemonic, Mnemonic::Nop);
+        assert_eq!(s.next().unwrap().mnemonic, Mnemonic::Ret);
+        assert!(s.next().is_none());
+    }
+}

@@ -1,0 +1,291 @@
+//! Targeted decoder coverage: the two-byte map, prefix interactions, and
+//! boundary conditions beyond the inline unit tests.
+
+use snids_x86::{decode, Cond, Gpr, Mnemonic, Operand, SegReg, Width};
+
+fn one(bytes: &[u8]) -> snids_x86::Instruction {
+    let i = decode(bytes, 0);
+    assert_eq!(i.end(), bytes.len(), "must consume all of {bytes:02x?}");
+    i
+}
+
+#[test]
+fn all_sixteen_jcc_rel8() {
+    for cc in 0..16u8 {
+        let i = one(&[0x70 + cc, 0x10]);
+        assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond::from_index(cc)));
+        assert_eq!(i.branch_target(), Some(0x12));
+    }
+}
+
+#[test]
+fn all_sixteen_jcc_rel32() {
+    for cc in 0..16u8 {
+        let i = one(&[0x0f, 0x80 + cc, 0x00, 0x02, 0x00, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond::from_index(cc)));
+        assert_eq!(i.branch_target(), Some(0x206));
+    }
+}
+
+#[test]
+fn all_sixteen_setcc() {
+    for cc in 0..16u8 {
+        let i = one(&[0x0f, 0x90 + cc, 0xc1]); // setcc cl
+        assert_eq!(i.mnemonic, Mnemonic::Setcc(Cond::from_index(cc)));
+        assert_eq!(i.op0().unwrap().reg().unwrap().to_string(), "cl");
+    }
+}
+
+#[test]
+fn alu_block_all_forms() {
+    // op r/m32, r32 for each of the eight classic ALU ops
+    let mnems = [
+        Mnemonic::Add,
+        Mnemonic::Or,
+        Mnemonic::Adc,
+        Mnemonic::Sbb,
+        Mnemonic::And,
+        Mnemonic::Sub,
+        Mnemonic::Xor,
+        Mnemonic::Cmp,
+    ];
+    for (k, m) in mnems.iter().enumerate() {
+        let op = (k as u8) * 8 + 1;
+        let i = one(&[op, 0xd9]); // op ecx, ebx
+        assert_eq!(i.mnemonic, *m, "opcode {op:02x}");
+        // and the accumulator-immediate form
+        let op = (k as u8) * 8 + 5;
+        let i = one(&[op, 0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(i.mnemonic, *m);
+        assert_eq!(i.op1().unwrap().imm(), Some(0x1234_5678));
+    }
+}
+
+#[test]
+fn group1_all_reg_fields() {
+    let mnems = [
+        Mnemonic::Add,
+        Mnemonic::Or,
+        Mnemonic::Adc,
+        Mnemonic::Sbb,
+        Mnemonic::And,
+        Mnemonic::Sub,
+        Mnemonic::Xor,
+        Mnemonic::Cmp,
+    ];
+    for (k, m) in mnems.iter().enumerate() {
+        let modrm = 0xc0 | ((k as u8) << 3) | 2; // reg field k, rm = edx
+        let i = one(&[0x80, modrm, 0x55]);
+        assert_eq!(i.mnemonic, *m);
+        assert_eq!(i.width, Width::B);
+        let i = one(&[0x81, modrm, 0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(i.mnemonic, *m);
+        assert_eq!(i.op1().unwrap().imm(), Some(0x1122_3344));
+    }
+}
+
+#[test]
+fn shift_group_all_fields() {
+    let mnems = [
+        Mnemonic::Rol,
+        Mnemonic::Ror,
+        Mnemonic::Rcl,
+        Mnemonic::Rcr,
+        Mnemonic::Shl,
+        Mnemonic::Shr,
+        Mnemonic::Shl, // /6 = SAL alias
+        Mnemonic::Sar,
+    ];
+    for (k, m) in mnems.iter().enumerate() {
+        let modrm = 0xc0 | ((k as u8) << 3); // rm = eax
+        assert_eq!(one(&[0xc1, modrm, 3]).mnemonic, *m);
+        assert_eq!(one(&[0xd1, modrm]).mnemonic, *m);
+        assert_eq!(one(&[0xd3, modrm]).mnemonic, *m);
+    }
+}
+
+#[test]
+fn segment_push_pop_singles() {
+    assert_eq!(
+        *one(&[0x06]).op0().unwrap(),
+        Operand::SegReg(SegReg::Es)
+    );
+    assert_eq!(one(&[0x06]).mnemonic, Mnemonic::Push);
+    assert_eq!(one(&[0x07]).mnemonic, Mnemonic::Pop);
+    assert_eq!(one(&[0x0e]).mnemonic, Mnemonic::Push); // push cs
+    assert_eq!(one(&[0x16]).mnemonic, Mnemonic::Push); // push ss
+    assert_eq!(one(&[0x1f]).mnemonic, Mnemonic::Pop); // pop ds
+    assert_eq!(one(&[0x0f, 0xa0]).mnemonic, Mnemonic::Push); // push fs
+    assert_eq!(one(&[0x0f, 0xa9]).mnemonic, Mnemonic::Pop); // pop gs
+}
+
+#[test]
+fn string_op_widths_with_opsize() {
+    assert_eq!(one(&[0xa4]).width, Width::B); // movsb
+    assert_eq!(one(&[0xa5]).width, Width::D); // movsd
+    assert_eq!(one(&[0x66, 0xa5]).width, Width::W); // movsw
+    assert_eq!(one(&[0x66, 0xad]).width, Width::W); // lodsw
+    assert_eq!(one(&[0xf2, 0xae]).mnemonic, Mnemonic::Scas); // repne scasb
+    assert!(one(&[0xf2, 0xae]).prefixes.repne);
+}
+
+#[test]
+fn xchg_accumulator_row() {
+    for r in 1..8u8 {
+        let i = one(&[0x90 + r]);
+        assert_eq!(i.mnemonic, Mnemonic::Xchg);
+        assert_eq!(i.op0().unwrap().reg().unwrap().gpr, Gpr::Eax);
+        assert_eq!(i.op1().unwrap().reg().unwrap().gpr, Gpr::from_index(r));
+    }
+}
+
+#[test]
+fn moffs_all_four_forms() {
+    // A0: mov al, [moffs]  A1: mov eax, [moffs]  A2/A3: stores
+    let i = one(&[0xa0, 1, 0, 0, 0x08]);
+    assert_eq!(i.op0().unwrap().reg().unwrap().to_string(), "al");
+    let i = one(&[0xa1, 1, 0, 0, 0x08]);
+    assert_eq!(i.op0().unwrap().reg().unwrap().to_string(), "eax");
+    let i = one(&[0xa2, 1, 0, 0, 0x08]);
+    assert!(i.op0().unwrap().mem().is_some());
+    let i = one(&[0xa3, 1, 0, 0, 0x08]);
+    assert!(i.op0().unwrap().mem().is_some());
+    // 16-bit moffs under 0x67
+    let i = one(&[0x67, 0xa1, 0x34, 0x12]);
+    assert_eq!(i.op1().unwrap().mem().unwrap().disp, 0x1234);
+}
+
+#[test]
+fn imul_three_forms() {
+    assert_eq!(one(&[0xf7, 0xe9]).mnemonic, Mnemonic::Imul); // one-op
+    let i = one(&[0x0f, 0xaf, 0xc3]); // imul eax, ebx
+    assert_eq!(i.mnemonic, Mnemonic::Imul);
+    assert_eq!(i.operands.len(), 2);
+    let i = one(&[0x69, 0xc3, 0x10, 0x00, 0x00, 0x00]); // imul eax, ebx, 16
+    assert_eq!(i.operands.len(), 3);
+    let i = one(&[0x6b, 0xc3, 0x10]); // imul eax, ebx, imm8
+    assert_eq!(i.operands.len(), 3);
+    assert_eq!(i.operands[2].imm(), Some(0x10));
+}
+
+#[test]
+fn bit_ops_and_bt_group() {
+    assert_eq!(one(&[0x0f, 0xa3, 0xc8]).mnemonic, Mnemonic::Bt);
+    assert_eq!(one(&[0x0f, 0xab, 0xc8]).mnemonic, Mnemonic::Bts);
+    assert_eq!(one(&[0x0f, 0xb3, 0xc8]).mnemonic, Mnemonic::Btr);
+    assert_eq!(one(&[0x0f, 0xbb, 0xc8]).mnemonic, Mnemonic::Btc);
+    // group 8 forms with imm8
+    assert_eq!(one(&[0x0f, 0xba, 0xe0, 5]).mnemonic, Mnemonic::Bt);
+    assert_eq!(one(&[0x0f, 0xba, 0xe8, 5]).mnemonic, Mnemonic::Bts);
+    assert_eq!(one(&[0x0f, 0xba, 0xf0, 5]).mnemonic, Mnemonic::Btr);
+    assert_eq!(one(&[0x0f, 0xba, 0xf8, 5]).mnemonic, Mnemonic::Btc);
+    // /0../3 of group 8 are invalid
+    assert_eq!(decode(&[0x0f, 0xba, 0xc0, 5], 0).mnemonic, Mnemonic::Bad);
+}
+
+#[test]
+fn enter_leave_and_frames() {
+    let i = one(&[0xc8, 0x20, 0x00, 0x01]); // enter 0x20, 1
+    assert_eq!(i.mnemonic, Mnemonic::Enter);
+    assert_eq!(i.op0().unwrap().imm(), Some(0x20));
+    assert_eq!(i.op1().unwrap().imm(), Some(1));
+    assert_eq!(one(&[0xc9]).mnemonic, Mnemonic::Leave);
+}
+
+#[test]
+fn les_lds_bound_require_memory() {
+    assert_eq!(one(&[0xc4, 0x01]).mnemonic, Mnemonic::Les);
+    assert_eq!(one(&[0xc5, 0x01]).mnemonic, Mnemonic::Lds);
+    assert_eq!(decode(&[0xc4, 0xc1], 0).mnemonic, Mnemonic::Bad);
+    assert_eq!(decode(&[0xc5, 0xc1], 0).mnemonic, Mnemonic::Bad);
+    assert_eq!(one(&[0x62, 0x01]).mnemonic, Mnemonic::Bound);
+    assert_eq!(decode(&[0x62, 0xc1], 0).mnemonic, Mnemonic::Bad);
+}
+
+#[test]
+fn io_port_forms() {
+    assert_eq!(one(&[0xe4, 0x60]).mnemonic, Mnemonic::In);
+    assert_eq!(one(&[0xe6, 0x60]).mnemonic, Mnemonic::Out);
+    assert_eq!(one(&[0xec]).mnemonic, Mnemonic::In);
+    assert_eq!(one(&[0xef]).mnemonic, Mnemonic::Out);
+    assert_eq!(one(&[0x6c]).mnemonic, Mnemonic::Ins);
+    assert_eq!(one(&[0x6f]).mnemonic, Mnemonic::Outs);
+}
+
+#[test]
+fn lock_prefix_recorded() {
+    let i = one(&[0xf0, 0x0f, 0xb1, 0x0b]); // lock cmpxchg [ebx], ecx
+    assert!(i.prefixes.lock);
+    assert_eq!(i.mnemonic, Mnemonic::Cmpxchg);
+}
+
+#[test]
+fn every_segment_override_applies_to_memory() {
+    let prefixes = [
+        (0x26, SegReg::Es),
+        (0x2e, SegReg::Cs),
+        (0x36, SegReg::Ss),
+        (0x3e, SegReg::Ds),
+        (0x64, SegReg::Fs),
+        (0x65, SegReg::Gs),
+    ];
+    for (b, seg) in prefixes {
+        let i = one(&[b, 0x8b, 0x03]); // mov eax, seg:[ebx]
+        assert_eq!(i.op1().unwrap().mem().unwrap().seg, Some(seg), "{b:02x}");
+    }
+}
+
+#[test]
+fn all_fpu_opcodes_decode_frames() {
+    for op in 0xd8..=0xdfu8 {
+        // memory form ([eax], no displacement)
+        let i = one(&[op, 0x00]);
+        assert!(matches!(i.mnemonic, Mnemonic::Fpu(o) if o == op));
+        assert!(i.op0().unwrap().mem().is_some());
+        // register form
+        let i = one(&[op, 0xc1]);
+        assert!(matches!(i.mnemonic, Mnemonic::Fpu(o) if o == op));
+    }
+}
+
+#[test]
+fn sixteen_bit_modrm_table_complete() {
+    // All eight rm encodings under the 0x67 prefix, mod=0.
+    let bases = ["bx+si", "bx+di", "bp+si", "bp+di", "si", "di", "", "bx"];
+    for rm in 0..8u8 {
+        if rm == 6 {
+            // [disp16]
+            let i = one(&[0x67, 0x8b, 0x06, 0x34, 0x12]);
+            let m = i.op1().unwrap().mem().unwrap();
+            assert!(m.base.is_none());
+            assert_eq!(m.disp, 0x1234);
+            continue;
+        }
+        let i = one(&[0x67, 0x8b, rm]);
+        let m = i.op1().unwrap().mem().unwrap();
+        let got = match (m.base, m.index) {
+            (Some(b), Some((x, _))) => format!("{b}+{x}"),
+            (Some(b), None) => b.to_string(),
+            _ => String::new(),
+        };
+        assert_eq!(got, bases[rm as usize], "rm={rm}");
+    }
+}
+
+#[test]
+fn ud2_rdtsc_cpuid() {
+    assert_eq!(one(&[0x0f, 0x0b]).mnemonic, Mnemonic::Ud2);
+    assert_eq!(one(&[0x0f, 0x31]).mnemonic, Mnemonic::Rdtsc);
+    assert_eq!(one(&[0x0f, 0xa2]).mnemonic, Mnemonic::Cpuid);
+}
+
+#[test]
+fn truncation_at_every_length_is_bad_not_panic() {
+    // A long instruction truncated at every possible point decodes to Bad.
+    let full = [0x81, 0x84, 0x9b, 0x44, 0x33, 0x22, 0x11, 0x78, 0x56, 0x34, 0x12];
+    assert_eq!(one(&full).mnemonic, Mnemonic::Add);
+    for cut in 1..full.len() {
+        let i = decode(&full[..cut], 0);
+        assert_eq!(i.mnemonic, Mnemonic::Bad, "cut at {cut}");
+    }
+}

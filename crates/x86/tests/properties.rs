@@ -1,0 +1,72 @@
+//! Property-based tests for the disassembler.
+
+use proptest::prelude::*;
+use snids_x86::{decode, linear_sweep, Mnemonic};
+
+proptest! {
+    /// The decoder never panics and always makes progress on arbitrary bytes.
+    #[test]
+    fn decode_total_on_arbitrary_bytes(buf in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let insn = decode(&buf, 0);
+        prop_assert!(insn.len >= 1);
+        prop_assert!(usize::from(insn.len) <= buf.len() || insn.mnemonic == Mnemonic::Bad);
+    }
+
+    /// A linear sweep partitions the buffer: consecutive, non-overlapping,
+    /// exhaustive.
+    #[test]
+    fn sweep_partitions_buffer(buf in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let insns = linear_sweep(&buf);
+        let mut pos = 0usize;
+        for i in &insns {
+            prop_assert_eq!(i.offset, pos, "instructions must be consecutive");
+            prop_assert!(i.len >= 1);
+            pos = i.end();
+        }
+        prop_assert_eq!(pos, buf.len(), "sweep must cover the whole buffer");
+    }
+
+    /// Decoding is deterministic and offset-translation-invariant: the same
+    /// bytes at a different offset give the same instruction (modulo offset
+    /// and relative-target rebasing).
+    #[test]
+    fn decode_is_translation_invariant(
+        buf in proptest::collection::vec(any::<u8>(), 1..32),
+        pad in 1usize..16,
+    ) {
+        let a = decode(&buf, 0);
+        let mut shifted = vec![0x90u8; pad];
+        shifted.extend_from_slice(&buf);
+        let b = decode(&shifted, pad);
+        prop_assert_eq!(a.mnemonic, b.mnemonic);
+        prop_assert_eq!(a.len, b.len);
+        prop_assert_eq!(b.offset, a.offset + pad);
+        // Non-relative operands must be identical.
+        for (x, y) in a.operands.iter().zip(&b.operands) {
+            match (x, y) {
+                (snids_x86::Operand::Rel(tx), snids_x86::Operand::Rel(ty)) => {
+                    prop_assert_eq!(tx + pad as i64, *ty);
+                }
+                _ => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    /// Formatting any decoded instruction never panics and is non-empty.
+    #[test]
+    fn display_total(buf in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let insn = decode(&buf, 0);
+        let s = insn.to_string();
+        prop_assert!(!s.is_empty());
+    }
+
+    /// Read/write set computation is total.
+    #[test]
+    fn semantics_total(buf in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let insn = decode(&buf, 0);
+        let _ = snids_x86::semantics::reads(&insn);
+        let _ = snids_x86::semantics::writes(&insn);
+        let _ = snids_x86::semantics::is_nop_like(&insn);
+        let _ = snids_x86::semantics::is_effective_nop(&insn);
+    }
+}

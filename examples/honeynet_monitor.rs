@@ -1,0 +1,74 @@
+//! Honeynet monitor: watch the two classification schemes of §4.1 at work —
+//! a honeypot toucher and a dark-space scanner get flagged; an ordinary
+//! client never does.
+//!
+//! ```sh
+//! cargo run --release --example honeynet_monitor
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids::classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier, Verdict};
+use snids::gen::traces::AddressPlan;
+use snids::packet::PacketBuilder;
+use std::net::Ipv4Addr;
+
+fn main() {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut honeypots = HoneypotRegistry::default();
+    for d in &plan.honeypots {
+        honeypots.add_decoy(*d);
+    }
+    let mut dark = DarkSpaceMonitor::new(5);
+    dark.add_dark(Subnet::new(plan.dark_net, 16));
+    let classifier = TrafficClassifier::new(honeypots, dark);
+
+    let curious = Ipv4Addr::new(198, 18, 1, 1); // touches a honeypot once
+    let scanner = Ipv4Addr::new(198, 18, 2, 2); // sweeps dark space
+    let client = plan.client(&mut rng); // ordinary web user
+
+    println!("=== honeynet monitor (threshold t = 5) ===\n");
+
+    let log = |src: Ipv4Addr, dst: Ipv4Addr, label: &str| {
+        let p = PacketBuilder::new(src, dst).tcp_syn(40_000, 80, 1).unwrap();
+        let v = classifier.classify(&p);
+        let mark = match v {
+            Verdict::Benign => "        ",
+            Verdict::Suspicious(s) => match s {
+                snids::classify::Suspicion::Honeypot => "FLAGGED (honeypot)",
+                snids::classify::Suspicion::DarkSpaceScan => "FLAGGED (scanner) ",
+            },
+        };
+        println!("{src:<14} -> {dst:<14} {label:<24} {mark}");
+        v
+    };
+
+    // The curious host touches a decoy once; everything after is analyzed.
+    log(curious, plan.honeypots[0], "probe to decoy");
+    log(curious, plan.web_server, "later, to the web server");
+
+    println!();
+
+    // The scanner sweeps dark space; the 5th distinct address trips it.
+    for i in 1..=5u8 {
+        let dst = Ipv4Addr::new(10, 99, 0, i);
+        log(scanner, dst, "dark-space probe");
+    }
+    let v = log(scanner, plan.web_server, "then the real target");
+    assert!(v.is_suspicious());
+
+    println!();
+
+    // The ordinary client is never flagged.
+    for _ in 0..5 {
+        let v = log(client, plan.web_server, "normal browsing");
+        assert_eq!(v, Verdict::Benign);
+    }
+
+    println!("\nsuspicious sources are remembered; their future traffic feeds the analyzer.");
+    assert!(classifier.is_suspicious_source(curious));
+    assert!(classifier.is_suspicious_source(scanner));
+    assert!(!classifier.is_suspicious_source(client));
+}

@@ -1,0 +1,79 @@
+//! Polymorphic storm: generate waves of ADMmutate- and Clet-style
+//! shellcode and compare three detectors —
+//!
+//! * the Snort-style static-signature baseline,
+//! * the semantic analyzer with only the XOR template (the paper's first
+//!   Table-2 run),
+//! * the full template set.
+//!
+//! ```sh
+//! cargo run --release --example polymorphic_storm
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids::gen::{shellcode, AdmMutate, Clet};
+use snids::semantic::{templates, Analyzer};
+use snids::sig::default_ruleset;
+
+struct Row {
+    name: &'static str,
+    sig: usize,
+    xor_only: usize,
+    full: usize,
+}
+
+fn score(
+    name: &'static str,
+    instances: &[Vec<u8>],
+    signatures: &snids::sig::RuleSet,
+    xor_only: &Analyzer,
+    full: &Analyzer,
+) -> Row {
+    Row {
+        name,
+        sig: instances.iter().filter(|i| signatures.matches(i)).count(),
+        xor_only: instances.iter().filter(|i| xor_only.detects(i)).count(),
+        full: instances.iter().filter(|i| full.detects(i)).count(),
+    }
+}
+
+fn main() {
+    const N: usize = 100;
+    let mut rng = StdRng::seed_from_u64(42);
+    let inner = shellcode::execve_variant(&mut rng, 0);
+
+    let admmutate = AdmMutate::default();
+    let clet = Clet::default();
+    let signatures = default_ruleset();
+    let xor_only = Analyzer::new(templates::xor_only_templates());
+    let full = Analyzer::default();
+
+    let plaintext: Vec<Vec<u8>> = (0..N).map(|_| inner.clone()).collect();
+    let adm: Vec<Vec<u8>> = (0..N).map(|_| admmutate.generate(&mut rng, &inner).0).collect();
+    let cl: Vec<Vec<u8>> = (0..N).map(|_| clet.generate(&mut rng, &inner)).collect();
+
+    let rows = [
+        score("plaintext", &plaintext, &signatures, &xor_only, &full),
+        score("ADMmutate", &adm, &signatures, &xor_only, &full),
+        score("Clet", &cl, &signatures, &xor_only, &full),
+    ];
+
+    println!("=== polymorphic storm: {N} instances per engine ===\n");
+    println!(
+        "{:<12} {:>18} {:>18} {:>18}",
+        "engine", "static signatures", "xor template only", "full template set"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>17}% {:>17}% {:>17}%",
+            r.name,
+            r.sig * 100 / N,
+            r.xor_only * 100 / N,
+            r.full * 100 / N
+        );
+    }
+    println!("\nsignatures catch the plaintext, lose the polymorphs;");
+    println!("the semantic templates catch every instance once the");
+    println!("alternate-decoder template (paper Figure 7) is installed.");
+}

@@ -1,0 +1,224 @@
+//! `snids` — the command-line NIDS.
+//!
+//! ```sh
+//! # analyze a capture
+//! snids analyze trace.pcap --honeypot 192.168.1.200 --dark 10.99.0.0/16
+//!
+//! # analyze every payload regardless of classification (§5.4 mode)
+//! snids analyze trace.pcap --no-classify
+//!
+//! # add operator-authored templates (see snids::semantic::dsl)
+//! snids analyze trace.pcap --templates extra.tmpl
+//!
+//! # synthesize a ground-truth capture to play with
+//! snids synth out.pcap --packets 5000 --crii 3
+//!
+//! # disassemble a binary frame and run the semantic analyzer over it
+//! snids disasm payload.bin
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids::core::{Nids, NidsConfig};
+use snids::gen::traces::{codered_capture, AddressPlan};
+use snids::packet::{PcapReader, PcapWriter};
+use snids::semantic::Analyzer;
+use snids::x86::{fmt, linear_sweep};
+use std::net::Ipv4Addr;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--no-classify] [--json]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N]\n  snids disasm <file>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("synth") => synth(&args[1..]),
+        Some("disasm") => disasm(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
+fn flag_value_u64(args: &[String], name: &str, default: u64) -> u64 {
+    flag_values(args, name)
+        .first()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let no_classify = args.iter().any(|a| a == "--no-classify");
+    let json = args.iter().any(|a| a == "--json");
+
+    let mut config = NidsConfig {
+        classification_enabled: !no_classify,
+        ..NidsConfig::default()
+    };
+    for path in flag_values(args, "--templates") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read template file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match snids::semantic::parse_templates(&text) {
+            Ok(ts) => {
+                eprintln!("loaded {} template(s) from {path}", ts.len());
+                config.templates.extend(ts);
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for hp in flag_values(args, "--honeypot") {
+        match hp.parse::<Ipv4Addr>() {
+            Ok(ip) => config.honeypots.push(ip),
+            Err(_) => {
+                eprintln!("bad --honeypot address: {hp}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for dn in flag_values(args, "--dark") {
+        let parsed = dn.split_once('/').and_then(|(net, prefix)| {
+            Some((net.parse::<Ipv4Addr>().ok()?, prefix.parse::<u8>().ok()?))
+        });
+        match parsed {
+            Some((net, prefix)) => config.dark_nets.push((net, prefix)),
+            None => {
+                eprintln!("bad --dark range (want NET/PREFIX): {dn}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut reader = match PcapReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let packets = match reader.decode_all() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut nids = Nids::new(config);
+    let alerts = nids.process_capture(&packets);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "stats": nids.stats(),
+                "alerts": alerts,
+            })
+        );
+    } else {
+        eprintln!("{}", nids.stats().summary());
+        for a in &alerts {
+            println!("{}", a.render());
+        }
+        if alerts.is_empty() {
+            eprintln!("no alerts");
+        }
+    }
+    if alerts.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn synth(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let packets_n = flag_value_u64(args, "--packets", 5_000) as usize;
+    let crii = flag_value_u64(args, "--crii", 2) as usize;
+    let seed = flag_value_u64(args, "--seed", 2006);
+
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (packets, truth) = codered_capture(&mut rng, &plan, packets_n, crii);
+
+    let mut w = match PcapWriter::create(path) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for p in &packets {
+        if let Err(e) = w.write_packet(p) {
+            eprintln!("write error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = w.finish() {
+        eprintln!("flush error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} packets ({} Code Red II instances from {:?}) to {path}",
+        packets.len(),
+        truth.crii_instances,
+        truth.crii_sources
+    );
+    eprintln!(
+        "analyze with: snids analyze {path} --honeypot {} --dark {}/16",
+        plan.honeypots[0], plan.dark_net
+    );
+    ExitCode::SUCCESS
+}
+
+fn disasm(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let insns = linear_sweep(&data);
+    print!("{}", fmt::listing(&data, &insns));
+    let matches = Analyzer::default().analyze(&data);
+    if matches.is_empty() {
+        eprintln!("\nsemantic analysis: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nsemantic analysis:");
+        for m in &matches {
+            eprintln!(
+                "  {} [{}] at 0x{:x}..0x{:x}",
+                m.template, m.severity, m.start, m.end
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
