@@ -42,9 +42,7 @@ fn table2_polymorphic(c: &mut Criterion) {
     let full = Analyzer::default();
 
     let mut group = c.benchmark_group("table2_polymorphic");
-    group.bench_function("admmutate/xor_only", |b| {
-        b.iter(|| xor_only.detects(&adm))
-    });
+    group.bench_function("admmutate/xor_only", |b| b.iter(|| xor_only.detects(&adm)));
     group.bench_function("admmutate/full_set", |b| b.iter(|| full.detects(&adm)));
     group.bench_function("clet/xor_only", |b| b.iter(|| xor_only.detects(&clet)));
     group.finish();

@@ -53,7 +53,8 @@ pub fn naive_vs_pruned(seed: u64, sizes: &[usize]) -> Vec<NaiveVsPruned> {
             // an exploit frame padded with benign code to the target size
             let inner = snids_gen::shellcode::execve_variant(&mut rng, 0);
             let (decoder, _) = engine.generate(&mut rng, &inner);
-            let mut frame = snids_gen::binaries::netsky_like(&mut rng, size.saturating_sub(decoder.len()));
+            let mut frame =
+                snids_gen::binaries::netsky_like(&mut rng, size.saturating_sub(decoder.len()));
             frame.extend_from_slice(&decoder);
 
             let t0 = Instant::now();

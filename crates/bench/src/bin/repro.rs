@@ -34,13 +34,14 @@ fn main() {
         println!("{}", table2::render(&table2::run(seed, n)));
     };
     let run_table3 = || {
-        println!(
-            "== Table 3: Code Red II detection ({traces} traces × ~{packets} packets) ==\n"
-        );
+        println!("== Table 3: Code Red II detection ({traces} traces × ~{packets} packets) ==\n");
         println!("{}", table3::render(&table3::run(seed, traces, packets)));
     };
     let run_fp = || {
-        println!("== §5.4 false-positive evaluation (~{} MB benign corpus) ==\n", bytes / 1_000_000);
+        println!(
+            "== §5.4 false-positive evaluation (~{} MB benign corpus) ==\n",
+            bytes / 1_000_000
+        );
         println!("{}", fp::render(&fp::run(seed, bytes)));
     };
     let run_fig = |which: &str| {
@@ -61,7 +62,9 @@ fn main() {
         }
     };
     let run_ablation_naive = || {
-        println!("== Ablation A2: pruned analyzer vs naive every-offset matcher ([5] stand-in) ==\n");
+        println!(
+            "== Ablation A2: pruned analyzer vs naive every-offset matcher ([5] stand-in) ==\n"
+        );
         println!(
             "{}",
             ablation::render_naive_vs_pruned(&ablation::naive_vs_pruned(

@@ -22,7 +22,9 @@ pub fn figure1_routines() -> [(&'static str, Vec<u8>); 3] {
     c.extend_from_slice(&[0xb9, 0, 0, 0, 0, 0x41, 0x41]);
     c.extend_from_slice(&[0xeb, 0x05]);
     c.extend_from_slice(&[0x83, 0xc0, 0x01, 0xeb, 0x0c]);
-    c.extend_from_slice(&[0xbb, 0x31, 0, 0, 0, 0x83, 0xc3, 0x64, 0x30, 0x18, 0xeb, 0xef]);
+    c.extend_from_slice(&[
+        0xbb, 0x31, 0, 0, 0, 0x83, 0xc3, 0x64, 0x30, 0x18, 0xeb, 0xef,
+    ]);
     c.extend_from_slice(&[0xe2, 0xe4]);
     [
         ("Figure 1(a): simple xor decryption", a),
@@ -95,13 +97,36 @@ pub fn fig3(seed: u64) -> (String, bool) {
     let s = nids.stats();
     let mut out = String::new();
     let _ = writeln!(out, "pipeline stages (paper Figure 3), one capture:");
-    let _ = writeln!(out, "  (a) traffic classifier        {:>10.2} ms  ({} packets)", s.classify_nanos as f64 / 1e6, s.packets);
-    let _ = writeln!(out, "  (b) binary detection/extract  (within analysis)  {} frames", s.frames_extracted);
-    let _ = writeln!(out, "      flow reassembly           {:>10.2} ms  ({} suspicious packets)", s.reassembly_nanos as f64 / 1e6, s.suspicious_packets);
-    let _ = writeln!(out, "  (c,d,e) disasm + IR + match   {:>10.2} ms  ({} flows)", s.analysis_nanos as f64 / 1e6, s.flows_analyzed);
+    let _ = writeln!(
+        out,
+        "  (a) traffic classifier        {:>10.2} ms  ({} packets)",
+        s.classify_nanos as f64 / 1e6,
+        s.packets
+    );
+    let _ = writeln!(
+        out,
+        "  (b) binary detection/extract  (within analysis)  {} frames",
+        s.frames_extracted
+    );
+    let _ = writeln!(
+        out,
+        "      flow reassembly           {:>10.2} ms  ({} suspicious packets)",
+        s.reassembly_nanos as f64 / 1e6,
+        s.suspicious_packets
+    );
+    let _ = writeln!(
+        out,
+        "  (c,d,e) disasm + IR + match   {:>10.2} ms  ({} flows)",
+        s.analysis_nanos as f64 / 1e6,
+        s.flows_analyzed
+    );
     let _ = writeln!(out, "  alerts: {}", alerts.len());
     let prune = 1.0 - s.suspicious_ratio();
-    let _ = writeln!(out, "  classifier pruned {:.1}% of packets from the expensive stages", prune * 100.0);
+    let _ = writeln!(
+        out,
+        "  classifier pruned {:.1}% of packets from the expensive stages",
+        prune * 100.0
+    );
     (out, !alerts.is_empty() && prune > 0.5)
 }
 
@@ -114,7 +139,11 @@ pub fn fig4(seed: u64) -> (String, bool) {
     let (bytes, layout) = exploit.build(&mut rng);
     let mut out = String::new();
     let _ = writeln!(out, "figure 4 layout (lowest address first):");
-    let _ = writeln!(out, "  [0x{:04x}..0x{:04x}]  NOP-like sled ({} bytes)", 0, layout.sled_len, layout.sled_len);
+    let _ = writeln!(
+        out,
+        "  [0x{:04x}..0x{:04x}]  NOP-like sled ({} bytes)",
+        0, layout.sled_len, layout.sled_len
+    );
     let _ = writeln!(
         out,
         "  [0x{:04x}..0x{:04x}]  shellcode ({} bytes)",
@@ -135,8 +164,21 @@ pub fn fig4(seed: u64) -> (String, bool) {
             .analyze(&frames[0].data)
             .iter()
             .any(|m| m.template == "linux-shell-spawn");
-    let _ = writeln!(out, "\nextraction: {} frame(s), reason: {}", frames.len(), frames.first().map(|f| f.reason).unwrap_or("-"));
-    let _ = writeln!(out, "semantic verdict: {}", if ok { "shell-spawning behaviour found" } else { "MISSED" });
+    let _ = writeln!(
+        out,
+        "\nextraction: {} frame(s), reason: {}",
+        frames.len(),
+        frames.first().map(|f| f.reason).unwrap_or("-")
+    );
+    let _ = writeln!(
+        out,
+        "semantic verdict: {}",
+        if ok {
+            "shell-spawning behaviour found"
+        } else {
+            "MISSED"
+        }
+    );
     (out, ok)
 }
 
@@ -152,7 +194,11 @@ pub fn fig5(seed: u64) -> (String, bool) {
     let ok = if let Some(f) = frames.first() {
         let _ = writeln!(out, "\ndecoded %u binary ({} bytes):", f.data.len());
         let insns = linear_sweep(&f.data);
-        let _ = write!(out, "{}", fmt::listing(&f.data, &insns[..insns.len().min(10)]));
+        let _ = write!(
+            out,
+            "{}",
+            fmt::listing(&f.data, &insns[..insns.len().min(10)])
+        );
         Analyzer::default()
             .analyze(&f.data)
             .iter()
@@ -160,7 +206,11 @@ pub fn fig5(seed: u64) -> (String, bool) {
     } else {
         false
     };
-    let _ = writeln!(out, "semantic verdict: {}", if ok { "code-red-ii matched" } else { "MISSED" });
+    let _ = writeln!(
+        out,
+        "semantic verdict: {}",
+        if ok { "code-red-ii matched" } else { "MISSED" }
+    );
     (out, ok)
 }
 
@@ -182,7 +232,12 @@ pub fn fig6(seed: u64) -> (String, bool) {
                 .any(|m| m.template == "linux-shell-spawn")
         });
         hits += usize::from(hit);
-        let _ = writeln!(out, "  {:<24} {}", sc.name, if hit { "⊨ matches" } else { "NO MATCH" });
+        let _ = writeln!(
+            out,
+            "  {:<24} {}",
+            sc.name,
+            if hit { "⊨ matches" } else { "NO MATCH" }
+        );
     }
     (out, hits == SCENARIOS.len())
 }

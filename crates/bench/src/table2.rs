@@ -59,7 +59,9 @@ pub fn run(seed: u64, n: usize) -> Vec<Row> {
     let engine = AdmMutate::default();
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let inner = shellcode::execve_variant(&mut rng, 0);
-    let instances: Vec<Vec<u8>> = (0..n).map(|_| engine.generate(&mut rng, &inner).0).collect();
+    let instances: Vec<Vec<u8>> = (0..n)
+        .map(|_| engine.generate(&mut rng, &inner).0)
+        .collect();
     rows.push(Row {
         source: "ADMmutate",
         template_set: "xor template only",
@@ -80,7 +82,10 @@ pub fn run(seed: u64, n: usize) -> Vec<Row> {
     rows.push(Row {
         source: "Clet",
         template_set: "xor template",
-        detected: clet_instances.iter().filter(|i| xor_only.detects(i)).count(),
+        detected: clet_instances
+            .iter()
+            .filter(|i| xor_only.detects(i))
+            .count(),
         total: n,
     });
 

@@ -110,7 +110,11 @@ mod tests {
         let rows = run(3, 3, 1200);
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert_eq!(r.matched, r.instances, "trace {}: missed instances", r.trace);
+            assert_eq!(
+                r.matched, r.instances,
+                "trace {}: missed instances",
+                r.trace
+            );
             assert_eq!(r.spurious, 0, "trace {}: spurious alerts", r.trace);
             assert!(r.packets >= 1200);
         }

@@ -113,10 +113,9 @@ impl TrafficClassifier {
                 return Verdict::Suspicious(Suspicion::DarkSpaceScan);
             }
         }
-        if self.darkspace.read().is_dark(dst)
-            && self.darkspace.write().record_probe(src, dst) {
-                return Verdict::Suspicious(Suspicion::DarkSpaceScan);
-            }
+        if self.darkspace.read().is_dark(dst) && self.darkspace.write().record_probe(src, dst) {
+            return Verdict::Suspicious(Suspicion::DarkSpaceScan);
+        }
         Verdict::Benign
     }
 
@@ -155,7 +154,10 @@ mod tests {
         assert!(c.classify(&pkt(attacker, [192, 168, 1, 1])).is_suspicious());
         assert!(c.is_suspicious_source(Ipv4Addr::from(attacker)));
         // an unrelated host remains benign
-        assert_eq!(c.classify(&pkt([5, 6, 7, 8], [192, 168, 1, 1])), Verdict::Benign);
+        assert_eq!(
+            c.classify(&pkt([5, 6, 7, 8], [192, 168, 1, 1])),
+            Verdict::Benign
+        );
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct NidsConfig {
     pub flow_table: FlowTableConfig,
     /// Analyze flows on the rayon pool.
     pub parallel: bool,
+    /// Verify IPv4 header checksums (and TCP checksums on unfragmented
+    /// segments) before spending any pipeline work; failures are dropped
+    /// and accounted as `checksum_failed`.
+    pub verify_checksums: bool,
+    /// Disassembly/analysis budget per extracted frame, in bytes. Frames
+    /// beyond this are truncated and the excess accounted as
+    /// `decoder_bailout` — a hostile flow cannot buy unbounded analysis.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for NidsConfig {
@@ -37,6 +45,8 @@ impl Default for NidsConfig {
             templates: default_templates(),
             flow_table: FlowTableConfig::default(),
             parallel: true,
+            verify_checksums: true,
+            max_frame_bytes: 1 << 20,
         }
     }
 }
@@ -50,6 +60,8 @@ mod tests {
         let c = NidsConfig::default();
         assert!(c.classification_enabled);
         assert!(c.parallel);
+        assert!(c.verify_checksums);
+        assert!(c.max_frame_bytes >= 64 * 1024);
         assert_eq!(c.templates.len(), 9);
         assert_eq!(c.dark_threshold, 5);
     }

@@ -25,13 +25,13 @@ pub mod stats;
 
 pub use alert::Alert;
 pub use config::NidsConfig;
-pub use stats::PipelineStats;
+pub use stats::{DropCounters, DropReason, PipelineStats};
 
 use rayon::prelude::*;
 use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier};
 use snids_extract::BinaryExtractor;
-use snids_flow::{Defragmenter, Flow, FlowTable};
-use snids_packet::Packet;
+use snids_flow::{DefragOutcome, Defragmenter, Flow, FlowTable};
+use snids_packet::{Ipv4Header, Packet, TcpHeader, ETHERNET_HEADER_LEN};
 use snids_semantic::{Analyzer, TemplateMatch};
 use std::time::Instant;
 
@@ -44,6 +44,8 @@ pub struct Nids {
     defrag: Defragmenter,
     stats: PipelineStats,
     parallel: bool,
+    verify_checksums: bool,
+    max_frame_bytes: usize,
 }
 
 impl Nids {
@@ -67,6 +69,8 @@ impl Nids {
             defrag: Defragmenter::default(),
             stats: PipelineStats::default(),
             parallel: config.parallel,
+            verify_checksums: config.verify_checksums,
+            max_frame_bytes: config.max_frame_bytes.max(1),
         }
     }
 
@@ -80,28 +84,105 @@ impl Nids {
         &self.stats
     }
 
+    /// Fold a pcap reader's accounting into the record ledger (call after
+    /// decoding a capture and feeding its packets through the pipeline).
+    pub fn absorb_read_stats(&mut self, rs: &snids_packet::ReadStats) {
+        self.stats.absorb_read_stats(rs);
+    }
+
+    /// Copy the cumulative per-stage drop tallies into the stats ledgers.
+    fn sync_drop_counters(&mut self) {
+        let ds = self.defrag.stats();
+        self.stats
+            .drops
+            .set(DropReason::DefragCapExceeded, ds.cap_exceeded);
+        self.stats
+            .drops
+            .set(DropReason::DefragOversize, ds.oversize);
+        self.stats.drops.set(DropReason::DefragTimeout, ds.timeout);
+        self.stats.drops.set(DropReason::DefragInvalid, ds.invalid);
+        self.stats
+            .drops
+            .set(DropReason::DefragIncomplete, ds.incomplete);
+        self.stats
+            .drops
+            .set(DropReason::FlowEvicted, self.flows.evicted());
+        self.stats
+            .drops
+            .set(DropReason::StreamTruncated, self.flows.truncated_flows());
+    }
+
+    /// True when the packet fails an enabled checksum check. IPv4 header
+    /// checksums are verified on every IP packet; TCP checksums only on
+    /// unfragmented segments (a fragment does not carry a whole segment).
+    fn fails_checksum(&self, packet: &Packet) -> bool {
+        if !self.verify_checksums {
+            return false;
+        }
+        let Some(ip) = packet.ip() else {
+            return false;
+        };
+        let raw = packet.raw();
+        if !Ipv4Header::verify_checksum(&raw[ETHERNET_HEADER_LEN..]) {
+            return true;
+        }
+        let is_fragment = ip.more_fragments || ip.fragment_offset != 0;
+        if !is_fragment && packet.tcp().is_some() {
+            let segment =
+                &raw[ETHERNET_HEADER_LEN + ip.header_len..ETHERNET_HEADER_LEN + ip.total_len];
+            if !TcpHeader::verify_checksum(ip.src, ip.dst, segment) {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Stage 1+2: classify one packet and, when suspicious, fold it into
     /// its flow for later analysis. IP fragments are reassembled first so
-    /// frag-evasion never hides a transport payload.
+    /// frag-evasion never hides a transport payload. Every packet fed in
+    /// ends up in exactly one ledger slot: `processed` (possibly later,
+    /// when its datagram completes) or a packet-level drop counter.
     pub fn process_packet(&mut self, packet: &Packet) {
         self.stats.packets += 1;
+        if self.fails_checksum(packet) {
+            self.stats.drops.inc(DropReason::ChecksumFailed);
+            return;
+        }
         // Defragment before anything else; incomplete fragments buffer.
         let whole;
+        let pieces;
         let packet = if packet
             .ip()
             .map(|h| h.more_fragments || h.fragment_offset != 0)
             .unwrap_or(false)
         {
-            match self.defrag.process(packet.clone()) {
-                Some(p) => {
+            match self.defrag.ingest(packet.clone()) {
+                DefragOutcome::Reassembled {
+                    packet: p,
+                    pieces: n,
+                } => {
                     whole = p;
+                    pieces = n;
                     &whole
                 }
-                None => return,
+                DefragOutcome::Passthrough(p) => {
+                    whole = p;
+                    pieces = 1;
+                    &whole
+                }
+                DefragOutcome::Buffered | DefragOutcome::Dropped(_) => {
+                    // Buffered fragments are credited when their datagram
+                    // resolves; drops were tallied by the defragmenter.
+                    self.sync_drop_counters();
+                    return;
+                }
             }
         } else {
+            pieces = 1;
             packet
         };
+        self.stats.processed += pieces;
+        self.sync_drop_counters();
         let t0 = Instant::now();
         let verdict = self.classifier.classify(packet);
         self.stats.classify_nanos += t0.elapsed().as_nanos() as u64;
@@ -129,9 +210,15 @@ impl Nids {
     /// Drain and analyze all pending flows, producing alerts.
     ///
     /// Flow payloads are independent, so this is the rayon-parallel stage.
+    /// Fragments still buffered in the defragmenter will never complete
+    /// now, so they are drained and accounted first — after `finish` the
+    /// packet ledger balances exactly.
     pub fn finish(&mut self) -> Vec<Alert> {
+        self.defrag.drain_incomplete();
         let flows = self.flows.drain();
-        self.analyze_flows(flows)
+        let alerts = self.analyze_flows(flows);
+        self.sync_drop_counters();
+        alerts
     }
 
     /// Streaming mode: expire flows idle since before `now` minus the
@@ -144,7 +231,9 @@ impl Nids {
         if expired.is_empty() {
             return Vec::new();
         }
-        self.analyze_flows(expired)
+        let alerts = self.analyze_flows(expired);
+        self.sync_drop_counters();
+        alerts
     }
 
     fn analyze_flows(&mut self, flows: Vec<Flow>) -> Vec<Alert> {
@@ -153,41 +242,47 @@ impl Nids {
         let t0 = Instant::now();
         let extractor = &self.extractor;
         let analyzer = &self.analyzer;
+        let frame_cap = self.max_frame_bytes;
 
         let analyze_flow = |flow: &Flow| -> Vec<Alert> {
             let payload = flow.payload();
             let frames = extractor.extract(&payload);
             let mut alerts = Vec::new();
             for frame in &frames {
-                for m in analyzer.analyze(&frame.data) {
+                // Bound the disassembly/matching work a hostile frame can
+                // buy; the excess is accounted as decoder_bailout below.
+                let data = &frame.data[..frame.data.len().min(frame_cap)];
+                for m in analyzer.analyze(data) {
                     alerts.push(Alert::from_match(flow, frame, m));
                 }
             }
             alerts
         };
+        let frame_stats_of = |f: &Flow| {
+            let payload = f.payload();
+            let frames = extractor.extract(&payload);
+            (
+                frames.len() as u64,
+                frames.iter().map(|fr| fr.data.len() as u64).sum::<u64>(),
+                frames.iter().filter(|fr| fr.data.len() > frame_cap).count() as u64,
+            )
+        };
 
-        let (mut alerts, frames_stats): (Vec<Alert>, (u64, u64)) = if self.parallel {
+        let (mut alerts, frames_stats): (Vec<Alert>, (u64, u64, u64)) = if self.parallel {
             let alerts: Vec<Alert> = flows.par_iter().flat_map_iter(analyze_flow).collect();
             let fs = flows
                 .par_iter()
-                .map(|f| {
-                    let payload = f.payload();
-                    let frames = extractor.extract(&payload);
-                    (
-                        frames.len() as u64,
-                        frames.iter().map(|fr| fr.data.len() as u64).sum::<u64>(),
-                    )
-                })
-                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+                .map(frame_stats_of)
+                .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
             (alerts, fs)
         } else {
             let mut all = Vec::new();
-            let mut fs = (0u64, 0u64);
+            let mut fs = (0u64, 0u64, 0u64);
             for flow in &flows {
-                let payload = flow.payload();
-                let frames = extractor.extract(&payload);
-                fs.0 += frames.len() as u64;
-                fs.1 += frames.iter().map(|fr| fr.data.len() as u64).sum::<u64>();
+                let (n, bytes, bailed) = frame_stats_of(flow);
+                fs.0 += n;
+                fs.1 += bytes;
+                fs.2 += bailed;
                 all.extend(analyze_flow(flow));
             }
             (all, fs)
@@ -196,6 +291,9 @@ impl Nids {
         self.stats.analysis_nanos += t0.elapsed().as_nanos() as u64;
         self.stats.frames_extracted += frames_stats.0;
         self.stats.frame_bytes += frames_stats.1;
+        self.stats
+            .drops
+            .add(DropReason::DecoderBailout, frames_stats.2);
         alerts.sort_by_key(|a| (a.src, a.template));
         alerts.dedup_by(|a, b| a.src == b.src && a.template == b.template && a.start == b.start);
         self.stats.alerts += alerts.len() as u64;
@@ -261,6 +359,80 @@ mod tests {
         );
         assert_eq!(nids.stats().packets, nids_packets.len() as u64);
         assert!(nids.stats().suspicious_packets >= 2);
+        assert!(nids.stats().packet_ledger_balanced());
+        assert_eq!(nids.stats().processed, nids.stats().packets);
+    }
+
+    /// Every packet fed in — including buffered, dropped and reassembled
+    /// fragments — lands in exactly one ledger slot once finish() runs.
+    #[test]
+    fn packet_ledger_balances_with_fragments() {
+        use snids_flow::defrag::fragment_packet;
+        let plan = AddressPlan::default();
+        let mut nids = Nids::new(plan_config(&plan));
+        let mut rng = StdRng::seed_from_u64(33);
+        let attacker = Ipv4Addr::new(198, 18, 7, 7);
+        let payload = SCENARIOS[0].build_payload(&mut rng);
+
+        let mut capture = Vec::new();
+        // A fragmented flow that completes.
+        for p in tcp_flow_packets(attacker, plan.honeypots[0], 4001, 21, &payload, 100, 0x42) {
+            capture.extend(fragment_packet(&p, 512));
+        }
+        // A datagram that never completes: all but the final fragment.
+        let orphan = snids_packet::PacketBuilder::new(attacker, plan.web_server)
+            .at(900)
+            .identification(7777)
+            .tcp(
+                4002,
+                21,
+                1,
+                0,
+                snids_packet::TcpFlags::ACK,
+                &vec![0x90u8; 2000],
+            )
+            .unwrap();
+        let mut orphan_frags = fragment_packet(&orphan, 512);
+        orphan_frags.pop();
+        capture.extend(orphan_frags);
+
+        nids.process_capture(&capture);
+        let s = nids.stats();
+        assert_eq!(s.packets, capture.len() as u64);
+        assert!(s.drops.get(DropReason::DefragIncomplete) > 0);
+        assert!(
+            s.packet_ledger_balanced(),
+            "packets={} processed={} drops={}",
+            s.packets,
+            s.processed,
+            s.drops.packet_total()
+        );
+    }
+
+    /// A corrupted checksum drops the packet before any pipeline work and
+    /// is attributed.
+    #[test]
+    fn checksum_failures_are_dropped_and_counted() {
+        let plan = AddressPlan::default();
+        let mut nids = Nids::new(plan_config(&plan));
+        let good =
+            snids_packet::PacketBuilder::new(Ipv4Addr::new(198, 18, 1, 1), plan.honeypots[0])
+                .at(10)
+                .tcp_syn(4000, 21, 1)
+                .unwrap();
+        let mut raw = good.raw().to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff; // corrupt the TCP payload/checksum region
+        let bad = snids_packet::Packet::decode(20, raw).unwrap();
+
+        nids.process_packet(&good);
+        nids.process_packet(&bad);
+        nids.finish();
+        let s = nids.stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.drops.get(DropReason::ChecksumFailed), 1);
+        assert_eq!(s.processed, 1);
+        assert!(s.packet_ledger_balanced());
     }
 
     /// A benign client to the same service never reaches analysis.

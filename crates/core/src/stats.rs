@@ -1,13 +1,181 @@
 //! Pipeline counters and per-stage timing (feeds the Figure-3 stage
-//! breakdown experiment).
+//! breakdown experiment), plus per-stage drop accounting: every input the
+//! pipeline discards is attributed to exactly one [`DropReason`], so
+//! `records_in` and `packets` always balance against `processed` + drops.
 
 use serde::{Deserialize, Serialize};
+use snids_packet::ReadStats;
+
+/// Every way the pipeline can discard input instead of analyzing it.
+///
+/// Reasons split into three ledgers:
+///
+/// * **record-level** (pcap reading): a record never became a packet;
+/// * **packet-level** (checksums, defragmentation): a packet never reached
+///   flow tracking — these balance `packets = processed + packet drops`;
+/// * **analysis-level** (flow eviction, stream caps, decoder budgets):
+///   the packet was processed but some derived state was degraded. These
+///   are detection-gap warnings, not part of the packet balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Pcap record header was hostile/corrupt (e.g. `incl_len` beyond the
+    /// snap cap); the stream cannot be read past it.
+    PcapRecordMalformed,
+    /// Pcap stream ended mid-record.
+    PcapRecordTruncated,
+    /// Record read intact but the frame did not decode.
+    FrameUndecodable,
+    /// IPv4 or TCP checksum verification failed.
+    ChecksumFailed,
+    /// Fragment refused at the defragmenter's pending-table cap.
+    DefragCapExceeded,
+    /// Fragment (plus its datagram's buffered pieces) outgrew the
+    /// maximum datagram size.
+    DefragOversize,
+    /// Buffered fragments discarded when their datagram timed out.
+    DefragTimeout,
+    /// Completed datagram failed to rebuild into a valid packet.
+    DefragInvalid,
+    /// Buffered fragments never completed by end of capture.
+    DefragIncomplete,
+    /// Flow force-evicted at the flow-table cap before analysis.
+    FlowEvicted,
+    /// Flow whose reassembly buffer hit the per-stream byte cap.
+    StreamTruncated,
+    /// Extracted frame exceeded the disassembly budget; analysis of the
+    /// remainder was skipped.
+    DecoderBailout,
+}
+
+impl DropReason {
+    /// All reasons, in ledger order.
+    pub const ALL: [DropReason; 12] = [
+        DropReason::PcapRecordMalformed,
+        DropReason::PcapRecordTruncated,
+        DropReason::FrameUndecodable,
+        DropReason::ChecksumFailed,
+        DropReason::DefragCapExceeded,
+        DropReason::DefragOversize,
+        DropReason::DefragTimeout,
+        DropReason::DefragInvalid,
+        DropReason::DefragIncomplete,
+        DropReason::FlowEvicted,
+        DropReason::StreamTruncated,
+        DropReason::DecoderBailout,
+    ];
+
+    /// Stable snake_case name (JSON key / CLI label).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::PcapRecordMalformed => "pcap_record_malformed",
+            DropReason::PcapRecordTruncated => "pcap_record_truncated",
+            DropReason::FrameUndecodable => "frame_undecodable",
+            DropReason::ChecksumFailed => "checksum_failed",
+            DropReason::DefragCapExceeded => "defrag_cap_exceeded",
+            DropReason::DefragOversize => "defrag_oversize",
+            DropReason::DefragTimeout => "defrag_timeout",
+            DropReason::DefragInvalid => "defrag_invalid",
+            DropReason::DefragIncomplete => "defrag_incomplete",
+            DropReason::FlowEvicted => "flow_evicted",
+            DropReason::StreamTruncated => "stream_truncated",
+            DropReason::DecoderBailout => "decoder_bailout",
+        }
+    }
+
+    /// True for reasons that consume a pcap record before it becomes a
+    /// packet (the `records_in` ledger).
+    pub fn is_record_drop(self) -> bool {
+        matches!(
+            self,
+            DropReason::PcapRecordMalformed
+                | DropReason::PcapRecordTruncated
+                | DropReason::FrameUndecodable
+        )
+    }
+
+    /// True for reasons that consume a decoded packet before flow tracking
+    /// (the `packets` ledger).
+    pub fn is_packet_drop(self) -> bool {
+        matches!(
+            self,
+            DropReason::ChecksumFailed
+                | DropReason::DefragCapExceeded
+                | DropReason::DefragOversize
+                | DropReason::DefragTimeout
+                | DropReason::DefragInvalid
+                | DropReason::DefragIncomplete
+        )
+    }
+}
+
+/// One counter per [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropCounters {
+    counts: [u64; DropReason::ALL.len()],
+}
+
+impl DropCounters {
+    /// Add one drop.
+    pub fn inc(&mut self, reason: DropReason) {
+        self.add(reason, 1);
+    }
+
+    /// Add `n` drops.
+    pub fn add(&mut self, reason: DropReason, n: u64) {
+        self.counts[reason as usize] += n;
+    }
+
+    /// Overwrite a counter with an absolute value (for syncing from a
+    /// stage that keeps its own cumulative tally).
+    pub fn set(&mut self, reason: DropReason, n: u64) {
+        self.counts[reason as usize] = n;
+    }
+
+    /// Read one counter.
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.counts[reason as usize]
+    }
+
+    /// Every drop, any reason.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Drops charged against the record ledger.
+    pub fn record_total(&self) -> u64 {
+        DropReason::ALL
+            .iter()
+            .filter(|r| r.is_record_drop())
+            .map(|&r| self.get(r))
+            .sum()
+    }
+
+    /// Drops charged against the packet ledger.
+    pub fn packet_total(&self) -> u64 {
+        DropReason::ALL
+            .iter()
+            .filter(|r| r.is_packet_drop())
+            .map(|&r| self.get(r))
+            .sum()
+    }
+
+    /// Iterate `(reason, count)` pairs in ledger order.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+}
 
 /// Counters and stage timings for one pipeline run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
+    /// Pcap records attempted (0 when packets arrived pre-decoded).
+    pub records_in: u64,
     /// Packets seen.
     pub packets: u64,
+    /// Packets that survived validation and defragmentation and reached
+    /// the classifier (a reassembled datagram credits each of its
+    /// fragments here).
+    pub processed: u64,
     /// Packets classified suspicious.
     pub suspicious_packets: u64,
     /// Flows handed to the analysis tail.
@@ -18,6 +186,8 @@ pub struct PipelineStats {
     pub frame_bytes: u64,
     /// Alerts raised.
     pub alerts: u64,
+    /// Per-reason drop accounting.
+    pub drops: DropCounters,
     /// Time in the classifier stage.
     pub classify_nanos: u64,
     /// Time in flow tracking / reassembly.
@@ -36,11 +206,36 @@ impl PipelineStats {
         }
     }
 
+    /// Fold a pcap reader's accounting into the record ledger.
+    pub fn absorb_read_stats(&mut self, rs: &ReadStats) {
+        self.records_in += rs.attempted();
+        self.drops
+            .add(DropReason::PcapRecordMalformed, rs.malformed_records);
+        self.drops
+            .add(DropReason::PcapRecordTruncated, rs.truncated_records);
+        self.drops.add(DropReason::FrameUndecodable, rs.undecodable);
+    }
+
+    /// `packets = processed + packet-level drops` — every decoded packet
+    /// is either analyzed or attributed.
+    pub fn packet_ledger_balanced(&self) -> bool {
+        self.packets == self.processed + self.drops.packet_total()
+    }
+
+    /// `records_in = packets + record-level drops` — every pcap record is
+    /// either a packet or attributed. Vacuously true when no reader fed
+    /// the pipeline (`records_in == 0`).
+    pub fn record_ledger_balanced(&self) -> bool {
+        self.records_in == 0 || self.records_in == self.packets + self.drops.record_total()
+    }
+
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "packets={} suspicious={} ({:.2}%) flows={} frames={} ({} B) alerts={} | classify={:.2}ms reasm={:.2}ms analysis={:.2}ms",
+            "packets={} processed={} dropped={} suspicious={} ({:.2}%) flows={} frames={} ({} B) alerts={} | classify={:.2}ms reasm={:.2}ms analysis={:.2}ms",
             self.packets,
+            self.processed,
+            self.drops.total(),
             self.suspicious_packets,
             self.suspicious_ratio() * 100.0,
             self.flows_analyzed,
@@ -50,6 +245,68 @@ impl PipelineStats {
             self.classify_nanos as f64 / 1e6,
             self.reassembly_nanos as f64 / 1e6,
             self.analysis_nanos as f64 / 1e6,
+        )
+    }
+
+    /// Multi-line drop report for `snids analyze --stats`; only non-zero
+    /// counters are listed.
+    pub fn drop_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "records_in={} packets={} processed={} drops_total={}\n",
+            self.records_in,
+            self.packets,
+            self.processed,
+            self.drops.total()
+        ));
+        for (reason, n) in self.drops.iter() {
+            if n > 0 {
+                out.push_str(&format!("  drop.{} = {}\n", reason.name(), n));
+            }
+        }
+        out.push_str(&format!(
+            "ledgers: records {} packets {}\n",
+            if self.record_ledger_balanced() {
+                "balanced"
+            } else {
+                "UNBALANCED"
+            },
+            if self.packet_ledger_balanced() {
+                "balanced"
+            } else {
+                "UNBALANCED"
+            },
+        ));
+        out
+    }
+
+    /// Serialize to a JSON object (hand-rolled; every value is an
+    /// unsigned integer or a nested object of them, so no escaping is
+    /// needed).
+    pub fn to_json(&self) -> String {
+        let mut drops = String::from("{");
+        for (i, (reason, n)) in self.drops.iter().enumerate() {
+            if i > 0 {
+                drops.push(',');
+            }
+            drops.push_str(&format!("\"{}\":{}", reason.name(), n));
+        }
+        drops.push('}');
+        format!(
+            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
+            self.records_in,
+            self.packets,
+            self.processed,
+            self.suspicious_packets,
+            self.flows_analyzed,
+            self.frames_extracted,
+            self.frame_bytes,
+            self.alerts,
+            drops,
+            self.drops.total(),
+            self.classify_nanos,
+            self.reassembly_nanos,
+            self.analysis_nanos,
         )
     }
 }
@@ -68,5 +325,74 @@ mod tests {
         let line = s.summary();
         assert!(line.contains("packets=200"));
         assert!(line.contains("2.50%"));
+    }
+
+    #[test]
+    fn every_reason_has_a_distinct_name_and_ledger() {
+        let mut names: Vec<&str> = DropReason::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DropReason::ALL.len());
+        for r in DropReason::ALL {
+            assert!(
+                !(r.is_record_drop() && r.is_packet_drop()),
+                "{} charged to two ledgers",
+                r.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ledgers_balance() {
+        let mut s = PipelineStats::default();
+        assert!(s.record_ledger_balanced());
+        assert!(s.packet_ledger_balanced());
+
+        s.absorb_read_stats(&ReadStats {
+            records: 10,
+            decoded: 8,
+            undecodable: 2,
+            truncated_records: 1,
+            malformed_records: 1,
+        });
+        s.packets = 8;
+        s.processed = 5;
+        s.drops.add(DropReason::ChecksumFailed, 1);
+        s.drops.add(DropReason::DefragCapExceeded, 2);
+        assert_eq!(s.records_in, 12);
+        assert!(s.record_ledger_balanced());
+        assert!(s.packet_ledger_balanced());
+
+        s.drops.inc(DropReason::FlowEvicted); // analysis-level: no effect
+        assert!(s.packet_ledger_balanced());
+
+        s.processed = 4;
+        assert!(!s.packet_ledger_balanced());
+    }
+
+    #[test]
+    fn json_contains_every_drop_counter() {
+        let mut s = PipelineStats {
+            packets: 3,
+            ..PipelineStats::default()
+        };
+        s.drops.add(DropReason::DefragTimeout, 2);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for r in DropReason::ALL {
+            assert!(j.contains(&format!("\"{}\":", r.name())), "{}", r.name());
+        }
+        assert!(j.contains("\"defrag_timeout\":2"));
+        assert!(j.contains("\"drops_total\":2"));
+    }
+
+    #[test]
+    fn drop_report_lists_only_nonzero() {
+        let mut s = PipelineStats::default();
+        s.drops.inc(DropReason::ChecksumFailed);
+        let rep = s.drop_report();
+        assert!(rep.contains("drop.checksum_failed = 1"));
+        assert!(!rep.contains("defrag_timeout"));
+        assert!(rep.contains("packets UNBALANCED")); // 0 != 0 + 1
     }
 }

@@ -293,8 +293,10 @@ mod tests {
     fn repetition_with_binary_tail_in_uri() {
         let mut req = b"GET /vuln.cgi?arg=".to_vec();
         req.extend_from_slice(&[b'A'; 300]);
-        let tail_src = [0xbfu8, 0xf0, 0xfd, 0x7f, 0xbf, 0xf0, 0xfd, 0x7f, 0x31, 0xc0, 0x50, 0x68,
-            0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e];
+        let tail_src = [
+            0xbfu8, 0xf0, 0xfd, 0x7f, 0xbf, 0xf0, 0xfd, 0x7f, 0x31, 0xc0, 0x50, 0x68, 0x2f, 0x2f,
+            0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e,
+        ];
         req.extend_from_slice(&tail_src);
         req.extend_from_slice(b" HTTP/1.0\r\n\r\n");
         let frames = extractor().extract(&req);

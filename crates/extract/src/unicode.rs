@@ -126,10 +126,7 @@ mod tests {
     fn decodes_figure_5_fragment() {
         // %u9090%u6858%ucbd3%u7801 from the Code Red II URI
         let r = decode_region(b"%u9090%u6858%ucbd3%u7801", 0).unwrap();
-        assert_eq!(
-            r.data,
-            vec![0x90, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78]
-        );
+        assert_eq!(r.data, vec![0x90, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78]);
         assert_eq!(r.unicode_groups, 4);
     }
 

@@ -48,12 +48,16 @@ impl Datagram {
     }
 }
 
+/// Largest IPv4 payload a rebuilt packet can carry: `total_len` is a u16
+/// that includes the 20-byte header, so anything bigger is unrepresentable.
+pub const MAX_DATAGRAM: usize = 65_515;
+
 /// Caps to bound memory on hostile fragment floods.
 #[derive(Debug, Clone)]
 pub struct DefragConfig {
     /// Maximum datagrams under reassembly at once.
     pub max_pending: usize,
-    /// Maximum reassembled datagram size.
+    /// Maximum reassembled datagram size (clamped to [`MAX_DATAGRAM`]).
     pub max_datagram: usize,
     /// Reassembly timeout in microseconds.
     pub timeout_micros: u64,
@@ -69,19 +73,82 @@ impl Default for DefragConfig {
     }
 }
 
+/// Why the defragmenter discarded a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefragDrop {
+    /// Pending-table cap hit under a fragment flood.
+    CapExceeded,
+    /// Fragment would grow its datagram past `max_datagram` (the datagram's
+    /// already-buffered pieces are discarded with it).
+    Oversize,
+    /// Completed datagram could not be rebuilt into a valid packet.
+    Invalid,
+}
+
+/// Per-packet outcome of [`Defragmenter::ingest`]. Every fragment fed in is
+/// eventually attributed to exactly one of: a reassembled datagram's piece
+/// count, a drop counter in [`DefragStats`], or the drain at end of capture.
+#[derive(Debug)]
+pub enum DefragOutcome {
+    /// Not a fragment; forwarded unchanged.
+    Passthrough(Packet),
+    /// This fragment completed its datagram; `pieces` fragments were
+    /// consumed to build the returned packet.
+    Reassembled { packet: Packet, pieces: u64 },
+    /// Buffered awaiting the rest of its datagram.
+    Buffered,
+    /// Discarded; the matching counter in [`DefragStats`] has been bumped.
+    Dropped(DefragDrop),
+}
+
+/// Cumulative drop accounting, in fragments (one ingested packet each).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragStats {
+    /// Fragments refused at the pending-table cap.
+    pub cap_exceeded: u64,
+    /// Fragments discarded because a datagram outgrew `max_datagram`
+    /// (includes that datagram's previously buffered pieces).
+    pub oversize: u64,
+    /// Buffered fragments discarded when their datagram timed out.
+    pub timeout: u64,
+    /// Fragments of completed datagrams that failed to rebuild.
+    pub invalid: u64,
+    /// Buffered fragments discarded by [`Defragmenter::drain_incomplete`].
+    pub incomplete: u64,
+}
+
+impl DefragStats {
+    /// Every fragment dropped for any reason.
+    pub fn total(&self) -> u64 {
+        self.cap_exceeded + self.oversize + self.timeout + self.invalid + self.incomplete
+    }
+}
+
 /// The defragmenter.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Defragmenter {
     pending: HashMap<FragKey, Datagram>,
     config: DefragConfig,
+    stats: DefragStats,
+}
+
+impl Default for Defragmenter {
+    fn default() -> Self {
+        // Route through `new` so the `max_datagram` clamp always applies.
+        Defragmenter::new(DefragConfig::default())
+    }
 }
 
 impl Defragmenter {
     /// With custom caps.
-    pub fn new(config: DefragConfig) -> Self {
+    pub fn new(mut config: DefragConfig) -> Self {
+        // A datagram larger than MAX_DATAGRAM cannot be expressed as a
+        // rebuilt IPv4 packet; clamping here keeps rebuild total.
+        config.max_datagram = config.max_datagram.min(MAX_DATAGRAM);
         Defragmenter {
             pending: HashMap::new(),
             config,
+            stats: DefragStats::default(),
         }
     }
 
@@ -90,22 +157,45 @@ impl Defragmenter {
         self.pending.len()
     }
 
-    /// Feed one packet.
+    /// Cumulative drop accounting.
+    pub fn stats(&self) -> DefragStats {
+        self.stats
+    }
+
+    /// Feed one packet (compat wrapper over [`Defragmenter::ingest`]).
     ///
     /// Non-fragments pass through untouched (`Some(packet)` as-is).
     /// Fragments are buffered; when one completes its datagram, the
-    /// reassembled packet is returned in its place.
+    /// reassembled packet is returned in its place. Buffering and drops
+    /// both surface as `None`; use `ingest` to tell them apart.
     pub fn process(&mut self, packet: Packet) -> Option<Packet> {
+        match self.ingest(packet) {
+            DefragOutcome::Passthrough(p) | DefragOutcome::Reassembled { packet: p, .. } => Some(p),
+            DefragOutcome::Buffered | DefragOutcome::Dropped(_) => None,
+        }
+    }
+
+    /// Feed one packet, reporting exactly what became of it.
+    pub fn ingest(&mut self, packet: Packet) -> DefragOutcome {
         let Some(ip) = packet.ip().copied() else {
-            return Some(packet);
+            return DefragOutcome::Passthrough(packet);
         };
         if !ip.more_fragments && ip.fragment_offset == 0 {
-            return Some(packet);
+            return DefragOutcome::Passthrough(packet);
         }
 
-        // Expire stale datagrams opportunistically.
+        // Expire stale datagrams opportunistically, accounting their pieces.
         let horizon = packet.ts_micros.saturating_sub(self.config.timeout_micros);
-        self.pending.retain(|_, d| d.first_ts >= horizon);
+        let mut expired = 0u64;
+        self.pending.retain(|_, d| {
+            if d.first_ts >= horizon {
+                true
+            } else {
+                expired += d.pieces.len() as u64;
+                false
+            }
+        });
+        self.stats.timeout += expired;
 
         let key = FragKey {
             src: ip.src,
@@ -114,13 +204,18 @@ impl Defragmenter {
             proto: ip.protocol.value(),
         };
         if !self.pending.contains_key(&key) && self.pending.len() >= self.config.max_pending {
-            return None; // flood cap: drop rather than balloon
+            self.stats.cap_exceeded += 1; // flood cap: drop rather than balloon
+            return DefragOutcome::Dropped(DefragDrop::CapExceeded);
         }
         let offset = usize::from(ip.fragment_offset) * 8;
         let payload = packet.payload();
         if offset + payload.len() > self.config.max_datagram {
-            self.pending.remove(&key);
-            return None;
+            let buffered = self
+                .pending
+                .remove(&key)
+                .map_or(0, |d| d.pieces.len() as u64);
+            self.stats.oversize += buffered + 1;
+            return DefragOutcome::Dropped(DefragDrop::Oversize);
         }
 
         let entry = self.pending.entry(key).or_insert_with(|| Datagram {
@@ -132,15 +227,37 @@ impl Defragmenter {
             entry.total_len = Some(offset + payload.len());
         }
 
-        let done = entry.complete()?;
+        let Some(done) = entry.complete() else {
+            return DefragOutcome::Buffered;
+        };
+        let pieces = entry.pieces.len() as u64;
         self.pending.remove(&key);
-        Some(rebuild(&packet, &ip, &done))
+        match rebuild(&packet, &ip, &done) {
+            Some(packet) => DefragOutcome::Reassembled { packet, pieces },
+            None => {
+                self.stats.invalid += pieces;
+                DefragOutcome::Dropped(DefragDrop::Invalid)
+            }
+        }
+    }
+
+    /// Discard everything still buffered (end of capture), accounting the
+    /// fragments as incomplete. Returns how many were discarded.
+    pub fn drain_incomplete(&mut self) -> u64 {
+        let n: u64 = self.pending.values().map(|d| d.pieces.len() as u64).sum();
+        self.pending.clear();
+        self.stats.incomplete += n;
+        n
     }
 }
 
 /// Rebuild a whole unfragmented packet around the reassembled transport
-/// payload.
-fn rebuild(template: &Packet, ip: &Ipv4Header, l4: &[u8]) -> Packet {
+/// payload. `None` when the datagram cannot be expressed as a valid packet
+/// (e.g. larger than an IPv4 `total_len` can encode).
+fn rebuild(template: &Packet, ip: &Ipv4Header, l4: &[u8]) -> Option<Packet> {
+    if l4.len() > MAX_DATAGRAM {
+        return None;
+    }
     let mut frame = Vec::with_capacity(ETHERNET_HEADER_LEN + 20 + l4.len());
     frame.extend_from_slice(&template.ethernet().to_bytes());
     frame.extend_from_slice(&Ipv4Header::build(
@@ -152,8 +269,7 @@ fn rebuild(template: &Packet, ip: &Ipv4Header, l4: &[u8]) -> Packet {
         ip.ttl,
     ));
     frame.extend_from_slice(l4);
-    // The rebuilt frame is well-formed by construction.
-    Packet::decode(template.ts_micros, frame).expect("rebuilt packet is well-formed")
+    Packet::decode(template.ts_micros, frame).ok()
 }
 
 /// Split a packet's transport payload into IP fragments (test/workload
@@ -191,7 +307,11 @@ pub fn fragment_packet(packet: &Packet, mtu_payload: usize) -> Vec<Packet> {
         frame.extend_from_slice(&packet.ethernet().to_bytes());
         frame.extend_from_slice(&hdr);
         frame.extend_from_slice(&l4[off..end]);
-        out.push(Packet::decode(packet.ts_micros + (off / chunk) as u64, frame).expect("fragment"));
+        // Rebuilt from a decoded packet, so this never fails in practice;
+        // stay total anyway rather than panic on a pathological input.
+        if let Ok(frag) = Packet::decode(packet.ts_micros + (off / chunk) as u64, frame) {
+            out.push(frag);
+        }
         off = end;
     }
     out
@@ -322,6 +442,7 @@ mod tests {
         let p = sample(4000);
         let frags = fragment_packet(&p, 1600);
         assert!(d.process(frags[1].clone()).is_none());
+        assert_eq!(d.stats().oversize, 1);
         // flood: at most max_pending distinct datagrams tracked
         for i in 0..5u16 {
             let q = PacketBuilder::new(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(8, 8, 8, 8))
@@ -332,5 +453,80 @@ mod tests {
             d.process(f);
         }
         assert!(d.pending() <= 2);
+        assert_eq!(d.stats().cap_exceeded, 3);
+    }
+
+    #[test]
+    fn frag_flood_beyond_cap_is_counted() {
+        // Regression for the accounting invariant: every fragment refused at
+        // the pending cap must land in the cap_exceeded counter.
+        let mut d = Defragmenter::new(DefragConfig {
+            max_pending: 4,
+            ..DefragConfig::default()
+        });
+        for i in 0..16u16 {
+            let q = PacketBuilder::new(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(8, 8, 8, 8))
+                .identification(i)
+                .tcp(1, 2, 0, 0, TcpFlags::ACK, &vec![1u8; 900])
+                .unwrap();
+            let f = fragment_packet(&q, 256).remove(0);
+            assert!(d.process(f).is_none());
+        }
+        assert_eq!(d.pending(), 4);
+        assert_eq!(d.stats().cap_exceeded, 12);
+        assert_eq!(d.drain_incomplete(), 4);
+        assert_eq!(d.stats().total(), 16);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn oversize_datagram_cannot_reach_rebuild() {
+        // Regression: a complete 65_520-byte datagram used to reach
+        // rebuild(), whose 16-bit IPv4 total_len wrapped and tripped an
+        // expect(). new() now clamps max_datagram so the oversize check
+        // fires first, and rebuild itself became fallible.
+        let template = sample(64);
+        let eth = template.ethernet().to_bytes();
+        let mut d = Defragmenter::new(DefragConfig {
+            max_datagram: 100_000, // hostile/misconfigured cap, gets clamped
+            ..DefragConfig::default()
+        });
+        let chunk = 8184usize; // multiple of 8
+        let total = 65_520usize; // > MAX_DATAGRAM, still encodable as offsets
+        let mut off = 0usize;
+        let mut last = None;
+        let mut fed = 0u64;
+        while off < total {
+            let end = (off + chunk).min(total);
+            let more = end < total;
+            let mut hdr = Ipv4Header::build(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                snids_packet::IpProtocol::Tcp,
+                end - off,
+                77,
+                64,
+            );
+            let frag_field = ((off / 8) as u16 & 0x1fff) | if more { 0x2000 } else { 0 };
+            hdr[6..8].copy_from_slice(&frag_field.to_be_bytes());
+            hdr[10..12].copy_from_slice(&[0, 0]);
+            let c = snids_packet::checksum::checksum(&hdr);
+            hdr[10..12].copy_from_slice(&c.to_be_bytes());
+            let mut frame = Vec::with_capacity(ETHERNET_HEADER_LEN + 20 + end - off);
+            frame.extend_from_slice(&eth);
+            frame.extend_from_slice(&hdr);
+            frame.extend_from_slice(&vec![0xAB; end - off]);
+            let pkt = Packet::decode(0, frame).expect("fragment frame decodes");
+            last = Some(d.ingest(pkt));
+            fed += 1;
+            off = end;
+        }
+        assert!(matches!(
+            last,
+            Some(DefragOutcome::Dropped(DefragDrop::Oversize))
+        ));
+        // The final fragment plus everything buffered before it.
+        assert_eq!(d.stats().oversize, fed);
+        assert_eq!(d.pending(), 0);
     }
 }

@@ -11,7 +11,9 @@ pub mod key;
 pub mod reassembly;
 pub mod table;
 
-pub use defrag::{DefragConfig, Defragmenter};
+pub use defrag::{
+    DefragConfig, DefragDrop, DefragOutcome, DefragStats, Defragmenter, MAX_DATAGRAM,
+};
 pub use key::FlowKey;
 pub use reassembly::Reassembler;
 pub use table::{Flow, FlowTable, FlowTableConfig};

@@ -69,6 +69,8 @@ impl Flow {
 pub struct FlowTable {
     flows: HashMap<FlowKey, Flow>,
     config: FlowTableConfig,
+    evicted: u64,
+    truncated_flows: u64,
 }
 
 impl FlowTable {
@@ -77,6 +79,8 @@ impl FlowTable {
         FlowTable {
             flows: HashMap::with_capacity(1024),
             config,
+            evicted: 0,
+            truncated_flows: 0,
         }
     }
 
@@ -88,6 +92,18 @@ impl FlowTable {
     /// True when no flows are tracked.
     pub fn is_empty(&self) -> bool {
         self.flows.is_empty()
+    }
+
+    /// Flows force-evicted at the `max_flows` cap (their unanalyzed state
+    /// was discarded — each is a potential detection gap).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Flows whose reassembly buffer hit the per-stream byte cap and
+    /// stopped accumulating payload.
+    pub fn truncated_flows(&self) -> u64 {
+        self.truncated_flows
     }
 
     /// Feed a packet; returns the flow key when the packet belonged to a
@@ -105,6 +121,7 @@ impl FlowTable {
         flow.last_seen = flow.last_seen.max(packet.ts_micros);
         flow.packets += 1;
         flow.payload_bytes += packet.payload().len() as u64;
+        let was_truncated = flow.stream.truncated();
         match (key.proto, packet.transport()) {
             (IpProtocol::Tcp, Some(TransportSummary::Tcp(tcp))) => {
                 if tcp.flags.syn() && !tcp.flags.ack() {
@@ -124,6 +141,9 @@ impl FlowTable {
                 }
             }
             _ => {}
+        }
+        if !was_truncated && flow.stream.truncated() {
+            self.truncated_flows += 1;
         }
         Some(key)
     }
@@ -166,6 +186,7 @@ impl FlowTable {
             .map(|f| f.key)
         {
             self.flows.remove(&k);
+            self.evicted += 1;
         }
     }
 }
@@ -189,7 +210,14 @@ mod tests {
             .tcp(4000, 80, 101, 1, TcpFlags::ACK | TcpFlags::PSH, b"GET /a")
             .unwrap();
         let d2 = b
-            .tcp(4000, 80, 107, 1, TcpFlags::ACK | TcpFlags::PSH, b"bc HTTP/1.0\r\n\r\n")
+            .tcp(
+                4000,
+                80,
+                107,
+                1,
+                TcpFlags::ACK | TcpFlags::PSH,
+                b"bc HTTP/1.0\r\n\r\n",
+            )
             .unwrap();
         // deliver out of order
         let k = t.process(&syn).unwrap();
@@ -233,8 +261,18 @@ mod tests {
             ..FlowTableConfig::default()
         });
         let b = builder();
-        t.process(&b.clone().at(0).tcp(1, 2, 0, 0, TcpFlags::ACK, b"x").unwrap());
-        t.process(&b.clone().at(5_000).tcp(3, 4, 0, 0, TcpFlags::ACK, b"y").unwrap());
+        t.process(
+            &b.clone()
+                .at(0)
+                .tcp(1, 2, 0, 0, TcpFlags::ACK, b"x")
+                .unwrap(),
+        );
+        t.process(
+            &b.clone()
+                .at(5_000)
+                .tcp(3, 4, 0, 0, TcpFlags::ACK, b"y")
+                .unwrap(),
+        );
         let expired = t.expire(5_500);
         assert_eq!(expired.len(), 1);
         assert_eq!(expired[0].key.src_port, 1);
@@ -248,12 +286,44 @@ mod tests {
             ..FlowTableConfig::default()
         });
         let b = builder();
-        t.process(&b.clone().at(10).tcp(1, 80, 0, 0, TcpFlags::ACK, b"a").unwrap());
-        t.process(&b.clone().at(20).tcp(2, 80, 0, 0, TcpFlags::ACK, b"b").unwrap());
-        t.process(&b.clone().at(30).tcp(3, 80, 0, 0, TcpFlags::ACK, b"c").unwrap());
+        t.process(
+            &b.clone()
+                .at(10)
+                .tcp(1, 80, 0, 0, TcpFlags::ACK, b"a")
+                .unwrap(),
+        );
+        t.process(
+            &b.clone()
+                .at(20)
+                .tcp(2, 80, 0, 0, TcpFlags::ACK, b"b")
+                .unwrap(),
+        );
+        t.process(
+            &b.clone()
+                .at(30)
+                .tcp(3, 80, 0, 0, TcpFlags::ACK, b"c")
+                .unwrap(),
+        );
         assert_eq!(t.len(), 2);
-        // the ts=10 flow is gone
+        // the ts=10 flow is gone, and the eviction is accounted
         assert!(t.flows().all(|f| f.last_seen != 10));
+        assert_eq!(t.evicted(), 1);
+    }
+
+    #[test]
+    fn stream_cap_marks_flow_truncated_once() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            max_stream_bytes: 64,
+            ..FlowTableConfig::default()
+        });
+        let b = builder();
+        let payload = vec![0x41u8; 48];
+        t.process(&b.tcp(1, 80, 0, 0, TcpFlags::ACK, &payload).unwrap());
+        assert_eq!(t.truncated_flows(), 0);
+        t.process(&b.tcp(1, 80, 48, 0, TcpFlags::ACK, &payload).unwrap());
+        assert_eq!(t.truncated_flows(), 1);
+        t.process(&b.tcp(1, 80, 96, 0, TcpFlags::ACK, &payload).unwrap());
+        assert_eq!(t.truncated_flows(), 1, "counted once per flow");
     }
 
     #[test]

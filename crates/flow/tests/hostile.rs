@@ -1,0 +1,105 @@
+//! Hostile-input property tests: the defragmenter is total over corrupted,
+//! reordered, and flooded fragment streams, and every ingested packet is
+//! attributed to exactly one outcome.
+
+use proptest::prelude::*;
+use snids_flow::defrag::fragment_packet;
+use snids_flow::{DefragConfig, DefragOutcome, Defragmenter};
+use snids_packet::{Packet, PacketBuilder, TcpFlags};
+use std::net::Ipv4Addr;
+
+/// How many of the ingested packets this outcome hands downstream.
+fn delivered(outcome: &DefragOutcome) -> u64 {
+    match outcome {
+        DefragOutcome::Passthrough(_) => 1,
+        DefragOutcome::Reassembled { pieces, .. } => *pieces,
+        DefragOutcome::Buffered | DefragOutcome::Dropped(_) => 0,
+    }
+}
+
+proptest! {
+    /// Bit-corrupted fragments in arbitrary order never panic the
+    /// defragmenter, and the piece ledger balances: every packet fed in is
+    /// delivered, dropped, or drained — exactly once.
+    #[test]
+    fn defragmenter_total_and_balanced_under_corruption(
+        payload_len in 64usize..4000,
+        mtu in 8usize..512,
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 0..16),
+        order_seed in any::<u64>(),
+        max_pending in 1usize..32,
+    ) {
+        let src = Ipv4Addr::new(198, 18, 1, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let payload = vec![0x5A; payload_len];
+        let p = PacketBuilder::new(src, dst)
+            .tcp(4000, 80, 1, 0, TcpFlags::ACK | TcpFlags::PSH, &payload)
+            .unwrap();
+        let mut frags = fragment_packet(&p, mtu);
+
+        // Flip bits at arbitrary positions across the fragments. A corrupted
+        // frame may stop decoding entirely; keep the original then — what
+        // matters is that whatever *does* decode reaches the defragmenter.
+        for (pos, bit) in &flips {
+            let idx = *pos as usize % frags.len();
+            let mut raw = frags[idx].raw().to_vec();
+            let at = *pos as usize % raw.len();
+            raw[at] ^= 1 << bit;
+            if let Ok(newp) = Packet::decode(frags[idx].ts_micros, raw) {
+                frags[idx] = newp;
+            }
+        }
+
+        // Deterministic shuffle.
+        let mut s = order_seed;
+        for i in (1..frags.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            frags.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let mut d = Defragmenter::new(DefragConfig {
+            max_pending,
+            ..DefragConfig::default()
+        });
+        let fed = frags.len() as u64;
+        let mut out = 0u64;
+        for f in frags {
+            out += delivered(&d.ingest(f));
+        }
+        d.drain_incomplete();
+        prop_assert_eq!(d.pending(), 0);
+        prop_assert_eq!(
+            fed,
+            out + d.stats().total(),
+            "ledger must balance: stats = {:?}",
+            d.stats()
+        );
+    }
+
+    /// A fragment flood with distinct datagram keys can never grow the
+    /// pending table past its cap, and every refused fragment is counted.
+    #[test]
+    fn frag_flood_never_exceeds_pending_cap(
+        n in 1usize..128,
+        cap in 1usize..16,
+    ) {
+        let mut d = Defragmenter::new(DefragConfig {
+            max_pending: cap,
+            ..DefragConfig::default()
+        });
+        for i in 0..n {
+            let src = Ipv4Addr::new(198, 18, (i / 250) as u8, (i % 250) as u8 + 1);
+            let p = PacketBuilder::new(src, Ipv4Addr::new(10, 0, 0, 2))
+                .tcp(4000, 80, 1, 0, TcpFlags::ACK, &[0u8; 64])
+                .unwrap();
+            // First fragment only: the datagram can never complete.
+            let first = fragment_packet(&p, 8).swap_remove(0);
+            let outcome = d.ingest(first);
+            prop_assert_eq!(delivered(&outcome), 0);
+            prop_assert!(d.pending() <= cap);
+        }
+        prop_assert_eq!(d.pending(), n.min(cap));
+        prop_assert_eq!(d.stats().cap_exceeded, n.saturating_sub(cap) as u64);
+        prop_assert_eq!(d.drain_incomplete(), n.min(cap) as u64);
+    }
+}

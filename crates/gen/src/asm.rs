@@ -343,7 +343,10 @@ mod tests {
         a.load8(R::Ebx, R::Esi).store8(R::Esi, R::Ebx);
         let code = a.finish();
         let texts: Vec<String> = linear_sweep(&code).iter().map(|i| i.to_string()).collect();
-        assert_eq!(texts, vec!["mov bl, byte ptr [esi]", "mov byte ptr [esi], bl"]);
+        assert_eq!(
+            texts,
+            vec!["mov bl, byte ptr [esi]", "mov byte ptr [esi], bl"]
+        );
     }
 
     #[test]

@@ -10,20 +10,55 @@ use crate::asm::{Asm, R};
 use rand::Rng;
 
 const PATHS: &[&str] = &[
-    "/", "/index.html", "/news", "/about.html", "/images/logo.gif", "/search",
-    "/products/list", "/cart", "/login", "/styles/main.css", "/js/app.js",
-    "/blog/2006/01/entry", "/downloads", "/docs/manual.pdf", "/favicon.ico",
+    "/",
+    "/index.html",
+    "/news",
+    "/about.html",
+    "/images/logo.gif",
+    "/search",
+    "/products/list",
+    "/cart",
+    "/login",
+    "/styles/main.css",
+    "/js/app.js",
+    "/blog/2006/01/entry",
+    "/downloads",
+    "/docs/manual.pdf",
+    "/favicon.ico",
 ];
 
 const HOSTS: &[&str] = &[
-    "www.example.com", "mail.campus.edu", "news.example.org", "cdn.static.net",
-    "intranet.corp.local", "mirror.distro.org",
+    "www.example.com",
+    "mail.campus.edu",
+    "news.example.org",
+    "cdn.static.net",
+    "intranet.corp.local",
+    "mirror.distro.org",
 ];
 
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "network", "intrusion", "detection", "semantics",
-    "lehigh", "university", "internet", "traffic", "analysis", "report", "weekly",
-    "meeting", "schedule", "download", "update", "release", "notes", "archive",
+    "the",
+    "quick",
+    "brown",
+    "fox",
+    "network",
+    "intrusion",
+    "detection",
+    "semantics",
+    "lehigh",
+    "university",
+    "internet",
+    "traffic",
+    "analysis",
+    "report",
+    "weekly",
+    "meeting",
+    "schedule",
+    "download",
+    "update",
+    "release",
+    "notes",
+    "archive",
 ];
 
 fn words<G: Rng>(rng: &mut G, n: usize) -> String {
@@ -39,7 +74,11 @@ pub fn http_get<G: Rng>(rng: &mut G) -> Vec<u8> {
     let host = HOSTS[rng.gen_range(0..HOSTS.len())];
     let mut req = format!("GET {path}");
     if rng.gen_bool(0.3) {
-        req.push_str(&format!("?q={}&page={}", WORDS[rng.gen_range(0..WORDS.len())], rng.gen_range(1..20)));
+        req.push_str(&format!(
+            "?q={}&page={}",
+            WORDS[rng.gen_range(0..WORDS.len())],
+            rng.gen_range(1..20)
+        ));
     }
     req.push_str(" HTTP/1.1\r\n");
     req.push_str(&format!("Host: {host}\r\n"));
@@ -175,7 +214,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ex = BinaryExtractor::default();
         for _ in 0..50 {
-            for payload in [http_get(&mut rng), http_post(&mut rng), smtp_session(&mut rng)] {
+            for payload in [
+                http_get(&mut rng),
+                http_post(&mut rng),
+                smtp_session(&mut rng),
+            ] {
                 assert!(
                     ex.extract(&payload).is_empty(),
                     "extracted from {:?}",

@@ -1,0 +1,429 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The paper's evaluation assumes well-formed captures; a deployed sensor
+//! sees the opposite — damaged files, hostile senders, evasion traffic.
+//! This module takes a clean packet capture and seeds it with the faults a
+//! sensor must survive:
+//!
+//! * **protocol-level** (applied to packets): corrupted checksums, missing
+//!   / duplicated / conflicting-overlap IP fragments, reordered and
+//!   conflicting-retransmit TCP segments, and a SYN-flood of throwaway
+//!   flows to pressure the flow table;
+//! * **byte-level** (applied to the serialized pcap): bit flips inside
+//!   frame data, garbage records with valid framing, and — at the tail,
+//!   where they end the readable stream — a truncated record or a record
+//!   header with a hostile `incl_len`.
+//!
+//! Everything is driven by a caller-supplied RNG, so a fault pattern is
+//! reproducible from a seed. The [`ChaosLog`] records which source
+//! addresses had *destructive* faults applied to their traffic, letting a
+//! test assert that every untouched attack source is still detected.
+
+use rand::{Rng, RngCore};
+use snids_flow::defrag::fragment_packet;
+use snids_packet::{Packet, PacketBuilder, PcapWriter, ETHERNET_HEADER_LEN};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Fault-injection intensity and toggles.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Base per-packet / per-record fault probability in `[0, 1]`.
+    pub rate: f64,
+    /// Throwaway SYN-flood flows appended to pressure the flow table.
+    pub flood_flows: usize,
+    /// Append a record whose bytes end early (stream truncation).
+    pub truncate_tail: bool,
+    /// Append a record header claiming a hostile `incl_len`.
+    pub bogus_incl_len: bool,
+}
+
+impl ChaosConfig {
+    /// A config with the given base rate and all fault families enabled.
+    pub fn with_rate(rate: f64) -> Self {
+        ChaosConfig {
+            rate: rate.clamp(0.0, 1.0),
+            flood_flows: 0,
+            truncate_tail: true,
+            bogus_incl_len: true,
+        }
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::with_rate(0.05)
+    }
+}
+
+/// What the injector did, for assertions in tests.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosLog {
+    /// Protocol-level faults applied (any kind).
+    pub protocol_faults: u64,
+    /// Byte-level faults applied to the serialized capture.
+    pub byte_faults: u64,
+    /// Flood packets appended.
+    pub flood_packets: u64,
+    /// Source addresses whose traffic had a *destructive* fault applied
+    /// (checksum corruption, dropped fragment, bit flip) — detection for
+    /// these sources may legitimately be lost. Duplicates, reorders and
+    /// conflicting overlaps are non-destructive by design (first-copy-wins
+    /// reassembly keeps the original data) and are not recorded here.
+    pub touched_sources: HashSet<Ipv4Addr>,
+}
+
+impl ChaosLog {
+    fn touch(&mut self, packet: &Packet) {
+        if let Some(ip) = packet.ip() {
+            self.touched_sources.insert(ip.src);
+        }
+    }
+}
+
+/// Apply protocol-level faults to a packet sequence.
+pub fn chaos_packets<G: RngCore>(
+    rng: &mut G,
+    packets: &[Packet],
+    cfg: &ChaosConfig,
+    log: &mut ChaosLog,
+) -> Vec<Packet> {
+    let mut out: Vec<Packet> = Vec::with_capacity(packets.len() + cfg.flood_flows);
+    // A reorder fault holds one packet back and emits it after its
+    // successor.
+    let mut held: Option<Packet> = None;
+
+    for p in packets {
+        if let Some(h) = held.take() {
+            out.push(p.clone());
+            out.push(h);
+            continue;
+        }
+        if !rng.gen_bool(cfg.rate) {
+            out.push(p.clone());
+            continue;
+        }
+        log.protocol_faults += 1;
+        match rng.gen_range(0..5u8) {
+            0 => corrupt_checksum(rng, p, log, &mut out),
+            1 => fragment_fault(rng, p, log, &mut out),
+            2 => {
+                // Exact retransmission: harmless duplicate.
+                out.push(p.clone());
+                out.push(p.clone());
+            }
+            3 => conflicting_retransmit(rng, p, &mut out),
+            _ => {
+                // Reorder: this packet arrives after the next one.
+                held = Some(p.clone());
+            }
+        }
+    }
+    if let Some(h) = held {
+        out.push(h);
+    }
+
+    // SYN-flood: unique throwaway sources against destinations already in
+    // the capture, spread across the capture's time span.
+    let dsts: Vec<Ipv4Addr> = {
+        let mut v: Vec<Ipv4Addr> = packets
+            .iter()
+            .filter_map(|p| p.ip().map(|h| h.dst))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let last_ts = packets.last().map_or(0, |p| p.ts_micros);
+    if !dsts.is_empty() {
+        for i in 0..cfg.flood_flows {
+            let src = Ipv4Addr::new(203, 0, rng.gen_range(113..=120), rng.gen_range(1..=254));
+            let dst = dsts[rng.gen_range(0..dsts.len())];
+            let syn = PacketBuilder::new(src, dst)
+                .at(last_ts + 10 + i as u64)
+                .identification(rng.gen())
+                .tcp_syn(rng.gen_range(1025..65000), 80, rng.gen());
+            if let Ok(syn) = syn {
+                out.push(syn);
+                log.flood_packets += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Flip a byte inside the transport region so the IPv4 or TCP checksum no
+/// longer verifies; the pipeline must drop and account the packet.
+fn corrupt_checksum<G: RngCore>(
+    rng: &mut G,
+    p: &Packet,
+    log: &mut ChaosLog,
+    out: &mut Vec<Packet>,
+) {
+    let Some(ip) = p.ip() else {
+        out.push(p.clone());
+        return;
+    };
+    let mut raw = p.raw().to_vec();
+    // Anywhere in the IP packet past the version byte will desynchronise a
+    // checksum (header bytes break the IP sum, payload bytes the TCP sum).
+    let lo = ETHERNET_HEADER_LEN + 2;
+    let hi = ETHERNET_HEADER_LEN + ip.total_len;
+    let at = rng.gen_range(lo..hi);
+    raw[at] ^= 1 << rng.gen_range(0..8u8);
+    match Packet::decode(p.ts_micros, raw) {
+        Ok(bad) => {
+            log.touch(p);
+            out.push(bad);
+        }
+        // The flip broke framing instead; keep the original.
+        Err(_) => out.push(p.clone()),
+    }
+}
+
+/// Split a packet into fragments and then drop, duplicate, or
+/// conflictingly-duplicate one of them.
+fn fragment_fault<G: RngCore>(rng: &mut G, p: &Packet, log: &mut ChaosLog, out: &mut Vec<Packet>) {
+    let already_fragmented = p
+        .ip()
+        .map(|h| h.more_fragments || h.fragment_offset != 0)
+        .unwrap_or(false);
+    let mut frags = if already_fragmented {
+        vec![p.clone()]
+    } else {
+        fragment_packet(p, 256)
+    };
+    if frags.len() < 2 {
+        out.push(p.clone());
+        return;
+    }
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Missing fragment: the datagram never completes.
+            let victim = rng.gen_range(0..frags.len());
+            frags.remove(victim);
+            log.touch(p);
+        }
+        1 => {
+            // Exact duplicate fragment.
+            let i = rng.gen_range(0..frags.len());
+            let dup = frags[i].clone();
+            frags.insert(i + 1, dup);
+        }
+        _ => {
+            // Conflicting overlap: a later copy of one fragment carries
+            // different payload bytes. First-copy-wins reassembly must
+            // keep the original data. (Fragment payload bytes are outside
+            // the IP header checksum, and fragments carry no verifiable
+            // TCP checksum, so the copy is not dropped earlier.)
+            let i = rng.gen_range(0..frags.len());
+            let mut raw = frags[i].raw().to_vec();
+            if raw.len() > ETHERNET_HEADER_LEN + 20 {
+                let at = rng.gen_range(ETHERNET_HEADER_LEN + 20..raw.len());
+                raw[at] ^= 0x5a;
+                if let Ok(dup) = Packet::decode(frags[i].ts_micros + 1, raw) {
+                    frags.insert(i + 1, dup);
+                }
+            }
+        }
+    }
+    out.append(&mut frags);
+}
+
+/// Retransmit a TCP segment with different payload bytes but valid
+/// checksums; first-copy-wins stream reassembly must keep the original.
+fn conflicting_retransmit<G: RngCore>(rng: &mut G, p: &Packet, out: &mut Vec<Packet>) {
+    out.push(p.clone());
+    let (Some(ip), Some(tcp)) = (p.ip(), p.tcp()) else {
+        return;
+    };
+    let payload = p.payload();
+    if payload.is_empty() {
+        return;
+    }
+    let mut data = payload.to_vec();
+    let at = rng.gen_range(0..data.len());
+    data[at] ^= 0x5a;
+    let retx = PacketBuilder::new(ip.src, ip.dst)
+        .at(p.ts_micros + 1)
+        .identification(ip.identification.wrapping_add(1))
+        .tcp(
+            tcp.src_port,
+            tcp.dst_port,
+            tcp.seq,
+            tcp.ack,
+            tcp.flags,
+            &data,
+        );
+    if let Ok(retx) = retx {
+        out.push(retx);
+    }
+}
+
+/// Serialize packets to pcap bytes with byte-level faults layered on top.
+///
+/// Faults that desynchronise the record stream (truncation, hostile
+/// `incl_len`) are appended at the tail only, so every real record stays
+/// readable and the capture remains a meaningful end-to-end input. Bit
+/// flips and garbage records keep record framing intact and may land
+/// anywhere.
+pub fn chaos_pcap<G: RngCore>(
+    rng: &mut G,
+    packets: &[Packet],
+    cfg: &ChaosConfig,
+) -> (Vec<u8>, ChaosLog) {
+    let mut log = ChaosLog::default();
+    let mutated = chaos_packets(rng, packets, cfg, &mut log);
+
+    // Global header via the real writer, then hand-rolled records so the
+    // byte offsets of each frame are known.
+    let mut buf = PcapWriter::new(Vec::new())
+        .and_then(PcapWriter::finish)
+        .unwrap_or_default();
+    let mut regions: Vec<(usize, usize, Option<Ipv4Addr>)> = Vec::with_capacity(mutated.len());
+    for p in &mutated {
+        let frame = p.raw();
+        write_record_header(&mut buf, p.ts_micros, frame.len() as u32);
+        regions.push((buf.len(), frame.len(), p.ip().map(|h| h.src)));
+        buf.extend_from_slice(frame);
+
+        // Garbage record with valid framing: reader must attribute it as
+        // a record (usually undecodable) and keep going.
+        if rng.gen_bool(cfg.rate * 0.25) {
+            let len = rng.gen_range(4..64usize);
+            write_record_header(&mut buf, p.ts_micros + 1, len as u32);
+            let mut junk = vec![0u8; len];
+            rng.fill_bytes(&mut junk);
+            buf.extend_from_slice(&junk);
+            log.byte_faults += 1;
+        }
+    }
+
+    // Bit flips inside frame data: framing stays intact, the frame decodes
+    // differently (or not at all).
+    for (start, len, src) in &regions {
+        if *len > 0 && rng.gen_bool(cfg.rate * 0.5) {
+            let at = start + rng.gen_range(0..*len);
+            buf[at] ^= 1 << rng.gen_range(0..8u8);
+            if let Some(src) = src {
+                log.touched_sources.insert(*src);
+            }
+            log.byte_faults += 1;
+        }
+    }
+
+    // Tail faults end the readable stream, so at most one is observable.
+    let tail_bogus = match (cfg.bogus_incl_len, cfg.truncate_tail) {
+        (true, true) => rng.gen_bool(0.5),
+        (bogus, _) => bogus,
+    };
+    if tail_bogus {
+        // Hostile incl_len: claims ~4 GiB; the reader must refuse it
+        // without allocating.
+        write_record_header(&mut buf, 0, 0xFFFF_FF00);
+        buf.extend_from_slice(&[0u8; 8]);
+        log.byte_faults += 1;
+    } else if cfg.truncate_tail {
+        // Record header promising more bytes than the file has left.
+        write_record_header(&mut buf, 0, 512);
+        buf.extend_from_slice(&[0u8; 37]);
+        log.byte_faults += 1;
+    }
+    (buf, log)
+}
+
+fn write_record_header(buf: &mut Vec<u8>, ts_micros: u64, incl_len: u32) {
+    buf.extend_from_slice(&((ts_micros / 1_000_000) as u32).to_le_bytes());
+    buf.extend_from_slice(&((ts_micros % 1_000_000) as u32).to_le_bytes());
+    buf.extend_from_slice(&incl_len.to_le_bytes());
+    buf.extend_from_slice(&incl_len.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::{codered_capture, AddressPlan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_packet::PcapReader;
+    use std::io::Cursor;
+
+    fn capture() -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(11);
+        codered_capture(&mut rng, &AddressPlan::default(), 400, 2).0
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        let pkts = capture();
+        let cfg = ChaosConfig::with_rate(0.2);
+        let (a, la) = chaos_pcap(&mut StdRng::seed_from_u64(3), &pkts, &cfg);
+        let (b, lb) = chaos_pcap(&mut StdRng::seed_from_u64(3), &pkts, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(la.protocol_faults, lb.protocol_faults);
+        let (c, _) = chaos_pcap(&mut StdRng::seed_from_u64(4), &pkts, &cfg);
+        assert_ne!(a, c, "different seed, different fault pattern");
+    }
+
+    #[test]
+    fn zero_rate_without_tail_faults_is_identity() {
+        let pkts = capture();
+        let cfg = ChaosConfig {
+            rate: 0.0,
+            flood_flows: 0,
+            truncate_tail: false,
+            bogus_incl_len: false,
+        };
+        let (bytes, log) = chaos_pcap(&mut StdRng::seed_from_u64(5), &pkts, &cfg);
+        assert_eq!(log.protocol_faults + log.byte_faults, 0);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let decoded = r.decode_all().unwrap();
+        assert_eq!(decoded.len(), pkts.len());
+        for (a, b) in decoded.iter().zip(&pkts) {
+            assert_eq!(a.raw(), b.raw());
+        }
+    }
+
+    #[test]
+    fn faulted_capture_stays_readable_to_the_tail() {
+        let pkts = capture();
+        let cfg = ChaosConfig {
+            flood_flows: 32,
+            ..ChaosConfig::with_rate(0.3)
+        };
+        let (bytes, log) = chaos_pcap(&mut StdRng::seed_from_u64(6), &pkts, &cfg);
+        assert!(log.protocol_faults > 0);
+        assert!(log.byte_faults > 0);
+        assert_eq!(log.flood_packets, 32);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let decoded = r.decode_all().unwrap();
+        let stats = r.read_stats();
+        // The only stream-ending fault is the single tail record, so the
+        // overwhelming majority of records must have been read.
+        assert!(decoded.len() as u64 + stats.undecodable > pkts.len() as u64 / 2);
+        assert_eq!(stats.truncated_records + stats.malformed_records, 1);
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn flood_targets_only_existing_destinations() {
+        let pkts = capture();
+        let mut dsts: Vec<Ipv4Addr> = pkts.iter().filter_map(|p| p.ip().map(|h| h.dst)).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        let cfg = ChaosConfig {
+            rate: 0.0,
+            flood_flows: 16,
+            truncate_tail: false,
+            bogus_incl_len: false,
+        };
+        let mut log = ChaosLog::default();
+        let out = chaos_packets(&mut StdRng::seed_from_u64(7), &pkts, &cfg, &mut log);
+        assert_eq!(out.len(), pkts.len() + 16);
+        for p in &out[pkts.len()..] {
+            let ip = p.ip().unwrap();
+            assert!(dsts.contains(&ip.dst));
+            assert_eq!(ip.src.octets()[0], 203);
+        }
+    }
+}

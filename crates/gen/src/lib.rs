@@ -15,6 +15,7 @@ pub mod admmutate;
 pub mod asm;
 pub mod benign;
 pub mod binaries;
+pub mod chaos;
 pub mod clet;
 pub mod codered;
 pub mod exploit;
@@ -24,6 +25,7 @@ pub mod traces;
 
 pub use admmutate::{AdmMutate, DecoderFamily};
 pub use asm::Asm;
+pub use chaos::{chaos_packets, chaos_pcap, ChaosConfig, ChaosLog};
 pub use clet::Clet;
 pub use exploit::{ExploitLayout, OverflowExploit};
 pub use exploits::{ExploitScenario, SCENARIOS};

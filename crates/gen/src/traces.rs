@@ -139,7 +139,11 @@ pub fn codered_capture<G: Rng>(
             // scanning phase: probe dark space past the classifier threshold
             for _ in 0..6 {
                 let b = PacketBuilder::new(src, plan.dark(rng));
-                packets.push(b.at(ts).tcp_syn(rng.gen_range(1025..65000), 80, rng.gen()).unwrap());
+                packets.push(
+                    b.at(ts)
+                        .tcp_syn(rng.gen_range(1025..65000), 80, rng.gen())
+                        .unwrap(),
+                );
                 ts += 500;
             }
             // delivery phase: the exploit request to the web server
@@ -160,12 +164,7 @@ pub fn codered_capture<G: Rng>(
 
         // Benign background traffic.
         let (src, dst, dport, payload) = match rng.gen_range(0..5) {
-            0 => (
-                plan.client(rng),
-                plan.web_server,
-                80,
-                benign::http_get(rng),
-            ),
+            0 => (plan.client(rng), plan.web_server, 80, benign::http_get(rng)),
             1 => (
                 plan.web_server,
                 plan.client(rng),
@@ -213,7 +212,11 @@ pub fn codered_capture<G: Rng>(
         truth.crii_sources.push(src);
         for _ in 0..6 {
             let b = PacketBuilder::new(src, plan.dark(rng));
-            packets.push(b.at(ts).tcp_syn(rng.gen_range(1025..65000), 80, rng.gen()).unwrap());
+            packets.push(
+                b.at(ts)
+                    .tcp_syn(rng.gen_range(1025..65000), 80, rng.gen())
+                    .unwrap(),
+            );
             ts += 500;
         }
         let req = codered::request(rng);

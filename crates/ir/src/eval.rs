@@ -256,9 +256,7 @@ impl Evaluator {
                     None => Some(0),
                 };
                 let v = match (base, index) {
-                    (Some(b), Some(i)) => {
-                        Some(b.wrapping_add(i).wrapping_add(addr.disp as u32))
-                    }
+                    (Some(b), Some(i)) => Some(b.wrapping_add(i).wrapping_add(addr.disp as u32)),
                     _ => None,
                 };
                 self.state.set(*dst, v);
@@ -278,11 +276,8 @@ impl Evaluator {
                 self.state.push(None);
             }
             // Flag-only or control ops leave the register file alone.
-            SemOp::Cmp { .. }
-            | SemOp::Jmp(_)
-            | SemOp::Jcc(_, _)
-            | SemOp::Jecxz(_)
-            | SemOp::Nop => {}
+            SemOp::Cmp { .. } | SemOp::Jmp(_) | SemOp::Jcc(_, _) | SemOp::Jecxz(_) | SemOp::Nop => {
+            }
             SemOp::LoopOp(_) => {
                 // Decrements ECX by an unknown iteration count.
                 self.state.invalidate(Gpr::Ecx);
@@ -401,9 +396,7 @@ mod tests {
     #[test]
     fn syscall_clobbers_eax_but_not_ebx() {
         // mov eax, 2; mov ebx, 7; int 0x80; push eax; push ebx
-        let ops = run(&[
-            0xb8, 2, 0, 0, 0, 0xbb, 7, 0, 0, 0, 0xcd, 0x80, 0x50, 0x53,
-        ]);
+        let ops = run(&[0xb8, 2, 0, 0, 0, 0xbb, 7, 0, 0, 0, 0xcd, 0x80, 0x50, 0x53]);
         assert_eq!(ops[3].src_value, None, "eax clobbered by syscall");
         assert_eq!(ops[4].src_value, Some(7), "ebx preserved");
     }
@@ -457,7 +450,10 @@ mod tests {
         assert_eq!(fold_bin(BinKind::Rol, Width::B, 0x81, 1), Some(0x03));
         assert_eq!(fold_bin(BinKind::Ror, Width::B, 0x03, 1), Some(0x81));
         assert_eq!(fold_bin(BinKind::Sar, Width::B, 0x80, 1), Some(0xc0));
-        assert_eq!(fold_bin(BinKind::Sar, Width::D, 0x8000_0000, 4), Some(0xf800_0000));
+        assert_eq!(
+            fold_bin(BinKind::Sar, Width::D, 0x8000_0000, 4),
+            Some(0xf800_0000)
+        );
         assert_eq!(fold_bin(BinKind::Add, Width::B, 0xff, 1), Some(0));
         assert_eq!(fold_bin(BinKind::Adc, Width::D, 1, 1), None);
     }

@@ -182,8 +182,7 @@ fn lift_op(insn: &Instruction) -> SemOp {
         },
 
         Lea => {
-            let (Some(Operand::Reg(dst)), Some(Operand::Mem(m))) = (insn.op0(), insn.op1())
-            else {
+            let (Some(Operand::Reg(dst)), Some(Operand::Mem(m))) = (insn.op0(), insn.op1()) else {
                 return SemOp::Other(insn.mnemonic);
             };
             // lea r, [r+disp] is pointer arithmetic in disguise.
@@ -194,7 +193,10 @@ fn lift_op(insn: &Instruction) -> SemOp {
                     src: Value::Imm(m.disp as u32),
                 };
             }
-            SemOp::Lea { dst: *dst, addr: *m }
+            SemOp::Lea {
+                dst: *dst,
+                addr: *m,
+            }
         }
 
         Push => match insn.op0().and_then(value) {

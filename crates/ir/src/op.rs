@@ -296,9 +296,6 @@ mod tests {
         };
         assert_eq!(op.to_string(), "Xor byte ptr [eax], 0x95");
         assert_eq!(SemOp::Int(0x80).to_string(), "Int 0x80");
-        assert_eq!(
-            SemOp::LoopOp(Target::Off(0)).to_string(),
-            "Loop Off(0)"
-        );
+        assert_eq!(SemOp::LoopOp(Target::Off(0)).to_string(), "Loop Off(0)");
     }
 }

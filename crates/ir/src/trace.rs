@@ -172,10 +172,7 @@ mod tests {
         // The xor must appear BEFORE the add eax,1 in execution order,
         // even though it sits after it in storage order.
         let xor_pos = kinds.iter().position(|k| k.starts_with("Xor")).unwrap();
-        let add_eax = kinds
-            .iter()
-            .position(|k| k.starts_with("Add eax"))
-            .unwrap();
+        let add_eax = kinds.iter().position(|k| k.starts_with("Add eax")).unwrap();
         assert!(xor_pos < add_eax, "execution order broken: {joined}");
         // And the loop back-edge terminates the trace (target 0 is visited).
         assert!(matches!(t.ops.last().unwrap().op, SemOp::LoopOp(_)));
@@ -188,7 +185,15 @@ mod tests {
         let xor = t
             .ops
             .iter()
-            .find(|o| matches!(o.op, SemOp::Bin { op: BinKind::Xor, .. }))
+            .find(|o| {
+                matches!(
+                    o.op,
+                    SemOp::Bin {
+                        op: BinKind::Xor,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(xor.src_value, Some(0x95), "key folds through the jmp maze");
     }

@@ -56,12 +56,7 @@ pub fn checksum(data: &[u8]) -> u16 {
 
 /// Checksum for TCP/UDP including the IPv4 pseudo-header
 /// (source, destination, zero+protocol, transport length).
-pub fn pseudo_header_checksum(
-    src: [u8; 4],
-    dst: [u8; 4],
-    protocol: u8,
-    transport: &[u8],
-) -> u16 {
+pub fn pseudo_header_checksum(src: [u8; 4], dst: [u8; 4], protocol: u8, transport: &[u8]) -> u16 {
     let mut c = Checksum::new();
     c.add_bytes(&src);
     c.add_bytes(&dst);

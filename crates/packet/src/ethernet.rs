@@ -132,7 +132,10 @@ mod tests {
     fn truncated_is_rejected() {
         assert!(matches!(
             EthernetFrame::parse(&[0u8; 13]),
-            Err(Error::Truncated { layer: "ethernet", .. })
+            Err(Error::Truncated {
+                layer: "ethernet",
+                ..
+            })
         ));
     }
 

@@ -26,6 +26,6 @@ pub use error::{Error, Result};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use ipv4::{IpProtocol, Ipv4Header, IPV4_MIN_HEADER_LEN};
 pub use packet::{Packet, PacketBuilder, TransportSummary};
-pub use pcap::{PcapReader, PcapRecord, PcapWriter};
+pub use pcap::{PcapReader, PcapRecord, PcapWriter, ReadStats, DEFAULT_SNAPLEN, MAX_RECORD_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_MIN_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};

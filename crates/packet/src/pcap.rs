@@ -15,6 +15,42 @@ const MAGIC_BE: u32 = 0xd4c3b2a1;
 const LINKTYPE_ETHERNET: u32 = 1;
 /// Standard tcpdump default snap length.
 pub const DEFAULT_SNAPLEN: u32 = 65535;
+/// Hard upper bound on a single record, regardless of what the file
+/// header claims. A hostile header declaring `snaplen = 0xFFFF_FFFF`
+/// must not let a 40-byte file request a ~4 GiB allocation.
+pub const MAX_RECORD_LEN: u32 = 256 * 1024;
+/// Granularity of incremental record reads: memory is committed as bytes
+/// actually arrive, so a lying `incl_len` costs at most one chunk.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Accounting for one reader's lifetime: every record is either decoded
+/// or attributed to a specific failure — nothing is silently swallowed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Records read intact (whether or not they decoded).
+    pub records: u64,
+    /// Records decoded into packets by [`PcapReader::decode_all`].
+    pub decoded: u64,
+    /// Records read intact whose frame the decoder rejected.
+    pub undecodable: u64,
+    /// Records whose bytes ended early (stream truncated mid-record).
+    pub truncated_records: u64,
+    /// Records with a hostile/corrupt header (e.g. `incl_len` beyond the
+    /// snap length); reading cannot resynchronise past one of these.
+    pub malformed_records: u64,
+}
+
+impl ReadStats {
+    /// Total records attempted, including the ones that failed.
+    pub fn attempted(&self) -> u64 {
+        self.records + self.truncated_records + self.malformed_records
+    }
+
+    /// True when every attempted record is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.records == self.decoded + self.undecodable
+    }
+}
 
 /// One captured record: timestamp plus raw frame bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +81,7 @@ pub struct PcapReader<R: Read> {
     swapped: bool,
     snaplen: u32,
     linktype: u32,
+    stats: ReadStats,
 }
 
 impl PcapReader<BufReader<std::fs::File>> {
@@ -81,6 +118,7 @@ impl<R: Read> PcapReader<R> {
             swapped,
             snaplen,
             linktype,
+            stats: ReadStats::default(),
         })
     }
 
@@ -92,6 +130,18 @@ impl<R: Read> PcapReader<R> {
     /// The file's link type (1 = Ethernet).
     pub fn linktype(&self) -> u32 {
         self.linktype
+    }
+
+    /// Accounting for everything this reader has attempted so far.
+    pub fn read_stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    fn count_truncation(&mut self, e: std::io::Error) -> Error {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            self.stats.truncated_records += 1;
+        }
+        e.into()
     }
 
     fn read_u32(&mut self) -> std::io::Result<u32> {
@@ -111,17 +161,41 @@ impl<R: Read> PcapReader<R> {
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        let ts_usec = self.read_u32()?;
-        let incl_len = self.read_u32()?;
-        let _orig_len = self.read_u32()?;
-        if incl_len > self.snaplen.max(DEFAULT_SNAPLEN) {
+        let ts_usec = match self.read_u32() {
+            Ok(v) => v,
+            Err(e) => return Err(self.count_truncation(e)),
+        };
+        let incl_len = match self.read_u32() {
+            Ok(v) => v,
+            Err(e) => return Err(self.count_truncation(e)),
+        };
+        let _orig_len = match self.read_u32() {
+            Ok(v) => v,
+            Err(e) => return Err(self.count_truncation(e)),
+        };
+        // The declared snap length is advisory only: it came from the same
+        // untrusted file as the record header, so it is clamped to a hard
+        // cap before being trusted as an allocation bound.
+        let cap = self.snaplen.clamp(DEFAULT_SNAPLEN, MAX_RECORD_LEN);
+        if incl_len > cap {
+            self.stats.malformed_records += 1;
             return Err(Error::Malformed {
                 layer: "pcap",
                 reason: "record length exceeds snap length",
             });
         }
-        let mut data = vec![0u8; incl_len as usize];
-        self.inner.read_exact(&mut data)?;
+        // Read incrementally so memory is committed only as bytes actually
+        // arrive; a lying `incl_len` over a short stream costs one chunk.
+        let want = incl_len as usize;
+        let mut data = Vec::with_capacity(want.min(READ_CHUNK));
+        while data.len() < want {
+            let old = data.len();
+            data.resize(old + READ_CHUNK.min(want - old), 0);
+            if let Err(e) = self.inner.read_exact(&mut data[old..]) {
+                return Err(self.count_truncation(e));
+            }
+        }
+        self.stats.records += 1;
         Ok(Some(PcapRecord {
             ts_sec,
             ts_usec,
@@ -129,13 +203,26 @@ impl<R: Read> PcapReader<R> {
         }))
     }
 
-    /// Read and decode every remaining record, skipping frames the decoder
-    /// rejects (a NIDS tolerates damaged captures) and returning the packets.
+    /// Read and decode every remaining record. Total over hostile input: a
+    /// damaged capture never aborts the scan. Undecodable frames are tallied
+    /// in [`PcapReader::read_stats`] and skipped; a truncated or malformed
+    /// record ends the scan (the stream cannot be resynchronised past it)
+    /// after being attributed in the stats. The `Result` is kept for API
+    /// stability; this method no longer fails.
     pub fn decode_all(&mut self) -> Result<Vec<Packet>> {
         let mut out = Vec::new();
-        while let Some(rec) = self.next_record()? {
-            if let Ok(p) = rec.decode() {
-                out.push(p);
+        loop {
+            match self.next_record() {
+                Ok(Some(rec)) => match rec.decode() {
+                    Ok(p) => {
+                        self.stats.decoded += 1;
+                        out.push(p);
+                    }
+                    Err(_) => self.stats.undecodable += 1,
+                },
+                Ok(None) => break,
+                // Already attributed to truncated/malformed by next_record.
+                Err(_) => break,
             }
         }
         Ok(out)
@@ -284,6 +371,57 @@ mod tests {
         let buf = w.finish().unwrap();
         let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
         assert_eq!(r.decode_all().unwrap().len(), 1);
+        let stats = r.read_stats();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.decoded, 1);
+        assert_eq!(stats.undecodable, 1);
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn hostile_snaplen_cannot_force_huge_allocation() {
+        // File header claims snaplen = 0xFFFF_FFFF; the record then claims
+        // ~4 GiB of data over a 4-byte body. The hard cap must reject the
+        // record before any allocation of that size is attempted.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_LE.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0xFFFF_FFFFu32.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&1u32.to_le_bytes()); // linktype
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ts_sec
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ts_usec
+        buf.extend_from_slice(&0xFFFF_FF00u32.to_le_bytes()); // incl_len
+        buf.extend_from_slice(&0xFFFF_FF00u32.to_le_bytes()); // orig_len
+        buf.extend_from_slice(&[0u8; 4]);
+
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(matches!(r.next_record(), Err(Error::Malformed { .. })));
+        assert_eq!(r.read_stats().malformed_records, 1);
+    }
+
+    #[test]
+    fn lying_incl_len_within_cap_costs_at_most_one_chunk() {
+        // A record claiming a full snap length of bytes over a near-empty
+        // stream must fail with a truncation, not read gigabytes or panic.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(&sample_packets()[0]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ts_sec
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ts_usec
+        buf.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes()); // incl_len
+        buf.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes()); // orig_len
+        buf.extend_from_slice(&[0u8; 16]); // far fewer bytes than claimed
+
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let pkts = r.decode_all().unwrap();
+        assert_eq!(pkts.len(), 1);
+        let stats = r.read_stats();
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.truncated_records, 1);
+        assert_eq!(stats.attempted(), 2);
     }
 
     #[test]

@@ -107,15 +107,9 @@ mod tests {
         ));
         let mut d = [0u8; 8];
         d[5] = 4; // length 4 < 8
-        assert!(matches!(
-            UdpHeader::parse(&d),
-            Err(Error::Malformed { .. })
-        ));
+        assert!(matches!(UdpHeader::parse(&d), Err(Error::Malformed { .. })));
         let mut d = [0u8; 8];
         d[5] = 20; // length 20 > 8 available
-        assert!(matches!(
-            UdpHeader::parse(&d),
-            Err(Error::Truncated { .. })
-        ));
+        assert!(matches!(UdpHeader::parse(&d), Err(Error::Truncated { .. })));
     }
 }

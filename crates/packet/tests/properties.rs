@@ -107,4 +107,57 @@ proptest! {
     fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = Packet::decode(0, raw);
     }
+
+    /// The reader is total over arbitrary bytes: any stream either fails
+    /// the header check or reads to its end with every record attributed.
+    #[test]
+    fn pcap_reader_total_on_arbitrary_bytes(buf in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(mut r) = PcapReader::new(Cursor::new(buf)) {
+            let pkts = r.decode_all().unwrap_or_default();
+            let stats = r.read_stats();
+            prop_assert!(stats.balanced(), "stats unbalanced: {stats:?}");
+            prop_assert_eq!(stats.decoded, pkts.len() as u64);
+        }
+    }
+
+    /// Same with a valid global header prepended, so the record loop always
+    /// runs over the hostile bytes.
+    #[test]
+    fn pcap_reader_total_past_valid_header(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = PcapWriter::new(Vec::new()).unwrap().finish().unwrap();
+        buf.extend_from_slice(&body);
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let pkts = r.decode_all().unwrap_or_default();
+        let stats = r.read_stats();
+        prop_assert!(stats.balanced(), "stats unbalanced: {stats:?}");
+        prop_assert_eq!(stats.decoded, pkts.len() as u64);
+    }
+
+    /// Bit-flipping a valid capture never panics the reader and never loses
+    /// accounting: decoded + undecodable + truncated + malformed covers
+    /// every record the reader touched.
+    #[test]
+    fn pcap_reader_total_under_bit_flips(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..12),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..24),
+    ) {
+        let b = PacketBuilder::new(Ipv4Addr::new(172,16,0,1), Ipv4Addr::new(172,16,0,2));
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for (i, pl) in payloads.iter().enumerate() {
+            let p = b.clone().at(i as u64 * 1000).tcp(4000, 80, i as u32, 0, TcpFlags::ACK, pl).unwrap();
+            w.write_packet(&p).unwrap();
+        }
+        let mut buf = w.finish().unwrap();
+        // Flip bits anywhere past the (trusted-by-construction) file header.
+        for (pos, bit) in &flips {
+            let span = buf.len() - 24;
+            buf[24 + (*pos as usize) % span] ^= 1 << bit;
+        }
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let pkts = r.decode_all().unwrap_or_default();
+        let stats = r.read_stats();
+        prop_assert!(stats.balanced(), "stats unbalanced: {stats:?}");
+        prop_assert_eq!(stats.decoded, pkts.len() as u64);
+        prop_assert!(stats.attempted() <= payloads.len() as u64);
+    }
 }

@@ -27,15 +27,41 @@ pub struct TemplateMatch {
     pub consts: Vec<(u8, u32)>,
 }
 
+impl TemplateMatch {
+    /// Serialize to a JSON object. Hand-rolled: template names and
+    /// register names come from fixed internal tables (alphanumeric plus
+    /// `-`), so no string escaping is required.
+    pub fn to_json(&self) -> String {
+        let regs: Vec<String> = self
+            .bound_regs
+            .iter()
+            .map(|(v, r)| format!("[{v},\"{r}\"]"))
+            .collect();
+        let consts: Vec<String> = self
+            .consts
+            .iter()
+            .map(|(id, val)| format!("[{id},{val}]"))
+            .collect();
+        format!(
+            "{{\"template\":\"{}\",\"severity\":\"{}\",\"start\":{},\"end\":{},\"trace_start\":{},\"bound_regs\":[{}],\"consts\":[{}]}}",
+            self.template,
+            self.severity,
+            self.start,
+            self.end,
+            self.trace_start,
+            regs.join(","),
+            consts.join(","),
+        )
+    }
+}
+
 fn to_match(tmpl: &Template, trace: &Trace, info: &MatchInfo) -> TemplateMatch {
     let bound_regs = info
         .bindings
         .regs
         .iter()
         .enumerate()
-        .filter_map(|(i, g)| {
-            g.map(|g| (i as u8, snids_x86::Reg::r32(g).to_string()))
-        })
+        .filter_map(|(i, g)| g.map(|g| (i as u8, snids_x86::Reg::r32(g).to_string())))
         .collect();
     let consts = info
         .bindings
@@ -212,7 +238,10 @@ mod tests {
     fn analyzer_reports_shell_spawn() {
         let a = Analyzer::default();
         let ms = a.analyze(&shell_code());
-        assert!(ms.iter().any(|m| m.template == "linux-shell-spawn"), "{ms:?}");
+        assert!(
+            ms.iter().any(|m| m.template == "linux-shell-spawn"),
+            "{ms:?}"
+        );
         assert!(a.detects(&shell_code()));
     }
 
@@ -289,7 +318,8 @@ mod tests {
         assert_eq!(m.severity, Severity::High);
         assert_eq!(m.bound_regs, vec![(0, "eax".to_string())]);
         // serializes for the alert sink
-        let json = serde_json::to_string(m).unwrap();
-        assert!(json.contains("xor-decrypt-loop"));
+        let json = m.to_json();
+        assert!(json.contains("\"template\":\"xor-decrypt-loop\""));
+        assert!(json.contains("\"bound_regs\":[[0,\"eax\"]]"));
     }
 }

@@ -59,7 +59,10 @@ fn parse_var(tok: &str, line: usize) -> Result<VarId, DslError> {
         "Y" => Ok(VarId(1)),
         "Z" => Ok(VarId(2)),
         "W" => Ok(VarId(3)),
-        other => Err(err(line, format!("unknown variable `{other}` (use X/Y/Z/W)"))),
+        other => Err(err(
+            line,
+            format!("unknown variable `{other}` (use X/Y/Z/W)"),
+        )),
     }
 }
 
@@ -68,7 +71,10 @@ fn parse_var(tok: &str, line: usize) -> Result<VarId, DslError> {
 fn parse_const(tok: &str, line: usize) -> Result<u32, DslError> {
     if let Some(q) = tok.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
         if q.is_empty() || q.len() > 4 || !q.is_ascii() {
-            return Err(err(line, format!("string constant must be 1-4 ASCII bytes: {tok}")));
+            return Err(err(
+                line,
+                format!("string constant must be 1-4 ASCII bytes: {tok}"),
+            ));
         }
         let mut b = [0u8; 4];
         b[..q.len()].copy_from_slice(q.as_bytes());
@@ -138,9 +144,7 @@ pub fn parse(input: &str) -> Result<Vec<Template>, DslError> {
                     None | Some("high") => Severity::High,
                     Some("medium") => Severity::Medium,
                     Some("info") => Severity::Info,
-                    Some(other) => {
-                        return Err(err(line_no, format!("unknown severity `{other}`")))
-                    }
+                    Some(other) => return Err(err(line_no, format!("unknown severity `{other}`"))),
                 };
                 let max_gap = match kv(&tokens[2..], "gap") {
                     None => None,
@@ -173,11 +177,7 @@ pub fn parse(input: &str) -> Result<Vec<Template>, DslError> {
     Ok(templates)
 }
 
-fn finish_template(
-    t: Template,
-    line: usize,
-    out: &mut Vec<Template>,
-) -> Result<(), DslError> {
+fn finish_template(t: Template, line: usize, out: &mut Vec<Template>) -> Result<(), DslError> {
     if t.ops.is_empty() {
         return Err(err(line, format!("template `{}` has no steps", t.name)));
     }
@@ -192,7 +192,9 @@ fn parse_step(step: &str, tokens: &[&str], line: usize) -> Result<PatOp, DslErro
     match step {
         "storexform" => {
             let addr = parse_var(
-                tokens.get(1).ok_or_else(|| err(line, "storexform needs a variable"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "storexform needs a variable"))?,
                 line,
             )?;
             let ops = match kv(&tokens[2..], "ops") {
@@ -211,29 +213,39 @@ fn parse_step(step: &str, tokens: &[&str], line: usize) -> Result<PatOp, DslErro
         }
         "loadfrom" => {
             let dst = parse_var(
-                tokens.get(1).ok_or_else(|| err(line, "loadfrom needs DST ADDR"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "loadfrom needs DST ADDR"))?,
                 line,
             )?;
             let addr = parse_var(
-                tokens.get(2).ok_or_else(|| err(line, "loadfrom needs DST ADDR"))?,
+                tokens
+                    .get(2)
+                    .ok_or_else(|| err(line, "loadfrom needs DST ADDR"))?,
                 line,
             )?;
             Ok(PatOp::LoadFrom { dst, addr })
         }
         "storeto" => {
             let addr = parse_var(
-                tokens.get(1).ok_or_else(|| err(line, "storeto needs ADDR SRC"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "storeto needs ADDR SRC"))?,
                 line,
             )?;
             let src = parse_var(
-                tokens.get(2).ok_or_else(|| err(line, "storeto needs ADDR SRC"))?,
+                tokens
+                    .get(2)
+                    .ok_or_else(|| err(line, "storeto needs ADDR SRC"))?,
                 line,
             )?;
             Ok(PatOp::StoreTo { addr, src })
         }
         "xform" => {
             let dst = parse_var(
-                tokens.get(1).ok_or_else(|| err(line, "xform needs a variable"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "xform needs a variable"))?,
                 line,
             )?;
             let ops = match kv(&tokens[2..], "ops") {
@@ -244,7 +256,9 @@ fn parse_step(step: &str, tokens: &[&str], line: usize) -> Result<PatOp, DslErro
         }
         "advance" => {
             let addr = parse_var(
-                tokens.get(1).ok_or_else(|| err(line, "advance needs a variable"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "advance needs a variable"))?,
                 line,
             )?;
             Ok(PatOp::Advance { addr })
@@ -263,7 +277,9 @@ fn parse_step(step: &str, tokens: &[&str], line: usize) -> Result<PatOp, DslErro
         }
         "syscall" => {
             let vector = parse_const(
-                tokens.get(1).ok_or_else(|| err(line, "syscall needs a vector"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "syscall needs a vector"))?,
                 line,
             )? as u8;
             let eax = kv(&tokens[2..], "eax")
@@ -276,11 +292,15 @@ fn parse_step(step: &str, tokens: &[&str], line: usize) -> Result<PatOp, DslErro
         }
         "addr-range" => {
             let lo = parse_const(
-                tokens.get(1).ok_or_else(|| err(line, "addr-range needs LO HI"))?,
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "addr-range needs LO HI"))?,
                 line,
             )?;
             let hi = parse_const(
-                tokens.get(2).ok_or_else(|| err(line, "addr-range needs LO HI"))?,
+                tokens
+                    .get(2)
+                    .ok_or_else(|| err(line, "addr-range needs LO HI"))?,
                 line,
             )?;
             if lo > hi {

@@ -149,7 +149,16 @@ fn search(
         matched.push(op_idx);
         // XformMany may also absorb further transforms: try both staying on
         // this step and advancing past it.
-        if search(ctx, t_idx + 1, op_idx + 1, b2, first_idx, 0, matched, budget) {
+        if search(
+            ctx,
+            t_idx + 1,
+            op_idx + 1,
+            b2,
+            first_idx,
+            0,
+            matched,
+            budget,
+        ) {
             return true;
         }
         if matches!(pat, PatOp::XformMany { .. })
@@ -399,10 +408,9 @@ fn match_op(
                 out.push(bindings);
             }
         }
-        (PatOp::AddrInRange { lo, hi }, op)
-            if references_addr_in(op, insn.src_value, *lo, *hi) => {
-                out.push(bindings);
-            }
+        (PatOp::AddrInRange { lo, hi }, op) if references_addr_in(op, insn.src_value, *lo, *hi) => {
+            out.push(bindings);
+        }
         _ => {}
     }
     out
@@ -457,8 +465,7 @@ fn counter_consistent(
                             let v = v & m;
                             (1..=16).contains(&v) || v >= m - 15
                         });
-                        small_step == Some(true)
-                            && !bound.contains(snids_x86::Location::Gpr(r.gpr))
+                        small_step == Some(true) && !bound.contains(snids_x86::Location::Gpr(r.gpr))
                     }
                     SemOp::Cmp { a, b } => {
                         let touches = |v: &Value| match v {
@@ -642,9 +649,7 @@ mod tests {
         ];
         assert!(matches(&templates::admmutate_alt_decoder(), &code));
         // Single transform also matches.
-        let code = [
-            0x8a, 0x1e, 0x80, 0xf3, 0x55, 0x88, 0x1e, 0x46, 0xe2, 0xf6,
-        ];
+        let code = [0x8a, 0x1e, 0x80, 0xf3, 0x55, 0x88, 0x1e, 0x46, 0xe2, 0xf6];
         assert!(matches(&templates::admmutate_alt_decoder(), &code));
     }
 

@@ -19,7 +19,9 @@ fn decoder(ptr: u8, key: u8, step: u8) -> Vec<u8> {
 /// Single-byte NOP-like instructions ADMmutate-style engines use for
 /// padding (must not touch the decoder's pointer register EAX..EDI choice).
 fn nop_like_pool(exclude: u8) -> Vec<u8> {
-    let mut pool = vec![0x90, 0xf8, 0xf9, 0xfc, 0x98, 0x99, 0x9e, 0x9f, 0x27, 0x2f, 0x37, 0x3f];
+    let mut pool = vec![
+        0x90, 0xf8, 0xf9, 0xfc, 0x98, 0x99, 0x9e, 0x9f, 0x27, 0x2f, 0x37, 0x3f,
+    ];
     // inc/dec of registers other than the pointer (and not ESP).
     for r in 0..8u8 {
         if r != exclude && r != 4 {

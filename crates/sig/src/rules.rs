@@ -135,7 +135,10 @@ mod tests {
             0xe3, 0xb0, 0x0b, 0xcd, 0x80,
         ];
         let xored: Vec<u8> = sc.iter().map(|b| b ^ 0x95).collect();
-        assert!(!rs.matches(&xored), "static signatures must miss encoded code");
+        assert!(
+            !rs.matches(&xored),
+            "static signatures must miss encoded code"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(buf: &'a [u8], start: usize) -> Self {
-        Cursor { buf, start, pos: start }
+        Cursor {
+            buf,
+            start,
+            pos: start,
+        }
     }
 
     fn len(&self) -> usize {
@@ -123,13 +127,7 @@ fn modrm(cur: &mut Cursor<'_>, prefixes: &Prefixes) -> Option<(u8, Rm)> {
 }
 
 /// 16-bit addressing forms (`67` prefix): `[bx+si]`, `[bp+di]`, ...
-fn modrm16(
-    cur: &mut Cursor<'_>,
-    prefixes: &Prefixes,
-    md: u8,
-    reg: u8,
-    rm: u8,
-) -> Option<(u8, Rm)> {
+fn modrm16(cur: &mut Cursor<'_>, prefixes: &Prefixes, md: u8, reg: u8, rm: u8) -> Option<(u8, Rm)> {
     const TABLE: [(Option<Gpr>, Option<Gpr>); 8] = [
         (Some(Gpr::Ebx), Some(Gpr::Esi)),
         (Some(Gpr::Ebx), Some(Gpr::Edi)),
@@ -276,10 +274,7 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
             }
             1 => {
                 let (reg, rm) = modrm(&mut cur, &prefixes)?;
-                let ops = vec![
-                    rm_operand(rm, opw),
-                    Operand::Reg(Reg::from_index(reg, opw)),
-                ];
+                let ops = vec![rm_operand(rm, opw), Operand::Reg(Reg::from_index(reg, opw))];
                 return insn(&cur, mnem, ops, opw);
             }
             2 => {
@@ -289,10 +284,7 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
             }
             3 => {
                 let (reg, rm) = modrm(&mut cur, &prefixes)?;
-                let ops = vec![
-                    Operand::Reg(Reg::from_index(reg, opw)),
-                    rm_operand(rm, opw),
-                ];
+                let ops = vec![Operand::Reg(Reg::from_index(reg, opw)), rm_operand(rm, opw)];
                 return insn(&cur, mnem, ops, opw);
             }
             4 => {
@@ -366,10 +358,7 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
             match rm {
                 Rm::Mem(_) => {
-                    let ops = vec![
-                        Operand::Reg(Reg::from_index(reg, opw)),
-                        rm_operand(rm, opw),
-                    ];
+                    let ops = vec![Operand::Reg(Reg::from_index(reg, opw)), rm_operand(rm, opw)];
                     insn(&cur, Mnemonic::Bound, ops, opw)
                 }
                 Rm::Reg(_) => None, // BOUND requires a memory operand
@@ -377,7 +366,10 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0x63 => {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
-            let ops = vec![rm_operand(rm, Width::W), Operand::Reg(Reg::r16(Gpr::from_index(reg)))];
+            let ops = vec![
+                rm_operand(rm, Width::W),
+                Operand::Reg(Reg::r16(Gpr::from_index(reg))),
+            ];
             insn(&cur, Mnemonic::Arpl, ops, Width::W)
         }
         0x68 => {
@@ -436,7 +428,10 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
             let v = cur.u8()?;
             let mnem = group1(reg);
-            let ops = vec![rm_operand(rm, Width::B), Operand::Imm(i64::from(v), Width::B)];
+            let ops = vec![
+                rm_operand(rm, Width::B),
+                Operand::Imm(i64::from(v), Width::B),
+            ];
             insn(&cur, mnem, ops, Width::B)
         }
         0x81 => {
@@ -486,7 +481,10 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0x8c => {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
-            let ops = vec![rm_operand(rm, Width::W), Operand::SegReg(SegReg::from_index(reg))];
+            let ops = vec![
+                rm_operand(rm, Width::W),
+                Operand::SegReg(SegReg::from_index(reg)),
+            ];
             insn(&cur, Mnemonic::Mov, ops, Width::W)
         }
         0x8d => {
@@ -501,7 +499,10 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0x8e => {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
-            let ops = vec![Operand::SegReg(SegReg::from_index(reg)), rm_operand(rm, Width::W)];
+            let ops = vec![
+                Operand::SegReg(SegReg::from_index(reg)),
+                rm_operand(rm, Width::W),
+            ];
             insn(&cur, Mnemonic::Mov, ops, Width::W)
         }
         0x8f => {
@@ -524,20 +525,33 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0x98 => insn(
             &cur,
-            if prefixes.opsize { Mnemonic::Cbw } else { Mnemonic::Cwde },
+            if prefixes.opsize {
+                Mnemonic::Cbw
+            } else {
+                Mnemonic::Cwde
+            },
             vec![],
             opw,
         ),
         0x99 => insn(
             &cur,
-            if prefixes.opsize { Mnemonic::Cwd } else { Mnemonic::Cdq },
+            if prefixes.opsize {
+                Mnemonic::Cwd
+            } else {
+                Mnemonic::Cdq
+            },
             vec![],
             opw,
         ),
         0x9a => {
             let off = cur.u32()?;
             let seg = cur.u16()?;
-            insn(&cur, Mnemonic::CallFar, vec![Operand::Far { seg, off }], opw)
+            insn(
+                &cur,
+                Mnemonic::CallFar,
+                vec![Operand::Far { seg, off }],
+                opw,
+            )
         }
         0x9b => insn(&cur, Mnemonic::Wait, vec![], Width::B),
         0x9c => insn(&cur, Mnemonic::Pushf, vec![], opw),
@@ -560,7 +574,11 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
                 width: w,
             });
             let acc = Operand::Reg(Reg::accumulator(w));
-            let ops = if opcode < 0xa2 { vec![acc, mem] } else { vec![mem, acc] };
+            let ops = if opcode < 0xa2 {
+                vec![acc, mem]
+            } else {
+                vec![mem, acc]
+            };
             insn(&cur, Mnemonic::Mov, ops, w)
         }
         0xa4 | 0xa5 => insn(&cur, Mnemonic::Movs, vec![], str_w(opcode, opw)),
@@ -605,14 +623,23 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0xc2 => {
             let v = cur.u16()?;
-            insn(&cur, Mnemonic::Ret, vec![Operand::Imm(i64::from(v), Width::W)], opw)
+            insn(
+                &cur,
+                Mnemonic::Ret,
+                vec![Operand::Imm(i64::from(v), Width::W)],
+                opw,
+            )
         }
         0xc3 => insn(&cur, Mnemonic::Ret, vec![], opw),
         0xc4 | 0xc5 => {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
             match rm {
                 Rm::Mem(_) => {
-                    let mnem = if opcode == 0xc4 { Mnemonic::Les } else { Mnemonic::Lds };
+                    let mnem = if opcode == 0xc4 {
+                        Mnemonic::Les
+                    } else {
+                        Mnemonic::Lds
+                    };
                     let ops = vec![Operand::Reg(Reg::from_index(reg, opw)), rm_operand(rm, opw)];
                     insn(&cur, mnem, ops, opw)
                 }
@@ -625,7 +652,10 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
                 return None;
             }
             let v = cur.u8()?;
-            let ops = vec![rm_operand(rm, Width::B), Operand::Imm(i64::from(v), Width::B)];
+            let ops = vec![
+                rm_operand(rm, Width::B),
+                Operand::Imm(i64::from(v), Width::B),
+            ];
             insn(&cur, Mnemonic::Mov, ops, Width::B)
         }
         0xc7 => {
@@ -649,13 +679,23 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         0xc9 => insn(&cur, Mnemonic::Leave, vec![], opw),
         0xca => {
             let v = cur.u16()?;
-            insn(&cur, Mnemonic::RetFar, vec![Operand::Imm(i64::from(v), Width::W)], opw)
+            insn(
+                &cur,
+                Mnemonic::RetFar,
+                vec![Operand::Imm(i64::from(v), Width::W)],
+                opw,
+            )
         }
         0xcb => insn(&cur, Mnemonic::RetFar, vec![], opw),
         0xcc => insn(&cur, Mnemonic::Int3, vec![], Width::B),
         0xcd => {
             let v = cur.u8()?;
-            insn(&cur, Mnemonic::Int, vec![Operand::Imm(i64::from(v), Width::B)], Width::B)
+            insn(
+                &cur,
+                Mnemonic::Int,
+                vec![Operand::Imm(i64::from(v), Width::B)],
+                Width::B,
+            )
         }
         0xce => insn(&cur, Mnemonic::Into, vec![], Width::B),
         0xcf => insn(&cur, Mnemonic::Iret, vec![], opw),
@@ -673,11 +713,21 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0xd4 => {
             let v = cur.u8()?;
-            insn(&cur, Mnemonic::Aam, vec![Operand::Imm(i64::from(v), Width::B)], Width::B)
+            insn(
+                &cur,
+                Mnemonic::Aam,
+                vec![Operand::Imm(i64::from(v), Width::B)],
+                Width::B,
+            )
         }
         0xd5 => {
             let v = cur.u8()?;
-            insn(&cur, Mnemonic::Aad, vec![Operand::Imm(i64::from(v), Width::B)], Width::B)
+            insn(
+                &cur,
+                Mnemonic::Aad,
+                vec![Operand::Imm(i64::from(v), Width::B)],
+                Width::B,
+            )
         }
         0xd6 => insn(&cur, Mnemonic::Salc, vec![], Width::B),
         0xd7 => insn(&cur, Mnemonic::Xlat, vec![], Width::B),
@@ -698,7 +748,12 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
                 0xe1 => LoopKind::E,
                 _ => LoopKind::Plain,
             };
-            insn(&cur, Mnemonic::Loop(kind), vec![Operand::Rel(target)], Width::B)
+            insn(
+                &cur,
+                Mnemonic::Loop(kind),
+                vec![Operand::Rel(target)],
+                Width::B,
+            )
         }
         0xe3 => {
             let rel = cur.i8()?;
@@ -745,12 +800,18 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         }
         0xec | 0xed => {
             let w = if opcode & 1 == 0 { Width::B } else { opw };
-            let ops = vec![Operand::Reg(Reg::accumulator(w)), Operand::Reg(Reg::r16(Gpr::Edx))];
+            let ops = vec![
+                Operand::Reg(Reg::accumulator(w)),
+                Operand::Reg(Reg::r16(Gpr::Edx)),
+            ];
             insn(&cur, Mnemonic::In, ops, w)
         }
         0xee | 0xef => {
             let w = if opcode & 1 == 0 { Width::B } else { opw };
-            let ops = vec![Operand::Reg(Reg::r16(Gpr::Edx)), Operand::Reg(Reg::accumulator(w))];
+            let ops = vec![
+                Operand::Reg(Reg::r16(Gpr::Edx)),
+                Operand::Reg(Reg::accumulator(w)),
+            ];
             insn(&cur, Mnemonic::Out, ops, w)
         }
         0xf1 => insn(&cur, Mnemonic::Int3, vec![], Width::B), // ICEBP
@@ -787,8 +848,18 @@ fn try_decode(buf: &[u8], offset: usize) -> Option<Instruction> {
         0xfe => {
             let (reg, rm) = modrm(&mut cur, &prefixes)?;
             match reg {
-                0 => insn(&cur, Mnemonic::Inc, vec![rm_operand(rm, Width::B)], Width::B),
-                1 => insn(&cur, Mnemonic::Dec, vec![rm_operand(rm, Width::B)], Width::B),
+                0 => insn(
+                    &cur,
+                    Mnemonic::Inc,
+                    vec![rm_operand(rm, Width::B)],
+                    Width::B,
+                ),
+                1 => insn(
+                    &cur,
+                    Mnemonic::Dec,
+                    vec![rm_operand(rm, Width::B)],
+                    Width::B,
+                ),
                 _ => None,
             }
         }
@@ -896,8 +967,18 @@ fn decode_0f(
                 Width::B,
             )
         }
-        0xa0 => insn(cur, Mnemonic::Push, vec![Operand::SegReg(SegReg::Fs)], Width::D),
-        0xa1 => insn(cur, Mnemonic::Pop, vec![Operand::SegReg(SegReg::Fs)], Width::D),
+        0xa0 => insn(
+            cur,
+            Mnemonic::Push,
+            vec![Operand::SegReg(SegReg::Fs)],
+            Width::D,
+        ),
+        0xa1 => insn(
+            cur,
+            Mnemonic::Pop,
+            vec![Operand::SegReg(SegReg::Fs)],
+            Width::D,
+        ),
         0xa2 => insn(cur, Mnemonic::Cpuid, vec![], Width::D),
         0xa3 | 0xab | 0xb3 | 0xbb => {
             let (reg, rm) = modrm(cur, &prefixes)?;
@@ -910,8 +991,18 @@ fn decode_0f(
             let ops = vec![rm_operand(rm, opw), Operand::Reg(Reg::from_index(reg, opw))];
             insn(cur, mnem, ops, opw)
         }
-        0xa8 => insn(cur, Mnemonic::Push, vec![Operand::SegReg(SegReg::Gs)], Width::D),
-        0xa9 => insn(cur, Mnemonic::Pop, vec![Operand::SegReg(SegReg::Gs)], Width::D),
+        0xa8 => insn(
+            cur,
+            Mnemonic::Push,
+            vec![Operand::SegReg(SegReg::Gs)],
+            Width::D,
+        ),
+        0xa9 => insn(
+            cur,
+            Mnemonic::Pop,
+            vec![Operand::SegReg(SegReg::Gs)],
+            Width::D,
+        ),
         0xaf => {
             let (reg, rm) = modrm(cur, &prefixes)?;
             let ops = vec![Operand::Reg(Reg::from_index(reg, opw)), rm_operand(rm, opw)];
@@ -925,9 +1016,16 @@ fn decode_0f(
         }
         0xb6 | 0xb7 | 0xbe | 0xbf => {
             let srcw = if opcode & 1 == 0 { Width::B } else { Width::W };
-            let mnem = if opcode < 0xbe { Mnemonic::Movzx } else { Mnemonic::Movsx };
+            let mnem = if opcode < 0xbe {
+                Mnemonic::Movzx
+            } else {
+                Mnemonic::Movsx
+            };
             let (reg, rm) = modrm(cur, &prefixes)?;
-            let ops = vec![Operand::Reg(Reg::from_index(reg, opw)), rm_operand(rm, srcw)];
+            let ops = vec![
+                Operand::Reg(Reg::from_index(reg, opw)),
+                rm_operand(rm, srcw),
+            ];
             insn(cur, mnem, ops, opw)
         }
         0xba => {

@@ -33,4 +33,4 @@ pub use insn::{Cond, Instruction, LoopKind, Mnemonic, Prefixes, SegReg};
 pub use operand::{MemRef, Operand, Width};
 pub use reg::{Gpr, Reg};
 pub use semantics::{LocSet, Location};
-pub use stream::{linear_sweep, InsnStream};
+pub use stream::{linear_sweep, linear_sweep_budgeted, InsnStream, SweepBudget, SweepOutcome};

@@ -159,8 +159,8 @@ pub fn reads(insn: &Instruction) -> LocSet {
     let op2 = insn.operands.get(2);
     match insn.mnemonic {
         // dst is read-modify-write
-        Add | Adc | Sub | Sbb | And | Or | Xor | Rol | Ror | Rcl | Rcr | Shl | Shr | Sar
-        | Bts | Btr | Btc | Xadd => {
+        Add | Adc | Sub | Sbb | And | Or | Xor | Rol | Ror | Rcl | Rcr | Shl | Shr | Sar | Bts
+        | Btr | Btc | Xadd => {
             let mut s = LocSet::EMPTY;
             if let Some(d) = op0 {
                 s = s | src_reads(d);
@@ -191,7 +191,11 @@ pub fn reads(insn: &Instruction) -> LocSet {
         Xchg | Cmpxchg => {
             let a = op0.map(src_reads).unwrap_or(LocSet::EMPTY);
             let b = op1.map(src_reads).unwrap_or(LocSet::EMPTY);
-            let acc = if insn.mnemonic == Cmpxchg { EAX } else { LocSet::EMPTY };
+            let acc = if insn.mnemonic == Cmpxchg {
+                EAX
+            } else {
+                LocSet::EMPTY
+            };
             a | b | acc
         }
         Push => op0.map(src_reads).unwrap_or(LocSet::EMPTY) | ESP,
@@ -214,9 +218,7 @@ pub fn reads(insn: &Instruction) -> LocSet {
             }
             s
         }
-        Mul | Div | Idiv => {
-            op0.map(src_reads).unwrap_or(LocSet::EMPTY) | EAX | EDX
-        }
+        Mul | Div | Idiv => op0.map(src_reads).unwrap_or(LocSet::EMPTY) | EAX | EDX,
         Cwde | Cbw => EAX,
         Cdq | Cwd => EAX,
         Jmp | Call => op0.map(src_reads).unwrap_or(LocSet::EMPTY) | ESP,
@@ -308,9 +310,7 @@ pub fn writes(insn: &Instruction) -> LocSet {
             let b = insn.op1().map(dst_writes).unwrap_or(LocSet::EMPTY);
             a | b
         }
-        Cmpxchg => {
-            op0.map(dst_writes).unwrap_or(LocSet::EMPTY) | EAX | LocSet::FLAGS
-        }
+        Cmpxchg => op0.map(dst_writes).unwrap_or(LocSet::EMPTY) | EAX | LocSet::FLAGS,
         Push | Pushf => ESP | LocSet::MEM,
         Pusha => ESP | LocSet::MEM,
         Pop => op0.map(dst_writes).unwrap_or(LocSet::EMPTY) | ESP,

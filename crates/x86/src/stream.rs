@@ -45,6 +45,63 @@ pub fn linear_sweep(buf: &[u8]) -> Vec<Instruction> {
     InsnStream::new(buf).collect()
 }
 
+/// Explicit work limits for a sweep over untrusted bytes. The decoder is
+/// total, but a hostile flow can still be enormous; a budget turns "sweep
+/// whatever arrived" into a bounded amount of work with an explicit signal
+/// when input was left unexamined.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepBudget {
+    /// Maximum instructions to emit.
+    pub max_instructions: usize,
+    /// Maximum input bytes to consume.
+    pub max_bytes: usize,
+}
+
+impl Default for SweepBudget {
+    fn default() -> Self {
+        // Generous for any real exploit frame (paper-scale payloads are
+        // a few KiB) while bounding a worst-case flood.
+        SweepBudget {
+            max_instructions: 1 << 20,
+            max_bytes: 1 << 22,
+        }
+    }
+}
+
+/// Result of a budgeted sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Instructions decoded before the budget (or the buffer) ran out.
+    pub instructions: Vec<Instruction>,
+    /// True when the budget expired with input still unexamined — the
+    /// caller must treat the disassembly as partial, not trust it as a
+    /// full picture of the buffer.
+    pub exhausted: bool,
+}
+
+/// Disassemble at most `budget` worth of `buf` in one linear sweep.
+pub fn linear_sweep_budgeted(buf: &[u8], budget: &SweepBudget) -> SweepOutcome {
+    let mut stream = InsnStream::new(buf);
+    let mut instructions = Vec::new();
+    loop {
+        if instructions.len() >= budget.max_instructions || stream.pos() >= budget.max_bytes {
+            return SweepOutcome {
+                instructions,
+                exhausted: stream.pos() < buf.len(),
+            };
+        }
+        match stream.next() {
+            Some(insn) => instructions.push(insn),
+            None => {
+                return SweepOutcome {
+                    instructions,
+                    exhausted: false,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +140,42 @@ mod tests {
         let insns = linear_sweep(&code);
         let total: usize = insns.iter().map(|i| usize::from(i.len)).sum();
         assert_eq!(total, code.len());
+    }
+
+    #[test]
+    fn budgeted_sweep_stops_at_instruction_cap() {
+        let code = [0x90u8; 64]; // 64 nops
+        let out = linear_sweep_budgeted(
+            &code,
+            &SweepBudget {
+                max_instructions: 10,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(out.instructions.len(), 10);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn budgeted_sweep_stops_at_byte_cap() {
+        let code = [0x90u8; 64];
+        let out = linear_sweep_budgeted(
+            &code,
+            &SweepBudget {
+                max_instructions: usize::MAX,
+                max_bytes: 16,
+            },
+        );
+        assert_eq!(out.instructions.len(), 16);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn budgeted_sweep_matches_full_sweep_within_budget() {
+        let code = [0x31, 0xc0, 0xb0, 0x0b, 0xcd, 0x80, 0xc3];
+        let out = linear_sweep_budgeted(&code, &SweepBudget::default());
+        assert!(!out.exhausted);
+        assert_eq!(out.instructions, linear_sweep(&code));
     }
 
     #[test]

@@ -106,10 +106,7 @@ fn shift_group_all_fields() {
 
 #[test]
 fn segment_push_pop_singles() {
-    assert_eq!(
-        *one(&[0x06]).op0().unwrap(),
-        Operand::SegReg(SegReg::Es)
-    );
+    assert_eq!(*one(&[0x06]).op0().unwrap(), Operand::SegReg(SegReg::Es));
     assert_eq!(one(&[0x06]).mnemonic, Mnemonic::Push);
     assert_eq!(one(&[0x07]).mnemonic, Mnemonic::Pop);
     assert_eq!(one(&[0x0e]).mnemonic, Mnemonic::Push); // push cs
@@ -282,7 +279,9 @@ fn ud2_rdtsc_cpuid() {
 #[test]
 fn truncation_at_every_length_is_bad_not_panic() {
     // A long instruction truncated at every possible point decodes to Bad.
-    let full = [0x81, 0x84, 0x9b, 0x44, 0x33, 0x22, 0x11, 0x78, 0x56, 0x34, 0x12];
+    let full = [
+        0x81, 0x84, 0x9b, 0x44, 0x33, 0x22, 0x11, 0x78, 0x56, 0x34, 0x12,
+    ];
     assert_eq!(one(&full).mnemonic, Mnemonic::Add);
     for cut in 1..full.len() {
         let i = decode(&full[..cut], 0);

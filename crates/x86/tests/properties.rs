@@ -1,7 +1,7 @@
 //! Property-based tests for the disassembler.
 
 use proptest::prelude::*;
-use snids_x86::{decode, linear_sweep, Mnemonic};
+use snids_x86::{decode, linear_sweep, linear_sweep_budgeted, Mnemonic, SweepBudget};
 
 proptest! {
     /// The decoder never panics and always makes progress on arbitrary bytes.
@@ -68,5 +68,21 @@ proptest! {
         let _ = snids_x86::semantics::writes(&insn);
         let _ = snids_x86::semantics::is_nop_like(&insn);
         let _ = snids_x86::semantics::is_effective_nop(&insn);
+    }
+
+    /// A budgeted sweep is an exact prefix of the full sweep, never emits
+    /// more instructions than allowed, and reports exhaustion precisely
+    /// when input was left unexamined.
+    #[test]
+    fn budgeted_sweep_is_a_prefix_with_honest_exhaustion(
+        buf in proptest::collection::vec(any::<u8>(), 0..512),
+        max_instructions in 1usize..64,
+        max_bytes in 1usize..512,
+    ) {
+        let full = linear_sweep(&buf);
+        let out = linear_sweep_budgeted(&buf, &SweepBudget { max_instructions, max_bytes });
+        prop_assert!(out.instructions.len() <= max_instructions);
+        prop_assert_eq!(&out.instructions[..], &full[..out.instructions.len()]);
+        prop_assert_eq!(out.exhausted, out.instructions.len() < full.len());
     }
 }

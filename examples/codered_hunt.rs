@@ -20,7 +20,11 @@ fn main() {
 
     // 1. Synthesize: ~5000 packets of benign background, 3 worm instances.
     let (packets, truth) = codered_capture(&mut rng, &plan, 5000, 3);
-    println!("synthesized {} packets, {} CRII instances", packets.len(), truth.crii_instances);
+    println!(
+        "synthesized {} packets, {} CRII instances",
+        packets.len(),
+        truth.crii_instances
+    );
 
     // 2. Round-trip through the pcap format, as a live deployment would.
     let path = std::env::temp_dir().join("snids-codered-hunt.pcap");
@@ -33,7 +37,11 @@ fn main() {
     }
     let mut reader = PcapReader::open(&path).expect("open pcap");
     let replayed = reader.decode_all().expect("decode");
-    println!("replayed  {} packets from {}", replayed.len(), path.display());
+    println!(
+        "replayed  {} packets from {}",
+        replayed.len(),
+        path.display()
+    );
 
     // 3. Analyze.
     let mut nids = Nids::new(NidsConfig {
@@ -55,7 +63,14 @@ fn main() {
     println!("instances matched : {}", detected.len());
     for src in &truth.crii_sources {
         let hit = detected.contains(src);
-        println!("  {src:<16} {}", if hit { "CLASSIFIED + MATCHED" } else { "MISSED" });
+        println!(
+            "  {src:<16} {}",
+            if hit {
+                "CLASSIFIED + MATCHED"
+            } else {
+                "MISSED"
+            }
+        );
         assert!(hit, "a planted instance was missed");
     }
     let spurious = detected

@@ -50,7 +50,9 @@ fn main() {
     let full = Analyzer::default();
 
     let plaintext: Vec<Vec<u8>> = (0..N).map(|_| inner.clone()).collect();
-    let adm: Vec<Vec<u8>> = (0..N).map(|_| admmutate.generate(&mut rng, &inner).0).collect();
+    let adm: Vec<Vec<u8>> = (0..N)
+        .map(|_| admmutate.generate(&mut rng, &inner).0)
+        .collect();
     let cl: Vec<Vec<u8>> = (0..N).map(|_| clet.generate(&mut rng, &inner)).collect();
 
     let rows = [

@@ -20,16 +20,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snids::core::{Nids, NidsConfig};
+use snids::gen::chaos::{chaos_pcap, ChaosConfig};
 use snids::gen::traces::{codered_capture, AddressPlan};
 use snids::packet::{PcapReader, PcapWriter};
 use snids::semantic::Analyzer;
-use snids::x86::{fmt, linear_sweep};
+use snids::x86::{fmt, linear_sweep_budgeted, SweepBudget};
 use std::net::Ipv4Addr;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--no-classify] [--json]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N]\n  snids disasm <file>"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--no-classify] [--json] [--stats]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>"
     );
     ExitCode::from(2)
 }
@@ -58,12 +59,20 @@ fn flag_value_u64(args: &[String], name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn flag_value_f64(args: &[String], name: &str, default: f64) -> f64 {
+    flag_values(args, name)
+        .first()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn analyze(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return usage();
     };
     let no_classify = args.iter().any(|a| a == "--no-classify");
     let json = args.iter().any(|a| a == "--json");
+    let stats_report = args.iter().any(|a| a == "--stats");
 
     let mut config = NidsConfig {
         classification_enabled: !no_classify,
@@ -117,27 +126,26 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let packets = match reader.decode_all() {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    // decode_all is total over hostile input: damage is attributed in the
+    // reader's stats rather than aborting the run.
+    let packets = reader.decode_all().unwrap_or_default();
 
     let mut nids = Nids::new(config);
     let alerts = nids.process_capture(&packets);
+    nids.absorb_read_stats(&reader.read_stats());
 
     if json {
+        let alerts_json: Vec<String> = alerts.iter().map(|a| a.to_json()).collect();
         println!(
-            "{}",
-            serde_json::json!({
-                "stats": nids.stats(),
-                "alerts": alerts,
-            })
+            "{{\"stats\":{},\"alerts\":[{}]}}",
+            nids.stats().to_json(),
+            alerts_json.join(",")
         );
     } else {
         eprintln!("{}", nids.stats().summary());
+        if stats_report {
+            eprint!("{}", nids.stats().drop_report());
+        }
         for a in &alerts {
             println!("{}", a.render());
         }
@@ -159,10 +167,43 @@ fn synth(args: &[String]) -> ExitCode {
     let packets_n = flag_value_u64(args, "--packets", 5_000) as usize;
     let crii = flag_value_u64(args, "--crii", 2) as usize;
     let seed = flag_value_u64(args, "--seed", 2006);
+    let chaos_rate = flag_value_f64(args, "--chaos", 0.0);
+    let flood = flag_value_u64(args, "--flood", 0) as usize;
 
     let plan = AddressPlan::default();
     let mut rng = StdRng::seed_from_u64(seed);
     let (packets, truth) = codered_capture(&mut rng, &plan, packets_n, crii);
+
+    if chaos_rate > 0.0 || flood > 0 {
+        // Deterministic fault injection: same --seed, same corrupted bytes.
+        let cfg = ChaosConfig {
+            flood_flows: flood,
+            ..ChaosConfig::with_rate(chaos_rate)
+        };
+        let (bytes, log) = chaos_pcap(&mut rng, &packets, &cfg);
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} packets ({} Code Red II instances from {:?}) to {path}",
+            packets.len(),
+            truth.crii_instances,
+            truth.crii_sources
+        );
+        eprintln!(
+            "chaos: {} protocol fault(s), {} byte fault(s), {} flood packet(s), {} source(s) touched",
+            log.protocol_faults,
+            log.byte_faults,
+            log.flood_packets,
+            log.touched_sources.len()
+        );
+        eprintln!(
+            "analyze with: snids analyze {path} --honeypot {} --dark {}/16 --stats",
+            plan.honeypots[0], plan.dark_net
+        );
+        return ExitCode::SUCCESS;
+    }
 
     let mut w = match PcapWriter::create(path) {
         Ok(w) => w,
@@ -205,8 +246,12 @@ fn disasm(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let insns = linear_sweep(&data);
-    print!("{}", fmt::listing(&data, &insns));
+    // Budgeted sweep: a hostile input file cannot buy unbounded work.
+    let sweep = linear_sweep_budgeted(&data, &SweepBudget::default());
+    if sweep.exhausted {
+        eprintln!("note: disassembly budget exhausted; listing is partial");
+    }
+    print!("{}", fmt::listing(&data, &sweep.instructions));
     let matches = Analyzer::default().analyze(&data);
     if matches.is_empty() {
         eprintln!("\nsemantic analysis: clean");

@@ -1,0 +1,123 @@
+//! End-to-end chaos harness: a deterministically faulted capture is pushed
+//! through the whole pipeline. Nothing may panic, every record and packet
+//! must be attributed in the drop ledgers, and Code Red II sources whose
+//! traffic survived untouched must still be detected.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids::core::{Nids, NidsConfig};
+use snids::gen::chaos::{chaos_pcap, ChaosConfig};
+use snids::gen::traces::{codered_capture, AddressPlan};
+use snids::packet::PcapReader;
+use std::io::Cursor;
+
+fn run_chaos(seed: u64, cfg: &ChaosConfig) {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (packets, truth) = codered_capture(&mut rng, &plan, 1200, 3);
+    let (bytes, log) = chaos_pcap(&mut rng, &packets, cfg);
+
+    let mut reader =
+        PcapReader::new(Cursor::new(bytes)).expect("chaos keeps the global header valid");
+    let decoded = reader.decode_all().unwrap_or_default();
+
+    let mut nids = Nids::new(NidsConfig {
+        honeypots: plan.honeypots.clone(),
+        dark_nets: vec![(plan.dark_net, 16)],
+        ..NidsConfig::default()
+    });
+    let alerts = nids.process_capture(&decoded);
+    nids.absorb_read_stats(&reader.read_stats());
+    let stats = nids.stats();
+
+    // Every packet and every record is attributed somewhere.
+    assert!(
+        stats.packet_ledger_balanced(),
+        "packet ledger unbalanced:\n{}",
+        stats.drop_report()
+    );
+    assert!(
+        stats.record_ledger_balanced(),
+        "record ledger unbalanced:\n{}",
+        stats.drop_report()
+    );
+
+    // Faults actually landed and were attributed, not silently swallowed.
+    if cfg.rate > 0.0 {
+        assert!(
+            log.protocol_faults + log.byte_faults > 0,
+            "chaos at rate {} injected nothing",
+            cfg.rate
+        );
+        assert!(
+            stats.drops.total() > 0,
+            "chaos at rate {} caused no attributed drops:\n{}",
+            cfg.rate,
+            stats.drop_report()
+        );
+    }
+
+    // Worm sources whose traffic was never destructively touched must
+    // still be detected — graceful degradation, not silent decay.
+    for src in &truth.crii_sources {
+        if log.touched_sources.contains(src) {
+            continue;
+        }
+        assert!(
+            alerts.iter().any(|a| a.src == *src),
+            "surviving source {src} must still alert (touched: {:?})\n{}",
+            log.touched_sources,
+            stats.drop_report()
+        );
+    }
+
+    // The JSON surface carries the full ledger.
+    let json = stats.to_json();
+    assert!(json.contains("\"drops\""));
+    assert!(json.contains("\"drops_total\""));
+}
+
+#[test]
+fn chaos_zero_rate_without_tail_faults_is_clean() {
+    let cfg = ChaosConfig {
+        rate: 0.0,
+        flood_flows: 0,
+        truncate_tail: false,
+        bogus_incl_len: false,
+    };
+    run_chaos(1, &cfg);
+}
+
+#[test]
+fn chaos_moderate_rate_survives_and_attributes_everything() {
+    let cfg = ChaosConfig {
+        flood_flows: 48,
+        ..ChaosConfig::with_rate(0.15)
+    };
+    run_chaos(0xC0DE, &cfg);
+}
+
+#[test]
+fn chaos_heavy_rate_survives_and_attributes_everything() {
+    let cfg = ChaosConfig {
+        flood_flows: 128,
+        ..ChaosConfig::with_rate(0.4)
+    };
+    run_chaos(77, &cfg);
+}
+
+#[test]
+fn chaos_is_deterministic_end_to_end() {
+    let plan = AddressPlan::default();
+    let cfg = ChaosConfig {
+        flood_flows: 16,
+        ..ChaosConfig::with_rate(0.2)
+    };
+    let capture = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (packets, _) = codered_capture(&mut rng, &plan, 400, 2);
+        chaos_pcap(&mut rng, &packets, &cfg).0
+    };
+    assert_eq!(capture(42), capture(42), "same seed must give same bytes");
+    assert_ne!(capture(42), capture(43), "different seeds must diverge");
+}

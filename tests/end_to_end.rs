@@ -99,10 +99,12 @@ fn out_of_order_segments_still_detected() {
     let attacker = Ipv4Addr::new(198, 18, 9, 9);
     let payload = SCENARIOS[1].build_payload(&mut rng);
 
-    let mut packets = vec![snids::packet::PacketBuilder::new(attacker, plan.honeypots[1])
-        .at(5)
-        .tcp_syn(2000, 110, 1)
-        .unwrap()];
+    let mut packets = vec![
+        snids::packet::PacketBuilder::new(attacker, plan.honeypots[1])
+            .at(5)
+            .tcp_syn(2000, 110, 1)
+            .unwrap(),
+    ];
     let mut train = tcp_flow_packets(attacker, plan.web_server, 2001, 110, &payload, 50, 0x77);
     // shuffle the data segments (keep the SYN first)
     train[1..].reverse();
@@ -127,10 +129,12 @@ fn ip_fragmentation_does_not_evade() {
     let attacker = Ipv4Addr::new(198, 18, 44, 44);
     let payload = SCENARIOS[2].build_payload(&mut rng);
 
-    let mut packets = vec![snids::packet::PacketBuilder::new(attacker, plan.honeypots[0])
-        .at(1)
-        .tcp_syn(3000, 143, 1)
-        .unwrap()];
+    let mut packets = vec![
+        snids::packet::PacketBuilder::new(attacker, plan.honeypots[0])
+            .at(1)
+            .tcp_syn(3000, 143, 1)
+            .unwrap(),
+    ];
     for p in tcp_flow_packets(attacker, plan.web_server, 3001, 143, &payload, 10, 0x9) {
         // shatter every data segment into small IP fragments
         packets.extend(fragment_packet(&p, 64));

@@ -24,7 +24,10 @@ fn admmutate_two_hundred_instances_full_coverage() {
         if family == DecoderFamily::Xor {
             xor_count += 1;
         }
-        assert!(analyzer.detects(&instance), "instance {i} ({family:?}) missed");
+        assert!(
+            analyzer.detects(&instance),
+            "instance {i} ({family:?}) missed"
+        );
         assert!(
             !signatures.matches(&instance),
             "instance {i} visible to static signatures"

@@ -1,0 +1,171 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench files compiling and
+//! runnable offline. Each benchmark body is executed a handful of times and
+//! the best wall-clock time is printed — useful for coarse comparisons,
+//! with none of criterion's statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many times each benchmark body runs (best-of is reported).
+const RUNS: u32 = 3;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput, echoed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier, e.g. `BenchmarkId::from_parameter("shell-tcp")`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<D: fmt::Display>(param: D) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    pub fn new<D: fmt::Display, P: fmt::Display>(name: D, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timer handed to benchmark bodies.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            black_box(body());
+            let dt = t0.elapsed();
+            if self.best.map(|b| dt < b).unwrap_or(true) {
+                self.best = Some(dt);
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best: None };
+        body(&mut b);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { best: None };
+        body(&mut b, input);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, best: Option<Duration>) {
+        let Some(best) = best else { return };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibps = n as f64 / best.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mibps:.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / best.as_secs_f64();
+                format!("  {eps:.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!("bench {}/{}: {:?}{}", self.name, id, best, rate);
+    }
+}
+
+/// Entry point mirroring criterion's driver type.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name);
+        group.bench_function("", body);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,431 @@
+//! Hermetic stand-in for `proptest`.
+//!
+//! The offline container cannot fetch the real crate, so this reimplements
+//! the subset this workspace's property tests use: the `proptest!` macro
+//! (with optional `#![proptest_config(...)]`), `any::<T>()`, integer-range
+//! and tuple strategies, `proptest::collection::vec`, a small
+//! character-class regex string strategy, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Inputs are random but **deterministic**: each test derives its RNG seed
+//! from the test name, so failures reproduce exactly on re-run. Shrinking
+//! is not implemented — a failing case prints its inputs via the standard
+//! assert message instead.
+
+pub mod strategy {
+    use rand::{Rng, RngCore};
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// The RNG driving generation (re-exported for the macro).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy yielding one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for RangeFrom<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..=T::MAX_VALUE)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String strategy from a restricted regex: literal characters,
+    /// `[a-z0-9_]`-style classes, and `{n}` / `{m,n}` / `?` / `*` / `+`
+    /// quantifiers (star/plus capped at 8 repeats).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or(chars.len() - 1);
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            // Optional quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or(chars.len() - 1);
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(8)),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.gen_range(lo..=hi.max(lo));
+            for _ in 0..count {
+                if !alphabet.is_empty() {
+                    let k: usize = rng.gen_range(0..alphabet.len());
+                    out.push(alphabet[k]);
+                }
+            }
+        }
+        out
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    /// Generator for any value of an [`Arbitrary`] type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod arbitrary {
+    pub use crate::any;
+    pub use crate::strategy::Arbitrary;
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vector strategy with a uniformly drawn length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only `cases` is meaningful here).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic case driver: the seed is a pure function of the test
+    /// name, so every run explores the same inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        base_seed: u64,
+        case: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                config,
+                base_seed: h,
+                case: 0,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Fresh RNG for the next case.
+        pub fn next_rng(&mut self) -> crate::strategy::TestRng {
+            let seed = self
+                .base_seed
+                .wrapping_add(self.case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.case += 1;
+            crate::strategy::TestRng::seed_from_u64(seed)
+        }
+    }
+}
+
+/// Defines property tests: each function runs its body for many
+/// deterministically random inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@run($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+                for _ in 0..runner.cases() {
+                    let mut prop_rng = runner.next_rng();
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)+
+                    // Mirror real proptest: the body runs in a closure that
+                    // may `return Ok(())` early (e.g. via `prop_assume!`).
+                    #[allow(unused_mut)]
+                    let mut case = move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(e) = case() {
+                        panic!("proptest case failed: {}", e);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Property-test assertion (plain `assert!` here; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn tuple_and_ranges(pair in (0u8..5, any::<u32>()), x in 1u16.., y in 0usize..=3) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!(x >= 1);
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn regex_strings(words in crate::collection::vec("[a-z]{1,8}", 1..4)) {
+            for w in &words {
+                prop_assert!(!w.is_empty() && w.len() <= 8);
+                prop_assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_cases_accepted(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::default();
+        let mut a = crate::test_runner::TestRunner::new(cfg.clone(), "t");
+        let mut b = crate::test_runner::TestRunner::new(cfg, "t");
+        let s = crate::collection::vec(any::<u8>(), 0..32);
+        for _ in 0..8 {
+            assert_eq!(s.generate(&mut a.next_rng()), s.generate(&mut b.next_rng()));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Hermetic stand-in for `rayon`.
+//!
+//! Presents the `par_iter()` combinator surface the pipeline uses
+//! (`map`, `flat_map_iter`, `filter`, `reduce`, `collect`, `sum`, `count`)
+//! but executes sequentially: the offline container cannot fetch the real
+//! crate, and the pipeline's correctness tests only require that the
+//! parallel path computes the same answer as the sequential one. Swapping
+//! the real rayon back in is a one-line Cargo change; call sites are
+//! untouched.
+
+/// Sequential executor behind the parallel-iterator facade.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// rayon's `flat_map_iter`: the mapped value is a serial iterator.
+    pub fn flat_map_iter<F, J>(self, f: F) -> ParIter<std::iter::FlatMap<I, J, F>>
+    where
+        F: FnMut(I::Item) -> J,
+        J: IntoIterator,
+    {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// Fold with an identity constructor, like rayon's `reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+}
+
+/// `.par_iter()` on shared slices/vectors.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `.into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn combinators_match_serial() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let pairs = v
+            .par_iter()
+            .map(|x| (*x, x * x))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(pairs, (10, 30));
+        let flat: Vec<u64> = v.par_iter().flat_map_iter(|x| vec![*x; 2]).collect();
+        assert_eq!(flat.len(), 8);
+    }
+}

@@ -1,0 +1,20 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` widely but serializes
+//! nothing through serde itself (JSON output is hand-rolled). Offline, the
+//! real crate cannot be fetched, so the traits here are pure markers with
+//! blanket implementations, and the derive macros expand to nothing.
+
+/// Marker trait; every type trivially satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; every type trivially satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

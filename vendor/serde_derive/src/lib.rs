@@ -1,0 +1,17 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace's `serde` stand-in gives `Serialize`/`Deserialize` blanket
+//! implementations, so the derives only need to *exist* and accept the
+//! `#[serde(...)]` helper attribute — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
