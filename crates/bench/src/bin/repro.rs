@@ -5,9 +5,10 @@
 //! cargo run --release -p snids-bench --bin repro -- table1
 //! cargo run --release -p snids-bench --bin repro -- table3 --packets 200000
 //! cargo run --release -p snids-bench --bin repro -- fp --bytes 16000000
+//! cargo run --release -p snids-bench --bin repro -- bench --flows 96
 //! ```
 
-use snids_bench::{ablation, figures, fp, table1, table2, table3, DEFAULT_SEED};
+use snids_bench::{ablation, figures, fp, table1, table2, table3, throughput, DEFAULT_SEED};
 
 fn arg_value(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -24,6 +25,8 @@ fn main() {
     let packets = arg_value(&args, "--packets").unwrap_or(20_000) as usize;
     let traces = arg_value(&args, "--traces").unwrap_or(12) as usize;
     let bytes = arg_value(&args, "--bytes").unwrap_or(4_000_000) as usize;
+    let flows = arg_value(&args, "--flows").unwrap_or(144) as usize;
+    let repeats = arg_value(&args, "--repeats").unwrap_or(3) as usize;
 
     let run_table1 = || {
         println!("== Table 1: Linux shell spawning buffer overflow exploits ==\n");
@@ -31,11 +34,49 @@ fn main() {
     };
     let run_table2 = || {
         println!("== Table 2: polymorphic shellcode detection ({n} instances) ==\n");
-        println!("{}", table2::render(&table2::run(seed, n)));
+        let (rows, stats) = table2::run_with_stats(seed, n);
+        println!("{}", table2::render(&rows));
+        println!("integrity footer (corpus through the accounted pipeline path):");
+        println!("{}", stats.summary());
+        print!("{}", stats.drop_report());
+        println!();
     };
     let run_table3 = || {
         println!("== Table 3: Code Red II detection ({traces} traces × ~{packets} packets) ==\n");
-        println!("{}", table3::render(&table3::run(seed, traces, packets)));
+        let (rows, stats) = table3::run_with_stats(seed, traces, packets);
+        println!("{}", table3::render(&rows));
+        println!("integrity footer (ledger merged across all traces):");
+        println!("{}", stats.summary());
+        print!("{}", stats.drop_report());
+        println!();
+    };
+    let run_bench = || {
+        let cfg = throughput::BenchConfig {
+            seed,
+            attack_flows: flows / 3,
+            background_flows: flows - flows / 3,
+            repeats,
+            ..throughput::BenchConfig::default()
+        };
+        println!(
+            "== Throughput: polymorphic storm on the snids-exec pool ({} attack + {} benign flows) ==\n",
+            cfg.attack_flows, cfg.background_flows
+        );
+        let report = throughput::run(&cfg);
+        println!("{}", throughput::render(&report));
+        let json = throughput::to_json(&report);
+        let out = "BENCH_throughput.json";
+        match std::fs::write(out, &json) {
+            Ok(()) => println!("wrote {out}"),
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if report.runs.iter().any(|r| !r.identical) {
+            eprintln!("ALERT STREAMS DIVERGED ACROSS WORKER COUNTS");
+            std::process::exit(1);
+        }
     };
     let run_fp = || {
         println!(
@@ -94,6 +135,7 @@ fn main() {
         }
         "ablation-naive" => run_ablation_naive(),
         "ablation-classifier" => run_ablation_classifier(),
+        "bench" => run_bench(),
         "all" => {
             run_table1();
             run_table2();
@@ -107,7 +149,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`\n\nusage: repro [table1|table2|table3|fp|fig1..fig7|figures|ablation-naive|ablation-classifier|all]\n       [--seed N] [--instances N] [--packets N] [--traces N] [--bytes N]"
+                "unknown command `{other}`\n\nusage: repro [table1|table2|table3|fp|fig1..fig7|figures|ablation-naive|ablation-classifier|bench|all]\n       [--seed N] [--instances N] [--packets N] [--traces N] [--bytes N] [--flows N] [--repeats N]"
             );
             std::process::exit(2);
         }

@@ -13,6 +13,7 @@ pub mod fp;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throughput;
 
 /// The deterministic base seed used by `repro` (override with `--seed`).
 pub const DEFAULT_SEED: u64 = 2006;

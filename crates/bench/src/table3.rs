@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use snids_core::{Nids, NidsConfig};
+use snids_core::{Nids, NidsConfig, PipelineStats};
 use snids_gen::traces::{codered_capture, AddressPlan};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -36,8 +36,20 @@ pub struct Row {
 
 /// Run the Table 3 experiment: `traces` captures of `packets_per_trace`.
 pub fn run(seed: u64, traces: usize, packets_per_trace: usize) -> Vec<Row> {
+    run_with_stats(seed, traces, packets_per_trace).0
+}
+
+/// [`run`], also returning the pipeline ledger merged across all traces —
+/// the integrity footer proving no trace silently lost packets on the way
+/// to its detection numbers.
+pub fn run_with_stats(
+    seed: u64,
+    traces: usize,
+    packets_per_trace: usize,
+) -> (Vec<Row>, PipelineStats) {
     let plan = AddressPlan::default();
     let mut rows = Vec::new();
+    let mut stats = PipelineStats::default();
     for t in 0..traces {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
         let instances = 1 + (t % 4); // known, varied counts like the paper's
@@ -51,6 +63,7 @@ pub fn run(seed: u64, traces: usize, packets_per_trace: usize) -> Vec<Row> {
         let t0 = Instant::now();
         let alerts = nids.process_capture(&packets);
         let millis = t0.elapsed().as_millis();
+        stats.merge(nids.stats());
 
         let detected: HashSet<_> = alerts
             .iter()
@@ -76,7 +89,7 @@ pub fn run(seed: u64, traces: usize, packets_per_trace: usize) -> Vec<Row> {
             millis,
         });
     }
-    rows
+    (rows, stats)
 }
 
 /// Render in the paper's tabular style.

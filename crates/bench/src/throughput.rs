@@ -1,0 +1,349 @@
+//! Throughput benchmark — the parallel flow-analysis stage under load.
+//!
+//! The workload is a *polymorphic storm*: many attacking sources, each of
+//! which probes a honeypot (so the classifier flags it) and then delivers
+//! a freshly mutated ADMmutate or Clet shellcode instance to the protected
+//! web server, woven into benign HTTP background traffic. This is the
+//! worst realistic case for the pipeline: every attack flow survives
+//! classification and buys the full disassembly + template-matching tail,
+//! which is exactly the stage `snids-exec` parallelizes.
+//!
+//! For each requested worker count the same capture is replayed through a
+//! fresh [`Nids`] with `NidsConfig::threads` pinned, the best wall time of
+//! `repeats` runs is kept, and the rendered alert stream is compared
+//! byte-for-byte against the 1-thread baseline — correctness first, speed
+//! second. [`to_json`] emits the machine-readable `BENCH_throughput.json`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snids_core::{Nids, NidsConfig};
+use snids_gen::traces::{tcp_flow_packets, AddressPlan};
+use snids_gen::{benign, shellcode, AdmMutate, Clet};
+use snids_packet::{Packet, PacketBuilder};
+use std::time::Instant;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Deterministic workload seed.
+    pub seed: u64,
+    /// Polymorphic attack flows (half ADMmutate, half Clet).
+    pub attack_flows: usize,
+    /// Benign background flows interleaved with the storm.
+    pub background_flows: usize,
+    /// Worker counts to measure. The first entry is the speedup baseline
+    /// and should be `1`.
+    pub threads: Vec<usize>,
+    /// Timed repetitions per worker count; the best run is reported.
+    pub repeats: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let hw = snids_exec::default_threads();
+        let mut threads = vec![1usize];
+        if hw > 1 {
+            threads.push(2);
+        }
+        if hw > 2 {
+            threads.push(hw);
+        }
+        BenchConfig {
+            seed: crate::DEFAULT_SEED,
+            attack_flows: 48,
+            background_flows: 96,
+            threads,
+            repeats: 3,
+        }
+    }
+}
+
+/// The synthesized capture plus its ground-truth bookkeeping.
+pub struct Workload {
+    /// The packet stream, in capture order.
+    pub packets: Vec<Packet>,
+    /// Attack flows woven in (each from a distinct source).
+    pub attack_flows: usize,
+    /// Total application payload bytes across all flows.
+    pub payload_bytes: u64,
+}
+
+/// Synthesize the polymorphic storm deterministically from `seed`.
+pub fn storm_workload(cfg: &BenchConfig) -> Workload {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let adm = AdmMutate::default();
+    let clet = Clet::default();
+    let mut packets = Vec::new();
+    let mut payload_bytes = 0u64;
+    let mut ts: u64 = 1_000_000;
+
+    let total = cfg.attack_flows + cfg.background_flows;
+    for i in 0..total {
+        // Interleave: every (attack_flows/total)-ish slot is an attacker.
+        let is_attack = cfg.attack_flows > 0
+            && i * cfg.attack_flows / total != (i + 1) * cfg.attack_flows / total.max(1);
+        let sport = 1025 + (i % 60_000) as u16;
+        if is_attack {
+            let src = plan.external(&mut rng);
+            // Touch a honeypot so the classifier marks the source.
+            packets.push(
+                PacketBuilder::new(src, plan.honeypots[i % plan.honeypots.len()])
+                    .at(ts)
+                    .tcp_syn(sport, 80, rng.gen())
+                    .expect("probe"),
+            );
+            ts += 300;
+            let inner = shellcode::execve_variant(&mut rng, i % 3);
+            let payload = if i % 2 == 0 {
+                adm.generate(&mut rng, &inner).0
+            } else {
+                clet.generate(&mut rng, &inner)
+            };
+            payload_bytes += payload.len() as u64;
+            let train = tcp_flow_packets(src, plan.web_server, sport, 80, &payload, ts, rng.gen());
+            ts += 200 * train.len() as u64;
+            packets.extend(train);
+        } else {
+            let src = plan.client(&mut rng);
+            let payload = benign::http_get(&mut rng);
+            payload_bytes += payload.len() as u64;
+            let train = tcp_flow_packets(src, plan.web_server, sport, 80, &payload, ts, rng.gen());
+            ts += 200 * train.len() as u64;
+            packets.extend(train);
+        }
+    }
+    Workload {
+        packets,
+        attack_flows: cfg.attack_flows,
+        payload_bytes,
+    }
+}
+
+/// Best-of-`repeats` measurement at one worker count.
+#[derive(Debug, Clone)]
+pub struct ThreadRun {
+    /// Worker threads the analysis pool was pinned to.
+    pub threads: usize,
+    /// Best wall time for the whole capture (seconds).
+    pub secs: f64,
+    /// Wall time spent inside the flow-analysis stage (seconds, best run).
+    pub analysis_secs: f64,
+    /// End-to-end packet throughput.
+    pub packets_per_sec: f64,
+    /// Analyzed-flow throughput.
+    pub flows_per_sec: f64,
+    /// Alerts produced.
+    pub alerts: usize,
+    /// Wall-time speedup vs the first (baseline) worker count.
+    pub speedup: f64,
+    /// Analysis-stage speedup vs the baseline.
+    pub analysis_speedup: f64,
+    /// Rendered alert stream is byte-identical to the baseline's.
+    pub identical: bool,
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workload seed.
+    pub seed: u64,
+    /// Packets in the capture.
+    pub packets: usize,
+    /// Attack flows woven in.
+    pub attack_flows: usize,
+    /// Total application payload bytes.
+    pub payload_bytes: u64,
+    /// Timed repetitions per worker count.
+    pub repeats: usize,
+    /// Hardware parallelism the host reports (after `SNIDS_THREADS`).
+    pub host_threads: usize,
+    /// One row per measured worker count, baseline first.
+    pub runs: Vec<ThreadRun>,
+}
+
+fn bench_nids(plan: &AddressPlan, threads: usize) -> Nids {
+    Nids::new(NidsConfig {
+        honeypots: plan.honeypots.clone(),
+        dark_nets: vec![(plan.dark_net, 16)],
+        threads,
+        ..NidsConfig::default()
+    })
+}
+
+/// Run the benchmark: replay the storm at each worker count.
+pub fn run(cfg: &BenchConfig) -> Report {
+    let plan = AddressPlan::default();
+    let workload = storm_workload(cfg);
+    let mut runs: Vec<ThreadRun> = Vec::new();
+    let mut baseline: Option<(f64, f64, String)> = None;
+
+    for &threads in &cfg.threads {
+        let mut best_secs = f64::INFINITY;
+        let mut best_analysis = f64::INFINITY;
+        let mut rendered = String::new();
+        let mut alerts_n = 0usize;
+        let mut flows = 0u64;
+        for _ in 0..cfg.repeats.max(1) {
+            let mut nids = bench_nids(&plan, threads);
+            let t0 = Instant::now();
+            let alerts = nids.process_capture(&workload.packets);
+            let secs = t0.elapsed().as_secs_f64();
+            let analysis = nids.stats().analysis_nanos as f64 / 1e9;
+            if secs < best_secs {
+                best_secs = secs;
+                best_analysis = analysis;
+            }
+            alerts_n = alerts.len();
+            flows = nids.stats().flows_analyzed;
+            rendered = alerts
+                .iter()
+                .map(|a| a.render())
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        let (base_secs, base_analysis, base_render) =
+            baseline.get_or_insert_with(|| (best_secs, best_analysis, rendered.clone()));
+        runs.push(ThreadRun {
+            threads,
+            secs: best_secs,
+            analysis_secs: best_analysis,
+            packets_per_sec: workload.packets.len() as f64 / best_secs.max(1e-9),
+            flows_per_sec: flows as f64 / best_secs.max(1e-9),
+            alerts: alerts_n,
+            speedup: *base_secs / best_secs.max(1e-9),
+            analysis_speedup: *base_analysis / best_analysis.max(1e-9),
+            identical: rendered == *base_render,
+        });
+    }
+
+    Report {
+        seed: cfg.seed,
+        packets: workload.packets.len(),
+        attack_flows: workload.attack_flows,
+        payload_bytes: workload.payload_bytes,
+        repeats: cfg.repeats,
+        host_threads: snids_exec::default_threads(),
+        runs,
+    }
+}
+
+/// Render as a human-readable table.
+pub fn render(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "workload: {} packets, {} polymorphic attack flows, {} payload bytes, seed {}, best of {} run(s), host parallelism {}",
+        report.packets,
+        report.attack_flows,
+        report.payload_bytes,
+        report.seed,
+        report.repeats,
+        report.host_threads,
+    );
+    let _ = writeln!(
+        s,
+        "\n{:<8} {:>10} {:>12} {:>11} {:>8} {:>8} {:>10} {:>10}",
+        "threads",
+        "time (s)",
+        "packets/s",
+        "flows/s",
+        "alerts",
+        "speedup",
+        "analysis×",
+        "identical"
+    );
+    for r in &report.runs {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>10.3} {:>12.0} {:>11.1} {:>8} {:>7.2}x {:>9.2}x {:>10}",
+            r.threads,
+            r.secs,
+            r.packets_per_sec,
+            r.flows_per_sec,
+            r.alerts,
+            r.speedup,
+            r.analysis_speedup,
+            if r.identical { "yes" } else { "NO" },
+        );
+    }
+    s
+}
+
+/// Hand-rolled JSON for `BENCH_throughput.json` (the vendored serde is a
+/// marker-trait stand-in, so serialization stays explicit).
+pub fn to_json(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"bench\": \"throughput\",\n  \"workload\": {{\"seed\": {}, \"packets\": {}, \"attack_flows\": {}, \"payload_bytes\": {}, \"repeats\": {}}},\n  \"host\": {{\"threads\": {}}},\n  \"runs\": [",
+        report.seed,
+        report.packets,
+        report.attack_flows,
+        report.payload_bytes,
+        report.repeats,
+        report.host_threads,
+    );
+    for (i, r) in report.runs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"threads\": {}, \"secs\": {:.6}, \"analysis_secs\": {:.6}, \"packets_per_sec\": {:.1}, \"flows_per_sec\": {:.2}, \"alerts\": {}, \"speedup\": {:.3}, \"analysis_speedup\": {:.3}, \"alerts_identical_to_baseline\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.threads,
+            r.secs,
+            r.analysis_secs,
+            r.packets_per_sec,
+            r.flows_per_sec,
+            r.alerts,
+            r.speedup,
+            r.analysis_speedup,
+            r.identical,
+        );
+    }
+    let _ = write!(s, "\n  ]\n}}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> BenchConfig {
+        BenchConfig {
+            seed: 42,
+            attack_flows: 6,
+            background_flows: 10,
+            threads: vec![1, 2],
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn storm_workload_is_deterministic_and_hostile() {
+        let cfg = small_config();
+        let a = storm_workload(&cfg);
+        let b = storm_workload(&cfg);
+        assert_eq!(a.packets.len(), b.packets.len());
+        assert_eq!(a.payload_bytes, b.payload_bytes);
+        assert!(a.packets.len() > cfg.attack_flows + cfg.background_flows);
+    }
+
+    #[test]
+    fn bench_detects_storm_and_alerts_are_identical_across_threads() {
+        let report = run(&small_config());
+        assert_eq!(report.runs.len(), 2);
+        for r in &report.runs {
+            assert!(r.alerts > 0, "the storm must alert: {report:?}");
+            assert!(r.identical, "threads={} diverged", r.threads);
+            assert!(r.secs > 0.0 && r.speedup > 0.0);
+        }
+        assert_eq!(report.runs[0].alerts, report.runs[1].alerts);
+        let json = to_json(&report);
+        assert!(json.contains("\"bench\": \"throughput\""));
+        assert!(json.contains("\"alerts_identical_to_baseline\": true"));
+        let table = render(&report);
+        assert!(table.contains("threads"));
+    }
+}

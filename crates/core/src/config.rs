@@ -22,8 +22,20 @@ pub struct NidsConfig {
     pub templates: Vec<Template>,
     /// Flow-table limits.
     pub flow_table: FlowTableConfig,
-    /// Analyze flows on the rayon pool.
+    /// Analyze flows on the work-stealing pool (`snids-exec`). When false
+    /// the analysis tail runs sequentially on the calling thread.
     pub parallel: bool,
+    /// Worker threads for the flow-analysis stage. `0` (the default) uses
+    /// the shared process-wide pool, sized by the `SNIDS_THREADS`
+    /// environment variable or the machine's available parallelism; any
+    /// other value gives this pipeline a dedicated pool of that size.
+    pub threads: usize,
+    /// Fault-injection hook for the chaos test suite: a flow whose payload
+    /// contains this byte marker makes its analysis task panic
+    /// deliberately, exercising the pool's panic containment and the
+    /// `analysis_panicked` drop ledger. `None` (the default) disables the
+    /// hook; production configurations must leave it unset.
+    pub chaos_analysis_panic_marker: Option<Vec<u8>>,
     /// Verify IPv4 header checksums (and TCP checksums on unfragmented
     /// segments) before spending any pipeline work; failures are dropped
     /// and accounted as `checksum_failed`.
@@ -45,6 +57,8 @@ impl Default for NidsConfig {
             templates: default_templates(),
             flow_table: FlowTableConfig::default(),
             parallel: true,
+            threads: 0,
+            chaos_analysis_panic_marker: None,
             verify_checksums: true,
             max_frame_bytes: 1 << 20,
         }
@@ -60,6 +74,8 @@ mod tests {
         let c = NidsConfig::default();
         assert!(c.classification_enabled);
         assert!(c.parallel);
+        assert_eq!(c.threads, 0);
+        assert!(c.chaos_analysis_panic_marker.is_none());
         assert!(c.verify_checksums);
         assert!(c.max_frame_bytes >= 64 * 1024);
         assert_eq!(c.templates.len(), 9);

@@ -15,9 +15,15 @@
 //! The classifier prunes traffic (honeypot + dark-space schemes, §4.1);
 //! only suspicious sources' flows are reassembled and handed to extraction;
 //! only extracted binary frames reach the CPU-intensive disassembly and
-//! template matching. Flow analysis is data-parallel (rayon): flows are
-//! independent, so the expensive tail scales across cores with no shared
-//! mutable state.
+//! template matching. Flow analysis is data-parallel on the `snids-exec`
+//! work-stealing pool: flows are independent, so the expensive tail scales
+//! across cores with no shared mutable state. Small flows are batched into
+//! coarse tasks (see [`TARGET_BATCH_BYTES`]) so per-task overhead never
+//! dominates, a panicking analysis task is contained per flow (counted
+//! under [`DropReason::AnalysisPanicked`], the process survives), and
+//! results are gathered in input order so alert output is byte-identical
+//! at any worker count.
+#![deny(missing_docs)]
 
 pub mod alert;
 pub mod config;
@@ -27,13 +33,19 @@ pub use alert::Alert;
 pub use config::NidsConfig;
 pub use stats::{DropCounters, DropReason, PipelineStats};
 
-use rayon::prelude::*;
 use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier};
 use snids_extract::BinaryExtractor;
 use snids_flow::{DefragOutcome, Defragmenter, Flow, FlowTable};
 use snids_packet::{Ipv4Header, Packet, TcpHeader, ETHERNET_HEADER_LEN};
 use snids_semantic::{Analyzer, TemplateMatch};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// Batching floor for the parallel flow-analysis stage: consecutive flows
+/// are grouped until a task carries at least this much reassembled payload,
+/// so a storm of tiny probe flows does not drown the pool in per-task
+/// bookkeeping while any large flow still gets a task of its own.
+pub const TARGET_BATCH_BYTES: u64 = 32 * 1024;
 
 /// The assembled NIDS.
 pub struct Nids {
@@ -44,8 +56,54 @@ pub struct Nids {
     defrag: Defragmenter,
     stats: PipelineStats,
     parallel: bool,
+    /// Dedicated pool when `NidsConfig::threads > 0`; otherwise the
+    /// shared `snids_exec::global()` pool is used.
+    exec: Option<snids_exec::ThreadPool>,
+    chaos_panic_marker: Option<Vec<u8>>,
     verify_checksums: bool,
     max_frame_bytes: usize,
+}
+
+/// Everything learned from analyzing one flow (or one batch of flows):
+/// alerts plus the per-stage accounting the ledger needs.
+#[derive(Default)]
+struct FlowOutcome {
+    alerts: Vec<Alert>,
+    frames: u64,
+    frame_bytes: u64,
+    bailouts: u64,
+    panicked: u64,
+}
+
+impl FlowOutcome {
+    fn absorb(&mut self, other: FlowOutcome) {
+        self.alerts.extend(other.alerts);
+        self.frames += other.frames;
+        self.frame_bytes += other.frame_bytes;
+        self.bailouts += other.bailouts;
+        self.panicked += other.panicked;
+    }
+}
+
+/// Group consecutive flows into contiguous batches of at least
+/// [`TARGET_BATCH_BYTES`] reassembled payload each (the final batch takes
+/// whatever remains). Input order is preserved within and across batches.
+fn batch_flows(flows: &[Flow]) -> Vec<&[Flow]> {
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, flow) in flows.iter().enumerate() {
+        acc += flow.payload_bytes.max(1);
+        if acc >= TARGET_BATCH_BYTES {
+            batches.push(&flows[start..=i]);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < flows.len() {
+        batches.push(&flows[start..]);
+    }
+    batches
 }
 
 impl Nids {
@@ -69,8 +127,25 @@ impl Nids {
             defrag: Defragmenter::default(),
             stats: PipelineStats::default(),
             parallel: config.parallel,
+            exec: (config.threads > 0).then(|| snids_exec::ThreadPool::new(config.threads)),
+            chaos_panic_marker: config.chaos_analysis_panic_marker.clone(),
             verify_checksums: config.verify_checksums,
             max_frame_bytes: config.max_frame_bytes.max(1),
+        }
+    }
+
+    /// The pool the flow-analysis stage runs on: this pipeline's dedicated
+    /// pool when `NidsConfig::threads` was set, else the shared one.
+    fn pool(&self) -> &snids_exec::ThreadPool {
+        self.exec.as_ref().unwrap_or_else(|| snids_exec::global())
+    }
+
+    /// Worker threads available to the flow-analysis stage.
+    pub fn analysis_threads(&self) -> usize {
+        if self.parallel {
+            self.pool().threads()
+        } else {
+            1
         }
     }
 
@@ -202,8 +277,31 @@ impl Nids {
         let frames = self.extractor.extract(payload);
         let mut out = Vec::new();
         for frame in frames {
-            out.extend(self.analyzer.analyze(&frame.data));
+            let data = &frame.data[..frame.data.len().min(self.max_frame_bytes)];
+            out.extend(self.analyzer.analyze_frame(data).matches);
         }
+        out
+    }
+
+    /// [`Nids::analyze_payload`] with ledger accounting: frames, frame
+    /// bytes and decoder bailouts land in [`PipelineStats`] so standalone
+    /// payload experiments (Table 2) carry the same integrity footer as
+    /// capture runs.
+    pub fn analyze_payload_accounted(&mut self, payload: &[u8]) -> Vec<TemplateMatch> {
+        let t0 = Instant::now();
+        let frames = self.extractor.extract(payload);
+        let mut out = Vec::new();
+        for frame in frames {
+            self.stats.frames_extracted += 1;
+            self.stats.frame_bytes += frame.data.len() as u64;
+            let data = &frame.data[..frame.data.len().min(self.max_frame_bytes)];
+            let analysis = self.analyzer.analyze_frame(data);
+            if analysis.sweep_exhausted || frame.data.len() > self.max_frame_bytes {
+                self.stats.drops.inc(DropReason::DecoderBailout);
+            }
+            out.extend(analysis.matches);
+        }
+        self.stats.analysis_nanos += t0.elapsed().as_nanos() as u64;
         out
     }
 
@@ -236,6 +334,14 @@ impl Nids {
         alerts
     }
 
+    /// Stages 3–5 over a set of drained flows, sharded across the pool.
+    ///
+    /// Each batch task extracts, disassembles and template-matches its
+    /// flows in one pass; a panic while analyzing a flow is contained at
+    /// that flow (counted under `analysis_panicked`) and, as a second
+    /// line of defence, a panic escaping a whole batch is contained by
+    /// the pool's per-task isolation. Batch results come back in input
+    /// order, so the alert stream is identical at any worker count.
     fn analyze_flows(&mut self, flows: Vec<Flow>) -> Vec<Alert> {
         self.stats.flows_analyzed += flows.len() as u64;
 
@@ -243,59 +349,92 @@ impl Nids {
         let extractor = &self.extractor;
         let analyzer = &self.analyzer;
         let frame_cap = self.max_frame_bytes;
+        let chaos_marker = self.chaos_panic_marker.as_deref();
 
-        let analyze_flow = |flow: &Flow| -> Vec<Alert> {
+        let analyze_one = |flow: &Flow| -> FlowOutcome {
             let payload = flow.payload();
-            let frames = extractor.extract(&payload);
-            let mut alerts = Vec::new();
-            for frame in &frames {
-                // Bound the disassembly/matching work a hostile frame can
-                // buy; the excess is accounted as decoder_bailout below.
-                let data = &frame.data[..frame.data.len().min(frame_cap)];
-                for m in analyzer.analyze(data) {
-                    alerts.push(Alert::from_match(flow, frame, m));
+            if let Some(marker) = chaos_marker {
+                if !marker.is_empty() && payload.windows(marker.len()).any(|w| w == marker) {
+                    panic!("chaos: injected analysis panic");
                 }
             }
-            alerts
-        };
-        let frame_stats_of = |f: &Flow| {
-            let payload = f.payload();
             let frames = extractor.extract(&payload);
-            (
-                frames.len() as u64,
-                frames.iter().map(|fr| fr.data.len() as u64).sum::<u64>(),
-                frames.iter().filter(|fr| fr.data.len() > frame_cap).count() as u64,
-            )
+            let mut out = FlowOutcome {
+                frames: frames.len() as u64,
+                ..FlowOutcome::default()
+            };
+            for frame in &frames {
+                out.frame_bytes += frame.data.len() as u64;
+                // Bound the disassembly/matching work a hostile frame can
+                // buy: the byte cap truncates the frame, and the sweep
+                // budget bounds start discovery inside it. Either limit
+                // firing is a decoder bailout for this frame.
+                let data = &frame.data[..frame.data.len().min(frame_cap)];
+                let analysis = analyzer.analyze_frame(data);
+                if analysis.sweep_exhausted || frame.data.len() > frame_cap {
+                    out.bailouts += 1;
+                }
+                for m in analysis.matches {
+                    out.alerts.push(Alert::from_match(flow, frame, m));
+                }
+            }
+            out
+        };
+        let run_batch = |batch: &&[Flow]| -> FlowOutcome {
+            let mut agg = FlowOutcome::default();
+            for flow in batch.iter() {
+                match catch_unwind(AssertUnwindSafe(|| analyze_one(flow))) {
+                    Ok(outcome) => agg.absorb(outcome),
+                    Err(_) => agg.panicked += 1,
+                }
+            }
+            agg
         };
 
-        let (mut alerts, frames_stats): (Vec<Alert>, (u64, u64, u64)) = if self.parallel {
-            let alerts: Vec<Alert> = flows.par_iter().flat_map_iter(analyze_flow).collect();
-            let fs = flows
-                .par_iter()
-                .map(frame_stats_of)
-                .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
-            (alerts, fs)
+        let batches = batch_flows(&flows);
+        let outcomes: Vec<FlowOutcome> = if self.parallel && batches.len() > 1 {
+            self.pool()
+                .try_par_map(&batches, run_batch)
+                .into_iter()
+                .zip(&batches)
+                .map(|(result, batch)| {
+                    result.unwrap_or_else(|_| FlowOutcome {
+                        panicked: batch.len() as u64,
+                        ..FlowOutcome::default()
+                    })
+                })
+                .collect()
         } else {
-            let mut all = Vec::new();
-            let mut fs = (0u64, 0u64, 0u64);
-            for flow in &flows {
-                let (n, bytes, bailed) = frame_stats_of(flow);
-                fs.0 += n;
-                fs.1 += bytes;
-                fs.2 += bailed;
-                all.extend(analyze_flow(flow));
-            }
-            (all, fs)
+            batches.iter().map(run_batch).collect()
         };
+
+        let mut total = FlowOutcome::default();
+        for outcome in outcomes {
+            total.absorb(outcome);
+        }
+        let mut alerts = total.alerts;
 
         self.stats.analysis_nanos += t0.elapsed().as_nanos() as u64;
-        self.stats.frames_extracted += frames_stats.0;
-        self.stats.frame_bytes += frames_stats.1;
+        self.stats.frames_extracted += total.frames;
+        self.stats.frame_bytes += total.frame_bytes;
         self.stats
             .drops
-            .add(DropReason::DecoderBailout, frames_stats.2);
-        alerts.sort_by_key(|a| (a.src, a.template));
-        alerts.dedup_by(|a, b| a.src == b.src && a.template == b.template && a.start == b.start);
+            .add(DropReason::DecoderBailout, total.bailouts);
+        self.stats
+            .drops
+            .add(DropReason::AnalysisPanicked, total.panicked);
+        // Total order over every rendered field: two flows can share a
+        // source (NATs, repeat attackers), and the flow table drains in
+        // hash order, so anything short of a total key would leak drain
+        // order into the output and break byte-identical replays.
+        alerts.sort_by_key(|a| (a.src, a.template, a.start, a.dst, a.dst_port));
+        alerts.dedup_by(|a, b| {
+            a.src == b.src
+                && a.template == b.template
+                && a.start == b.start
+                && a.dst == b.dst
+                && a.dst_port == b.dst_port
+        });
         self.stats.alerts += alerts.len() as u64;
         alerts
     }
@@ -529,6 +668,136 @@ mod tests {
             alerts
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// The alert stream is byte-identical at every worker count — the
+    /// pool's ordered gather plus the final sort make thread scheduling
+    /// unobservable. No post-hoc sorting here: the pipeline's own output
+    /// must already be stable.
+    #[test]
+    fn alerts_identical_across_worker_counts() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut packets, _) = codered_capture(&mut rng, &plan, 2000, 4);
+        // Two exploit flows from ONE source to different victims: their
+        // alerts tie on (src, template), so only a total ordering of the
+        // output keeps hash-order flow draining unobservable. This is the
+        // regression shape the throughput bench's byte-identity gate
+        // caught.
+        let repeat_attacker = Ipv4Addr::new(198, 18, 99, 99);
+        let exploit = SCENARIOS[0].build_payload(&mut rng);
+        packets.push(
+            snids_packet::PacketBuilder::new(repeat_attacker, plan.honeypots[0])
+                .at(50)
+                .tcp_syn(4100, 21, 1)
+                .unwrap(),
+        );
+        for (dst, port, isn) in [
+            (plan.web_server, 4101u16, 0x51),
+            (plan.mail_server, 4102, 0x52),
+        ] {
+            packets.extend(tcp_flow_packets(
+                repeat_attacker,
+                dst,
+                port,
+                21,
+                &exploit,
+                400,
+                isn,
+            ));
+        }
+        let run = |threads: usize| {
+            let mut nids = Nids::new(NidsConfig {
+                threads,
+                ..plan_config(&plan)
+            });
+            let alerts = nids.process_capture(&packets);
+            assert_eq!(nids.analysis_threads(), threads);
+            alerts
+                .iter()
+                .map(|a| a.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = run(1);
+        assert!(!one.is_empty());
+        assert_eq!(one, run(2), "2 workers must render identical alerts");
+        assert_eq!(one, run(4), "4 workers must render identical alerts");
+    }
+
+    /// A poisoned flow panics mid-analysis; the pool contains it, the
+    /// other flows still alert, the ledger attributes the loss, and the
+    /// process survives — at several worker counts.
+    #[test]
+    fn panicking_flow_is_contained_and_attributed() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        let attacker = Ipv4Addr::new(198, 18, 7, 7);
+        let poisoner = Ipv4Addr::new(198, 18, 8, 8);
+        let marker = b"CHAOS-PANIC-MARKER".to_vec();
+        let exploit = SCENARIOS[0].build_payload(&mut rng);
+
+        for threads in [1usize, 2, 4] {
+            let mut nids = Nids::new(NidsConfig {
+                chaos_analysis_panic_marker: Some(marker.clone()),
+                threads,
+                ..plan_config(&plan)
+            });
+            // Both sources probe a honeypot so their flows reach analysis.
+            for (src, port) in [(attacker, 4001u16), (poisoner, 4002)] {
+                let probe = snids_packet::PacketBuilder::new(src, plan.honeypots[0])
+                    .at(100)
+                    .tcp_syn(port, 21, 1)
+                    .unwrap();
+                nids.process_packet(&probe);
+            }
+            for p in tcp_flow_packets(attacker, plan.web_server, 4001, 21, &exploit, 200, 0x42) {
+                nids.process_packet(&p);
+            }
+            let mut poisoned = marker.clone();
+            poisoned.extend_from_slice(&exploit);
+            for p in tcp_flow_packets(poisoner, plan.web_server, 4002, 21, &poisoned, 300, 0x43) {
+                nids.process_packet(&p);
+            }
+            let alerts = nids.finish();
+            assert!(
+                alerts.iter().any(|a| a.src == attacker),
+                "threads={threads}: healthy flow must still alert: {alerts:?}"
+            );
+            assert!(
+                alerts.iter().all(|a| a.src != poisoner),
+                "threads={threads}: poisoned flow cannot alert"
+            );
+            let s = nids.stats();
+            assert_eq!(
+                s.drops.get(DropReason::AnalysisPanicked),
+                1,
+                "threads={threads}: the poisoned flow must be attributed"
+            );
+            assert!(s.packet_ledger_balanced(), "threads={threads}");
+        }
+    }
+
+    /// Sweep-budget exhaustion is attributed per frame as decoder_bailout.
+    #[test]
+    fn sweep_exhaustion_counts_decoder_bailout() {
+        let mut nids = Nids::with_defaults();
+        // A long stretch of single-byte instructions blows a tiny budget.
+        let blob = vec![0x90u8; 4096];
+        nids.analyzer = Analyzer::default().with_config(snids_semantic::AnalyzerConfig {
+            sweep_budget: snids_x86::SweepBudget {
+                max_instructions: 64,
+                max_bytes: 64,
+            },
+            ..snids_semantic::AnalyzerConfig::default()
+        });
+        nids.analyze_payload_accounted(&blob);
+        assert!(
+            nids.stats().drops.get(DropReason::DecoderBailout) >= 1,
+            "{:?}",
+            nids.stats().drops
+        );
+        assert!(nids.stats().frames_extracted >= 1);
     }
 
     /// Streaming mode: poll() surfaces alerts for idle flows while the

@@ -42,14 +42,18 @@ pub enum DropReason {
     FlowEvicted,
     /// Flow whose reassembly buffer hit the per-stream byte cap.
     StreamTruncated,
-    /// Extracted frame exceeded the disassembly budget; analysis of the
-    /// remainder was skipped.
+    /// Extracted frame exceeded the disassembly budget (frame byte cap or
+    /// sweep-budget exhaustion); analysis of the remainder was skipped.
     DecoderBailout,
+    /// Flow whose analysis task panicked. The work-stealing pool contained
+    /// the panic — the process survives — but that flow's detection
+    /// opportunity was lost.
+    AnalysisPanicked,
 }
 
 impl DropReason {
     /// All reasons, in ledger order.
-    pub const ALL: [DropReason; 12] = [
+    pub const ALL: [DropReason; 13] = [
         DropReason::PcapRecordMalformed,
         DropReason::PcapRecordTruncated,
         DropReason::FrameUndecodable,
@@ -62,6 +66,7 @@ impl DropReason {
         DropReason::FlowEvicted,
         DropReason::StreamTruncated,
         DropReason::DecoderBailout,
+        DropReason::AnalysisPanicked,
     ];
 
     /// Stable snake_case name (JSON key / CLI label).
@@ -79,6 +84,7 @@ impl DropReason {
             DropReason::FlowEvicted => "flow_evicted",
             DropReason::StreamTruncated => "stream_truncated",
             DropReason::DecoderBailout => "decoder_bailout",
+            DropReason::AnalysisPanicked => "analysis_panicked",
         }
     }
 
@@ -214,6 +220,25 @@ impl PipelineStats {
         self.drops
             .add(DropReason::PcapRecordTruncated, rs.truncated_records);
         self.drops.add(DropReason::FrameUndecodable, rs.undecodable);
+    }
+
+    /// Fold another run's counters into this one (the `repro` binary
+    /// aggregates per-trace stats into one integrity footer).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.records_in += other.records_in;
+        self.packets += other.packets;
+        self.processed += other.processed;
+        self.suspicious_packets += other.suspicious_packets;
+        self.flows_analyzed += other.flows_analyzed;
+        self.frames_extracted += other.frames_extracted;
+        self.frame_bytes += other.frame_bytes;
+        self.alerts += other.alerts;
+        for (reason, n) in other.drops.iter() {
+            self.drops.add(reason, n);
+        }
+        self.classify_nanos += other.classify_nanos;
+        self.reassembly_nanos += other.reassembly_nanos;
+        self.analysis_nanos += other.analysis_nanos;
     }
 
     /// `packets = processed + packet-level drops` — every decoded packet

@@ -1,0 +1,85 @@
+//! A countdown latch: the caller of a parallel map blocks (or helps) until
+//! every spawned chunk task has signalled completion.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Counts down from the number of outstanding tasks to zero.
+pub(crate) struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, usize> {
+        // A panic can never escape while this lock is held (the critical
+        // sections below are a decrement and a comparison), but recover
+        // from poison anyway: a stuck latch would hang the caller forever.
+        self.remaining.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Guard that signals completion when dropped — even if the task's
+    /// bookkeeping panics, the caller is never left waiting.
+    pub(crate) fn count_down_on_drop(&self) -> CountDownGuard<'_> {
+        CountDownGuard(self)
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.lock();
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Non-blocking completion check (used by helping workers).
+    pub(crate) fn is_done(&self) -> bool {
+        *self.lock() == 0
+    }
+
+    /// Block until every task has counted down.
+    pub(crate) fn wait(&self) {
+        let mut remaining = self.lock();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// See [`Latch::count_down_on_drop`].
+pub(crate) struct CountDownGuard<'a>(&'a Latch);
+
+impl Drop for CountDownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_down_to_done() {
+        let latch = Latch::new(2);
+        assert!(!latch.is_done());
+        drop(latch.count_down_on_drop());
+        assert!(!latch.is_done());
+        drop(latch.count_down_on_drop());
+        assert!(latch.is_done());
+        latch.wait(); // returns immediately
+    }
+
+    #[test]
+    fn zero_latch_is_immediately_done() {
+        let latch = Latch::new(0);
+        assert!(latch.is_done());
+        latch.wait();
+    }
+}

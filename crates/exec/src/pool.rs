@@ -1,0 +1,559 @@
+//! The pool proper: worker threads, deques, stealing, and the chunked
+//! parallel-map entry points.
+
+use crate::latch::Latch;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of work queued on the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle worker parks before re-checking the queues. A push
+/// always notifies, so this only bounds the cost of a lost wakeup (and the
+/// latency of noticing shutdown).
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Target chunks per worker for the auto-chunked maps: enough slack for
+/// stealing to balance uneven chunks, few enough to keep per-chunk
+/// bookkeeping negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// Tasks submitted from outside the pool (FIFO).
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker: owner pushes/pops the back, thieves take the
+    /// front.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Parked workers wait here (paired with the injector mutex).
+    wakeup: Condvar,
+    /// Cleared on shutdown; workers drain their queues and exit.
+    live: AtomicBool,
+    /// Tasks whose panic was contained by a worker (observability).
+    tasks_panicked: AtomicU64,
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` when the current thread is a pool
+    /// worker. Routes same-pool pushes to the worker's own deque and lets
+    /// a blocked caller help execute tasks instead of deadlocking.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Queue critical sections are pure VecDeque ops; recover from poison
+    // rather than wedging the whole executor.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A work-stealing thread pool. See the crate docs for the design.
+///
+/// Dropping the pool finishes all queued tasks, then joins the workers.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+/// A contained panic from one task (or one item of a
+/// [`ThreadPool::try_par_map`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload, stringified when it was a `&str`/`String`.
+    pub message: String,
+}
+
+impl TaskPanic {
+    fn from_payload(payload: Box<dyn Any + Send>) -> TaskPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        TaskPanic { message }
+    }
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wakeup: Condvar::new(),
+            live: AtomicBool::new(true),
+            tasks_panicked: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("snids-exec-{idx}"))
+                    .spawn(move || worker_main(shared, idx))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tasks whose panic a worker contained so far (strict maps re-throw
+    /// theirs; this also counts fire-and-forget [`ThreadPool::spawn`]s).
+    pub fn tasks_panicked(&self) -> u64 {
+        self.shared.tasks_panicked.load(Ordering::Relaxed)
+    }
+
+    /// Identity used to recognise "am I on this pool's worker?".
+    fn id(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// Fire-and-forget: queue `task` for execution. A panic inside is
+    /// contained (and counted), not propagated.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, task: F) {
+        self.push_task(Box::new(task));
+    }
+
+    /// Map `f` over `items` in parallel, preserving input order in the
+    /// output. A panic in `f` is re-thrown on this thread once all other
+    /// chunks have finished; the workers survive.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_chunked(items, self.auto_chunk(items.len()), f)
+    }
+
+    /// [`ThreadPool::par_map`] with an explicit chunk size (items per
+    /// task). Small inputs (one chunk) and one-worker pools run inline on
+    /// the calling thread.
+    pub fn par_map_chunked<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let chunk = chunk.max(1);
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n <= chunk {
+            return items.iter().map(f).collect();
+        }
+        let parts: Vec<&[T]> = items.chunks(chunk).collect();
+        let slots: Vec<Mutex<Vec<R>>> = parts.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+            .iter()
+            .zip(&slots)
+            .map(|(&part, slot)| {
+                Box::new(move || {
+                    *lock(slot) = part.iter().map(f).collect();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run_scoped(tasks);
+        slots
+            .into_iter()
+            .flat_map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+
+    /// Map with per-item panic isolation: item `i`'s result is
+    /// `Err(TaskPanic)` when `f` panicked on it, and every other item still
+    /// yields `Ok`. Output order equals input order.
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let f = &f;
+        let results = self.par_map(items, move |item| {
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(TaskPanic::from_payload)
+        });
+        let contained = results.iter().filter(|r| r.is_err()).count() as u64;
+        if contained > 0 {
+            self.shared
+                .tasks_panicked
+                .fetch_add(contained, Ordering::Relaxed);
+        }
+        results
+    }
+
+    /// Parallel map over an owned `Vec`, consuming the items. Order
+    /// preserved; panics re-thrown like [`ThreadPool::par_map`].
+    pub fn par_map_vec<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = self.auto_chunk(n);
+        if self.threads == 1 || n <= chunk {
+            return items.into_iter().map(f).collect();
+        }
+        // Each item sits in an Option cell; disjoint `chunks_mut` windows
+        // let every task move its own items out without unsafe aliasing.
+        let mut cells: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        let slots: Vec<Mutex<Vec<R>>> = cells
+            .chunks(chunk)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = cells
+            .chunks_mut(chunk)
+            .zip(&slots)
+            .map(|(part, slot)| {
+                Box::new(move || {
+                    let out: Vec<R> = part
+                        .iter_mut()
+                        .map(|cell| f(cell.take().expect("each cell is taken exactly once")))
+                        .collect();
+                    *lock(slot) = out;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run_scoped(tasks);
+        slots
+            .into_iter()
+            .flat_map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+
+    /// Parallel flat-map: `f` yields a serial iterator per item; the
+    /// concatenation follows input order.
+    pub fn par_flat_map<T, R, I, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(&T) -> I + Sync,
+    {
+        self.par_map(items, |item| f(item).into_iter().collect::<Vec<R>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Items per chunk so each worker sees about [`CHUNKS_PER_WORKER`]
+    /// chunks.
+    fn auto_chunk(&self, n: usize) -> usize {
+        n.div_ceil(self.threads * CHUNKS_PER_WORKER).max(1)
+    }
+
+    /// Queue a batch of borrowing tasks and do not return until every one
+    /// has run. The first escaped panic (if any) is re-thrown here, after
+    /// all tasks completed.
+    fn run_scoped<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Latch::new(tasks.len());
+        let escaped: Mutex<Vec<Box<dyn Any + Send>>> = Mutex::new(Vec::new());
+        {
+            let latch = &latch;
+            let escaped = &escaped;
+            // SAFETY: run_scoped does not return (or unwind) past the
+            // `wait` below until the latch confirms every wrapped task
+            // finished, so no task outlives the locals ('env data, `latch`,
+            // `escaped`) it borrows. The fat-pointer layout is identical
+            // across the two lifetimes.
+            unsafe fn erase<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+                std::mem::transmute(task)
+            }
+            for task in tasks {
+                let erased = unsafe {
+                    erase(Box::new(move || {
+                        // The guard signals on drop, so even a panicking
+                        // bookkeeping path cannot leave the caller waiting.
+                        let _done = latch.count_down_on_drop();
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                            lock(escaped).push(payload);
+                        }
+                    }))
+                };
+                self.push_task(erased);
+            }
+            self.wait(latch);
+        }
+        let mut escaped = escaped.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(payload) = escaped.pop() {
+            self.shared.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+            resume_unwind(payload);
+        }
+    }
+
+    /// Route a task: same-pool workers enqueue onto their own deque,
+    /// everyone else onto the injector; then wake sleepers.
+    fn push_task(&self, task: Task) {
+        match CURRENT_WORKER.with(|c| c.get()) {
+            Some((pool, idx)) if pool == self.id() => {
+                lock(&self.shared.locals[idx]).push_back(task)
+            }
+            _ => lock(&self.shared.injector).push_back(task),
+        }
+        self.shared.wakeup.notify_all();
+    }
+
+    /// Wait for `latch`; a caller that is itself a worker of this pool
+    /// keeps executing queued tasks meanwhile (nested maps cannot
+    /// deadlock).
+    fn wait(&self, latch: &Latch) {
+        match CURRENT_WORKER.with(|c| c.get()) {
+            Some((pool, idx)) if pool == self.id() => {
+                while !latch.is_done() {
+                    match find_task(&self.shared, idx) {
+                        Some(task) => run_task(&self.shared, task),
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }
+            _ => latch.wait(),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.live.store(false, Ordering::Release);
+        self.shared.wakeup.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("tasks_panicked", &self.tasks_panicked())
+            .finish()
+    }
+}
+
+/// Scheduling order: own deque (LIFO) → injector (FIFO) → steal a sibling's
+/// oldest task (FIFO).
+fn find_task(shared: &Shared, idx: usize) -> Option<Task> {
+    if let Some(task) = lock(&shared.locals[idx]).pop_back() {
+        return Some(task);
+    }
+    if let Some(task) = lock(&shared.injector).pop_front() {
+        return Some(task);
+    }
+    let n = shared.locals.len();
+    for offset in 1..n {
+        let victim = (idx + offset) % n;
+        if let Some(task) = lock(&shared.locals[victim]).pop_front() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// Run one task with its panic contained (the worker must survive anything
+/// a task does).
+fn run_task(shared: &Shared, task: Task) {
+    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+        shared.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, idx: usize) {
+    let id = Arc::as_ptr(&shared) as usize;
+    CURRENT_WORKER.with(|c| c.set(Some((id, idx))));
+    loop {
+        if let Some(task) = find_task(&shared, idx) {
+            run_task(&shared, task);
+            continue;
+        }
+        if !shared.live.load(Ordering::Acquire) {
+            return;
+        }
+        // Park until a push notifies (or the timeout re-checks, bounding
+        // any lost-wakeup race between the emptiness check and the wait).
+        let guard = lock(&shared.injector);
+        if guard.is_empty() && shared.live.load(Ordering::Acquire) {
+            let _ = shared.wakeup.wait_timeout(guard, PARK_TIMEOUT);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = pool.par_map(&items, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_vec_consumes_in_order() {
+        let pool = ThreadPool::new(3);
+        let items: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let lens = pool.par_map_vec(items, |s| s.len());
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[99], 3);
+    }
+
+    #[test]
+    fn par_flat_map_concatenates_in_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..50).collect();
+        let out = pool.par_flat_map(&items, |&n| vec![n; n % 3]);
+        let expected: Vec<usize> = items.iter().flat_map(|&n| vec![n; n % 3]).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn work_actually_lands_on_multiple_queues() {
+        // Smoke that the pool runs tasks at all and the caller's thread is
+        // not the only executor (cannot assert true concurrency on a
+        // 1-core host, but the tasks must all run).
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        pool.par_map(&items, |_| count.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(count.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn strict_map_rethrows_after_all_tasks_finish() {
+        let pool = ThreadPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x == 13 {
+                    panic!("poisoned item");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // Every healthy item still ran (the panic only killed its chunk's
+        // remaining items).
+        assert!(ran.load(Ordering::Relaxed) >= 14);
+        // The pool survives and keeps working.
+        assert_eq!(pool.par_map(&items, |&x| x + 1)[0], 1);
+    }
+
+    #[test]
+    fn try_par_map_isolates_poisoned_items() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..100).collect();
+        let results = pool.try_par_map(&items, |&x| {
+            if x % 10 == 7 {
+                panic!("bad item {x}");
+            }
+            x * 3
+        });
+        assert_eq!(results.len(), 100);
+        for (i, r) in results.iter().enumerate() {
+            if i % 10 == 7 {
+                let err = r.as_ref().unwrap_err();
+                assert!(err.message.contains("bad item"), "{err}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32 * 3);
+            }
+        }
+        assert_eq!(pool.tasks_panicked(), 10);
+    }
+
+    #[test]
+    fn nested_par_map_from_worker_does_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let outer: Vec<u32> = (0..8).collect();
+        let inner: Vec<u32> = (0..32).collect();
+        let sums = pool.par_map(&outer, |&o| {
+            // This runs on a worker; the nested map must help, not block.
+            pool.par_map(&inner, |&i| i + o).iter().sum::<u32>()
+        });
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums[0], (0..32).sum::<u32>());
+    }
+
+    #[test]
+    fn spawn_runs_and_contains_panics() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.spawn(|| panic!("contained"));
+        // Synchronise by running a barrier-like map.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while (hits.load(Ordering::Relaxed) < 16 || pool.tasks_panicked() < 1)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(pool.tasks_panicked(), 1);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let items: Vec<u64> = (0..100).collect();
+        assert_eq!(pool.par_map(&items, |x| x + 1).len(), 100);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |x| *x).is_empty());
+        assert!(pool.par_map_vec(empty, |x| x).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

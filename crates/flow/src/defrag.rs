@@ -94,7 +94,12 @@ pub enum DefragOutcome {
     Passthrough(Packet),
     /// This fragment completed its datagram; `pieces` fragments were
     /// consumed to build the returned packet.
-    Reassembled { packet: Packet, pieces: u64 },
+    Reassembled {
+        /// The reassembled whole datagram.
+        packet: Packet,
+        /// Fragments consumed to build it (for ledger credit).
+        pieces: u64,
+    },
     /// Buffered awaiting the rest of its datagram.
     Buffered,
     /// Discarded; the matching counter in [`DefragStats`] has been bumped.

@@ -5,6 +5,7 @@
 //! packet-at-a-time inspection. The NIDS therefore reassembles each
 //! directional flow's byte stream before handing it to the extraction
 //! stage.
+#![deny(missing_docs)]
 
 pub mod defrag;
 pub mod key;

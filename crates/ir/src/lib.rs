@@ -24,4 +24,4 @@ pub mod trace;
 pub use eval::{AbstractState, Evaluator};
 pub use lift::lift;
 pub use op::{BinKind, IrInsn, Place, SemOp, StrKind, Target, UnKind, Value};
-pub use trace::{default_starts, trace_from, Trace};
+pub use trace::{default_starts, default_starts_budgeted, trace_from, StartsOutcome, Trace};

@@ -17,7 +17,7 @@
 use crate::eval;
 use crate::lift::lift;
 use crate::op::{IrInsn, SemOp, Target};
-use snids_x86::decode;
+use snids_x86::{decode, SweepBudget};
 use std::collections::HashSet;
 
 /// An execution-order instruction sequence with constant annotations.
@@ -99,18 +99,56 @@ impl Trace {
 /// part) then run only from this small start set, where the naive
 /// (`[5]`-style) analyzer runs one from every byte offset.
 pub fn default_starts(buf: &[u8]) -> Vec<usize> {
+    default_starts_budgeted(
+        buf,
+        &SweepBudget {
+            max_instructions: usize::MAX,
+            max_bytes: usize::MAX,
+        },
+    )
+    .starts
+}
+
+/// Result of a budgeted start discovery.
+#[derive(Debug, Clone)]
+pub struct StartsOutcome {
+    /// Candidate trace start offsets, sorted and deduplicated.
+    pub starts: Vec<usize>,
+    /// True when the budget expired with input still unexamined — the
+    /// start set is partial and detection over this frame is degraded.
+    /// The pipeline accounts such frames as `decoder_bailout` drops.
+    pub exhausted: bool,
+}
+
+/// [`default_starts`] bounded by an explicit [`SweepBudget`]: the resync
+/// linear sweep stops at the budget's instruction/byte caps, and the
+/// sliding branch scan examines at most `max_bytes` offsets. A hostile
+/// flow cannot buy unbounded start discovery, and the caller learns when
+/// input was left unexamined.
+pub fn default_starts_budgeted(buf: &[u8], budget: &SweepBudget) -> StartsOutcome {
     let mut starts = vec![0usize];
+    let mut exhausted = false;
     // Linear sweep: resynchronisation points.
     let mut pos = 0usize;
+    let mut emitted = 0usize;
     while pos < buf.len() {
+        if emitted >= budget.max_instructions || pos >= budget.max_bytes {
+            exhausted = true;
+            break;
+        }
         let insn = decode(buf, pos);
+        emitted += 1;
         if insn.mnemonic == snids_x86::Mnemonic::Bad && pos + 1 < buf.len() {
             starts.push(pos + 1);
         }
         pos = insn.end();
     }
     // Sliding scan: branch targets from a decode at every offset.
-    for off in 0..buf.len() {
+    let scan_end = buf.len().min(budget.max_bytes);
+    if scan_end < buf.len() {
+        exhausted = true;
+    }
+    for off in 0..scan_end {
         let insn = decode(buf, off);
         if let Some(t) = insn.branch_target() {
             if let Ok(t) = usize::try_from(t) {
@@ -122,7 +160,7 @@ pub fn default_starts(buf: &[u8]) -> Vec<usize> {
     }
     starts.sort_unstable();
     starts.dedup();
-    starts
+    StartsOutcome { starts, exhausted }
 }
 
 #[cfg(test)]

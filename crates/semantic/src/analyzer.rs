@@ -6,7 +6,8 @@ use crate::matcher::{match_template, MatchInfo, DEFAULT_BUDGET};
 use crate::pattern::{Severity, Template};
 use crate::templates::default_templates;
 use serde::{Deserialize, Serialize};
-use snids_ir::{default_starts, trace_from, Trace};
+use snids_ir::{default_starts, default_starts_budgeted, trace_from, Trace};
+use snids_x86::SweepBudget;
 
 /// A reported template match on a binary frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +89,10 @@ pub struct AnalyzerConfig {
     pub budget_per_trace: usize,
     /// Cap on trace length.
     pub max_trace_ops: usize,
+    /// Disassembly budget for start discovery over one frame. When it
+    /// runs out, [`Analyzer::analyze_frame`] flags the frame as
+    /// `sweep_exhausted` so the pipeline can account a decoder bailout.
+    pub sweep_budget: SweepBudget,
 }
 
 impl Default for AnalyzerConfig {
@@ -95,8 +100,20 @@ impl Default for AnalyzerConfig {
         AnalyzerConfig {
             budget_per_trace: DEFAULT_BUDGET,
             max_trace_ops: snids_ir::trace::MAX_TRACE_OPS,
+            sweep_budget: SweepBudget::default(),
         }
     }
+}
+
+/// Everything the analyzer learned about one frame: the matches, plus
+/// whether analysis was complete or budget-truncated.
+#[derive(Debug, Clone)]
+pub struct FrameAnalysis {
+    /// Deduplicated template matches.
+    pub matches: Vec<TemplateMatch>,
+    /// True when the [`SweepBudget`] expired before start discovery
+    /// covered the whole frame — detection over this frame is partial.
+    pub sweep_exhausted: bool,
 }
 
 /// The pruned analyzer: traces start only at offset 0, resynchronisation
@@ -138,6 +155,18 @@ impl Analyzer {
     /// Analyze one binary frame, reporting all (deduplicated) matches.
     pub fn analyze(&self, frame: &[u8]) -> Vec<TemplateMatch> {
         self.analyze_starts(frame, &default_starts(frame))
+    }
+
+    /// Analyze one frame under the configured [`SweepBudget`], reporting
+    /// matches *and* whether the budget truncated start discovery. The
+    /// pipeline uses this to attribute `decoder_bailout` drops at frame
+    /// granularity instead of silently degrading detection.
+    pub fn analyze_frame(&self, frame: &[u8]) -> FrameAnalysis {
+        let outcome = default_starts_budgeted(frame, &self.config.sweep_budget);
+        FrameAnalysis {
+            matches: self.analyze_starts(frame, &outcome.starts),
+            sweep_exhausted: outcome.exhausted,
+        }
     }
 
     /// True if any template matches — the detection fast path (stops at the

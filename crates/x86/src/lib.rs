@@ -19,6 +19,7 @@
 //! with length 1, and the [`stream::InsnStream`] resynchronises at the next
 //! offset. This matters for network data: extracted binary frames contain
 //! non-code bytes, so a scanner must degrade gracefully rather than fail.
+#![deny(missing_docs)]
 
 pub mod decoder;
 pub mod fmt;

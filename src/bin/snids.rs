@@ -15,6 +15,9 @@
 //!
 //! # disassemble a binary frame and run the semantic analyzer over it
 //! snids disasm payload.bin
+//!
+//! # measure flow-analysis throughput on a synthesized polymorphic storm
+//! snids bench --flows 144 --repeats 3
 //! ```
 
 use rand::rngs::StdRng;
@@ -30,7 +33,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--no-classify] [--json] [--stats]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--no-classify] [--json] [--stats]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--flows N] [--seed N] [--repeats N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +44,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(&args[1..]),
         Some("synth") => synth(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         _ => usage(),
     }
 }
@@ -232,6 +236,37 @@ fn synth(args: &[String]) -> ExitCode {
         "analyze with: snids analyze {path} --honeypot {} --dark {}/16",
         plan.honeypots[0], plan.dark_net
     );
+    ExitCode::SUCCESS
+}
+
+fn bench(args: &[String]) -> ExitCode {
+    let flows = flag_value_u64(args, "--flows", 144) as usize;
+    let cfg = snids::bench::throughput::BenchConfig {
+        seed: flag_value_u64(args, "--seed", 2006),
+        attack_flows: flows / 3,
+        background_flows: flows - flows / 3,
+        repeats: flag_value_u64(args, "--repeats", 3) as usize,
+        ..snids::bench::throughput::BenchConfig::default()
+    };
+    eprintln!(
+        "polymorphic storm: {} attack + {} benign flows, worker counts {:?}",
+        cfg.attack_flows, cfg.background_flows, cfg.threads
+    );
+    let report = snids::bench::throughput::run(&cfg);
+    print!("{}", snids::bench::throughput::render(&report));
+    let out = flag_values(args, "--out")
+        .first()
+        .copied()
+        .unwrap_or("BENCH_throughput.json");
+    if let Err(e) = std::fs::write(out, snids::bench::throughput::to_json(&report)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if report.runs.iter().any(|r| !r.identical) {
+        eprintln!("ALERT STREAMS DIVERGED ACROSS WORKER COUNTS");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

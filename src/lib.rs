@@ -53,9 +53,16 @@
 //! | [`sig`] | Snort-style signature baseline |
 //! | [`gen`] | workload generation (engines, exploits, traces) |
 //! | [`core`] | the assembled five-stage pipeline (Figure 3) |
+//! | [`exec`] | the work-stealing thread pool the pipeline runs on |
+//! | [`bench`] | experiment runners (paper tables/figures, throughput) |
+//!
+//! `ARCHITECTURE.md` at the workspace root walks one packet through all of
+//! these layers.
 
+pub use snids_bench as bench;
 pub use snids_classify as classify;
 pub use snids_core as core;
+pub use snids_exec as exec;
 pub use snids_extract as extract;
 pub use snids_flow as flow;
 pub use snids_gen as gen;

@@ -1,111 +1,176 @@
-//! Hermetic stand-in for `rayon`.
+//! Hermetic stand-in for `rayon`, now backed by a real executor.
 //!
 //! Presents the `par_iter()` combinator surface the pipeline uses
-//! (`map`, `flat_map_iter`, `filter`, `reduce`, `collect`, `sum`, `count`)
-//! but executes sequentially: the offline container cannot fetch the real
-//! crate, and the pipeline's correctness tests only require that the
-//! parallel path computes the same answer as the sequential one. Swapping
-//! the real rayon back in is a one-line Cargo change; call sites are
-//! untouched.
+//! (`map`, `flat_map_iter`, `filter`, `reduce`, `collect`, `sum`, `count`,
+//! `for_each`) and executes it on the [`snids_exec`] work-stealing pool —
+//! the shared [`snids_exec::global`] pool, sized by `SNIDS_THREADS` or the
+//! machine's available parallelism. Call sites are untouched relative to
+//! the old sequential stand-in (and to real rayon): swapping the real
+//! crate back in remains a one-line Cargo change.
+//!
+//! Unlike real rayon's lazy fused pipelines, each combinator here is one
+//! eager parallel pass over materialized items. That costs an intermediate
+//! `Vec` per stage but keeps the facade tiny while preserving the two
+//! properties the pipeline relies on: results are ordered by input index,
+//! and closures run concurrently across worker threads.
 
-/// Sequential executor behind the parallel-iterator facade.
-pub struct ParIter<I> {
-    inner: I,
+use snids_exec::global;
+
+/// A materialized parallel iterator: the items to process, in input order.
+/// Every adaptor dispatches one chunked pass on the global pool and
+/// returns the results, again in input order.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+impl<T: Send> ParIter<T> {
+    /// Parallel map, order-preserving.
+    pub fn map<F, R>(self, f: F) -> ParIter<R>
     where
-        F: FnMut(I::Item) -> R,
+        F: Fn(T) -> R + Sync,
+        R: Send,
     {
         ParIter {
-            inner: self.inner.map(f),
+            items: global().par_map_vec(self.items, f),
         }
     }
 
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    /// Parallel filter, order-preserving.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(&T) -> bool + Sync,
+        T: Sync,
     {
+        let keep = global().par_map(&self.items, |item| f(item));
         ParIter {
-            inner: self.inner.filter(f),
+            items: self
+                .items
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(item, k)| k.then_some(item))
+                .collect(),
         }
     }
 
-    /// rayon's `flat_map_iter`: the mapped value is a serial iterator.
-    pub fn flat_map_iter<F, J>(self, f: F) -> ParIter<std::iter::FlatMap<I, J, F>>
+    /// rayon's `flat_map_iter`: the mapped value is a serial iterator; the
+    /// concatenation follows input order.
+    pub fn flat_map_iter<F, J>(self, f: F) -> ParIter<J::Item>
     where
-        F: FnMut(I::Item) -> J,
+        F: Fn(T) -> J + Sync,
         J: IntoIterator,
+        J::Item: Send,
     {
+        let nested = global().par_map_vec(self.items, |item| {
+            f(item).into_iter().collect::<Vec<J::Item>>()
+        });
         ParIter {
-            inner: self.inner.flat_map(f),
+            items: nested.into_iter().flatten().collect(),
         }
     }
 
-    /// Fold with an identity constructor, like rayon's `reduce`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Fold with an identity constructor, like rayon's `reduce`. `op` must
+    /// be associative: chunks are folded on the pool, then the per-chunk
+    /// results are combined left-to-right in chunk order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
     {
-        self.inner.fold(identity(), op)
+        let pool = global();
+        let chunk = self.items.len().div_ceil(pool.threads().max(1) * 4).max(1);
+        let chunks: Vec<Vec<T>> = {
+            let mut items = self.items;
+            let mut out = Vec::new();
+            while !items.is_empty() {
+                let rest = items.split_off(items.len().min(chunk));
+                out.push(items);
+                items = rest;
+            }
+            out
+        };
+        let partials = pool.par_map_vec(chunks, |chunk| chunk.into_iter().fold(identity(), &op));
+        partials.into_iter().fold(identity(), op)
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    /// Collect the (already ordered) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
+    /// Parallel sum.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let pool = global();
+        let chunk = self.items.len().div_ceil(pool.threads().max(1) * 4).max(1);
+        let chunks: Vec<Vec<T>> = {
+            let mut items = self.items;
+            let mut out = Vec::new();
+            while !items.is_empty() {
+                let rest = items.split_off(items.len().min(chunk));
+                out.push(items);
+                items = rest;
+            }
+            out
+        };
+        pool.par_map_vec(chunks, |chunk| chunk.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
     }
 
+    /// Number of items.
     pub fn count(self) -> usize {
-        self.inner.count()
+        self.items.len()
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
+    /// Parallel for-each (unordered side effects, like rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        global().par_map_vec(self.items, f);
     }
 }
 
 /// `.par_iter()` on shared slices/vectors.
 pub trait IntoParallelRefIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    /// Reference type yielded per element.
+    type Item: Send + 'data;
+    /// Borrow the collection into a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
     type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 /// `.into_par_iter()` on owned collections.
 pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    /// Element type.
+    type Item: Send;
+    /// Consume the collection into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter {
-            inner: self.into_iter(),
-        }
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
     }
 }
 
@@ -129,5 +194,31 @@ mod tests {
         assert_eq!(pairs, (10, 30));
         let flat: Vec<u64> = v.par_iter().flat_map_iter(|x| vec![*x; 2]).collect();
         assert_eq!(flat.len(), 8);
+    }
+
+    #[test]
+    fn ordering_is_deterministic_at_scale() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let mapped: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(mapped, (1..=10_000).collect::<Vec<u64>>());
+        let filtered: Vec<u64> = v
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .map(|x| x / 3)
+            .collect();
+        assert_eq!(filtered, (0..3334).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sum_count_for_each() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 499_500);
+        assert_eq!(v.par_iter().filter(|x| **x < 10).count(), 10);
+        let total = std::sync::atomic::AtomicU64::new(0);
+        v.par_iter().for_each(|x| {
+            total.fetch_add(*x, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 499_500);
     }
 }
