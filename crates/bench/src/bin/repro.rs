@@ -6,9 +6,12 @@
 //! cargo run --release -p snids-bench --bin repro -- table3 --packets 200000
 //! cargo run --release -p snids-bench --bin repro -- fp --bytes 16000000
 //! cargo run --release -p snids-bench --bin repro -- bench --flows 96
+//! cargo run --release -p snids-bench --bin repro -- desync --flows 32
 //! ```
 
-use snids_bench::{ablation, figures, fp, table1, table2, table3, throughput, DEFAULT_SEED};
+use snids_bench::{
+    ablation, desync, figures, fp, table1, table2, table3, throughput, DEFAULT_SEED,
+};
 
 fn arg_value(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -78,6 +81,36 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let run_desync = || {
+        let mut cfg = desync::DesyncBenchConfig {
+            seed,
+            ..desync::DesyncBenchConfig::default()
+        };
+        if let Some(flows) = arg_value(&args, "--flows") {
+            let flows = (flows as usize).max(2);
+            cfg.attack_flows = flows / 2;
+            cfg.background_flows = flows - flows / 2;
+        }
+        println!(
+            "== Desync: detection degradation vs TCP overlap-fault rate, per policy ({} attack + {} benign flows) ==\n",
+            cfg.attack_flows, cfg.background_flows
+        );
+        let report = desync::run(&cfg);
+        println!("{}", desync::render(&report));
+        let json = desync::to_json(&report);
+        let out = "BENCH_desync.json";
+        match std::fs::write(out, &json) {
+            Ok(()) => println!("wrote {out}"),
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !report.zero_rate_identical {
+            eprintln!("ALERT STREAMS DIVERGED ACROSS POLICIES AT FAULT RATE 0");
+            std::process::exit(1);
+        }
+    };
     let run_fp = || {
         println!(
             "== §5.4 false-positive evaluation (~{} MB benign corpus) ==\n",
@@ -136,6 +169,7 @@ fn main() {
         "ablation-naive" => run_ablation_naive(),
         "ablation-classifier" => run_ablation_classifier(),
         "bench" => run_bench(),
+        "desync" => run_desync(),
         "all" => {
             run_table1();
             run_table2();
@@ -149,7 +183,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`\n\nusage: repro [table1|table2|table3|fp|fig1..fig7|figures|ablation-naive|ablation-classifier|bench|all]\n       [--seed N] [--instances N] [--packets N] [--traces N] [--bytes N] [--flows N] [--repeats N]"
+                "unknown command `{other}`\n\nusage: repro [table1|table2|table3|fp|fig1..fig7|figures|ablation-naive|ablation-classifier|bench|desync|all]\n       [--seed N] [--instances N] [--packets N] [--traces N] [--bytes N] [--flows N] [--repeats N]"
             );
             std::process::exit(2);
         }

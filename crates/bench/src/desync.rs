@@ -1,0 +1,405 @@
+//! Desync storm — detection degradation under TCP overlap evasion.
+//!
+//! The workload replays the Table 2 polymorphic corpus over the wire: each
+//! attack source probes a honeypot (so the classifier flags it) and then
+//! delivers a freshly mutated ADMmutate or Clet instance to the web
+//! server, woven into benign HTTP background flows. A sweep of desync
+//! fault rates is applied: at rate `r`, a deterministic fraction `r` of
+//! the attack flows has [`snids_gen::chaos::desync_packets`] faults
+//! injected — divergent overlapping retransmits, splits, stale ghosts.
+//!
+//! The *same* faulted capture is then replayed through four pipelines,
+//! one per [`OverlapPolicy`], and the per-source detection rate recorded.
+//! The resulting per-policy curves are the experiment's deliverable
+//! (`BENCH_desync.json`): policies fail against *different* fault kinds,
+//! so the curves separate — quantifying how much a sensor loses by
+//! reassembling with the wrong stack model, while the
+//! `overlap_conflict_bytes` column shows the evasion is never silent.
+//!
+//! Faulting uses a superset construction: whether flow `i` is faulted is
+//! `hash(seed, i) < rate`, and a faulted flow's transformation is seeded
+//! from `(seed, i)` only — independent of the rate. Raising the rate
+//! therefore only *adds* faulted flows, never changes existing ones, so
+//! each policy's detection curve is exactly monotone non-increasing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snids_core::{Nids, NidsConfig};
+use snids_flow::OverlapPolicy;
+use snids_gen::chaos::{desync_packets, ChaosLog, DesyncConfig};
+use snids_gen::traces::{tcp_flow_packets, AddressPlan};
+use snids_gen::{benign, shellcode, AdmMutate, Clet};
+use snids_packet::{Packet, PacketBuilder};
+use std::net::Ipv4Addr;
+
+/// Desync sweep parameters.
+#[derive(Debug, Clone)]
+pub struct DesyncBenchConfig {
+    /// Deterministic workload seed.
+    pub seed: u64,
+    /// Polymorphic attack flows (half ADMmutate, half Clet), one unique
+    /// source each.
+    pub attack_flows: usize,
+    /// Benign background flows woven in.
+    pub background_flows: usize,
+    /// Fault rates to sweep, ascending; `0.0` first gives the clean
+    /// baseline every policy must fully detect.
+    pub rates: Vec<f64>,
+}
+
+impl Default for DesyncBenchConfig {
+    fn default() -> Self {
+        DesyncBenchConfig {
+            seed: crate::DEFAULT_SEED,
+            attack_flows: 48,
+            background_flows: 48,
+            rates: vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+        }
+    }
+}
+
+/// One faulted capture, with its ground truth.
+pub struct Capture {
+    /// The packet stream, in replay order.
+    pub packets: Vec<Packet>,
+    /// Every attack source (ground truth for detection counting).
+    pub attack_sources: Vec<Ipv4Addr>,
+    /// Attack sources whose flow was desync-faulted at this rate.
+    pub faulted_sources: Vec<Ipv4Addr>,
+    /// Total desync faults injected.
+    pub desync_faults: u64,
+    /// Divergent overlap payload bytes injected.
+    pub divergent_overlap_bytes: u64,
+}
+
+/// splitmix64 — the per-flow fault lottery and transformation seeds.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform fraction in `[0, 1)` from a flow index: the lottery ticket.
+fn flow_fraction(seed: u64, i: usize) -> f64 {
+    (mix(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Synthesize the corpus and fault a deterministic `rate`-fraction of the
+/// attack flows. Captures at different rates share every clean flow
+/// byte-for-byte and every faulted flow's transformation (superset
+/// construction — see the module docs).
+pub fn build_capture(cfg: &DesyncBenchConfig, rate: f64) -> Capture {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let adm = AdmMutate::default();
+    let clet = Clet::default();
+    let mut packets = Vec::new();
+    let mut attack_sources = Vec::with_capacity(cfg.attack_flows);
+    let mut faulted_sources = Vec::new();
+    let mut log = ChaosLog::default();
+    let mut ts: u64 = 1_000_000;
+
+    for i in 0..cfg.attack_flows {
+        // Unique deterministic source per attack flow so per-source
+        // detection counting is unambiguous.
+        let src = Ipv4Addr::new(198, 18, (1 + i / 250) as u8, (1 + i % 250) as u8);
+        attack_sources.push(src);
+        let sport = 2000 + i as u16;
+        packets.push(
+            PacketBuilder::new(src, plan.honeypots[i % plan.honeypots.len()])
+                .at(ts)
+                .tcp_syn(sport, 80, rng.gen())
+                .expect("probe"),
+        );
+        ts += 300;
+        let inner = shellcode::execve_variant(&mut rng, i % 3);
+        let payload = if i % 2 == 0 {
+            adm.generate(&mut rng, &inner).0
+        } else {
+            clet.generate(&mut rng, &inner)
+        };
+        let train = tcp_flow_packets(src, plan.web_server, sport, 80, &payload, ts, rng.gen());
+        ts += 200 * train.len() as u64;
+        if flow_fraction(cfg.seed, i) < rate {
+            // Fault every data segment of this flow; the transformation is
+            // seeded from (seed, i) only, so it is identical at any rate
+            // that faults this flow.
+            let mut frng = StdRng::seed_from_u64(mix(cfg.seed ^ 0xDE5C ^ (i as u64) << 16));
+            let faulted =
+                desync_packets(&mut frng, &train, &DesyncConfig::with_rate(1.0), &mut log);
+            faulted_sources.push(src);
+            packets.extend(faulted);
+        } else {
+            packets.extend(train);
+        }
+    }
+
+    for i in 0..cfg.background_flows {
+        let src = plan.client(&mut rng);
+        let payload = benign::http_get(&mut rng);
+        let sport = 40_000 + i as u16;
+        let train = tcp_flow_packets(src, plan.web_server, sport, 80, &payload, ts, rng.gen());
+        ts += 200 * train.len() as u64;
+        packets.extend(train);
+    }
+
+    Capture {
+        packets,
+        attack_sources,
+        faulted_sources,
+        desync_faults: log.desync_faults,
+        divergent_overlap_bytes: log.divergent_overlap_bytes,
+    }
+}
+
+/// One measured point on a policy's degradation curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Fault rate swept.
+    pub rate: f64,
+    /// Attack flows faulted at this rate.
+    pub faulted: usize,
+    /// Attack sources still detected (≥1 alert attributed).
+    pub detected: usize,
+    /// Attack sources total.
+    pub total: usize,
+    /// Alerts raised over the whole capture.
+    pub alerts: usize,
+    /// `overlap_conflict_bytes` from the pipeline's integrity ledger.
+    pub overlap_conflict_bytes: u64,
+}
+
+/// Detection-vs-fault-rate curve for one overlap policy.
+#[derive(Debug, Clone)]
+pub struct PolicyCurve {
+    /// The reassembly policy this pipeline ran.
+    pub policy: OverlapPolicy,
+    /// One point per swept rate, ascending.
+    pub points: Vec<CurvePoint>,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workload seed.
+    pub seed: u64,
+    /// Attack flows in every capture.
+    pub attack_flows: usize,
+    /// Background flows in every capture.
+    pub background_flows: usize,
+    /// At rate 0 all four policies rendered byte-identical alert streams.
+    pub zero_rate_identical: bool,
+    /// One curve per policy.
+    pub curves: Vec<PolicyCurve>,
+}
+
+fn desync_nids(plan: &AddressPlan, policy: OverlapPolicy) -> Nids {
+    let mut config = NidsConfig {
+        honeypots: plan.honeypots.clone(),
+        dark_nets: vec![(plan.dark_net, 16)],
+        ..NidsConfig::default()
+    };
+    config.flow_table.overlap_policy = policy;
+    Nids::new(config)
+}
+
+/// Run the sweep: one shared capture per rate, replayed through one
+/// pipeline per policy.
+pub fn run(cfg: &DesyncBenchConfig) -> Report {
+    let plan = AddressPlan::default();
+    let mut curves: Vec<PolicyCurve> = OverlapPolicy::ALL
+        .iter()
+        .map(|&policy| PolicyCurve {
+            policy,
+            points: Vec::with_capacity(cfg.rates.len()),
+        })
+        .collect();
+    let mut zero_rate_identical = true;
+
+    for &rate in &cfg.rates {
+        let capture = build_capture(cfg, rate);
+        let mut zero_render: Option<String> = None;
+        for curve in &mut curves {
+            let mut nids = desync_nids(&plan, curve.policy);
+            let alerts = nids.process_capture(&capture.packets);
+            let detected = capture
+                .attack_sources
+                .iter()
+                .filter(|src| alerts.iter().any(|a| a.src == **src))
+                .count();
+            curve.points.push(CurvePoint {
+                rate,
+                faulted: capture.faulted_sources.len(),
+                detected,
+                total: capture.attack_sources.len(),
+                alerts: alerts.len(),
+                overlap_conflict_bytes: nids.stats().overlap_conflict_bytes,
+            });
+            if rate == 0.0 {
+                let rendered = alerts
+                    .iter()
+                    .map(|a| a.render())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                match &zero_render {
+                    None => zero_render = Some(rendered),
+                    Some(base) => zero_rate_identical &= rendered == *base,
+                }
+            }
+        }
+    }
+
+    Report {
+        seed: cfg.seed,
+        attack_flows: cfg.attack_flows,
+        background_flows: cfg.background_flows,
+        zero_rate_identical,
+        curves,
+    }
+}
+
+/// Render the curves as a human-readable table, one block per policy.
+pub fn render(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "desync sweep: {} attack flows, {} background flows, seed {}, rate-0 alerts identical across policies: {}",
+        report.attack_flows,
+        report.background_flows,
+        report.seed,
+        if report.zero_rate_identical { "yes" } else { "NO" },
+    );
+    for curve in &report.curves {
+        let _ = writeln!(s, "\npolicy: {}", curve.policy.name());
+        let _ = writeln!(
+            s,
+            "{:>6} {:>8} {:>10} {:>8} {:>8} {:>16}",
+            "rate", "faulted", "detected", "rate%", "alerts", "conflict_bytes"
+        );
+        for p in &curve.points {
+            let pct = if p.total == 0 {
+                0.0
+            } else {
+                p.detected as f64 * 100.0 / p.total as f64
+            };
+            let _ = writeln!(
+                s,
+                "{:>6.2} {:>8} {:>6}/{:<3} {:>7.1}% {:>8} {:>16}",
+                p.rate, p.faulted, p.detected, p.total, pct, p.alerts, p.overlap_conflict_bytes,
+            );
+        }
+    }
+    s
+}
+
+/// Hand-rolled JSON for `BENCH_desync.json` (the vendored serde is a
+/// marker-trait stand-in, so serialization stays explicit).
+pub fn to_json(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"bench\": \"desync\",\n  \"workload\": {{\"seed\": {}, \"attack_flows\": {}, \"background_flows\": {}}},\n  \"zero_rate_alerts_identical\": {},\n  \"curves\": [",
+        report.seed, report.attack_flows, report.background_flows, report.zero_rate_identical,
+    );
+    for (ci, curve) in report.curves.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"policy\": \"{}\", \"points\": [",
+            if ci == 0 { "" } else { "," },
+            curve.policy.name(),
+        );
+        for (pi, p) in curve.points.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n      {{\"rate\": {:.2}, \"faulted\": {}, \"detected\": {}, \"total\": {}, \"alerts\": {}, \"overlap_conflict_bytes\": {}}}",
+                if pi == 0 { "" } else { "," },
+                p.rate,
+                p.faulted,
+                p.detected,
+                p.total,
+                p.alerts,
+                p.overlap_conflict_bytes,
+            );
+        }
+        let _ = write!(s, "\n    ]}}");
+    }
+    let _ = write!(s, "\n  ]\n}}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DesyncBenchConfig {
+        DesyncBenchConfig {
+            seed: 17,
+            attack_flows: 8,
+            background_flows: 4,
+            rates: vec![0.0, 0.5, 1.0],
+        }
+    }
+
+    #[test]
+    fn faulted_sets_are_supersets_across_rates() {
+        let cfg = small_config();
+        let lo = build_capture(&cfg, 0.3);
+        let hi = build_capture(&cfg, 0.8);
+        assert!(lo.faulted_sources.len() <= hi.faulted_sources.len());
+        for src in &lo.faulted_sources {
+            assert!(
+                hi.faulted_sources.contains(src),
+                "{src} lost at higher rate"
+            );
+        }
+        let zero = build_capture(&cfg, 0.0);
+        assert!(zero.faulted_sources.is_empty());
+        assert_eq!(zero.desync_faults, 0);
+        assert_eq!(zero.attack_sources.len(), cfg.attack_flows);
+    }
+
+    #[test]
+    fn sweep_baselines_hold_and_curves_never_rise() {
+        let cfg = small_config();
+        let report = run(&cfg);
+        assert!(report.zero_rate_identical);
+        assert_eq!(report.curves.len(), 4);
+        for curve in &report.curves {
+            assert_eq!(curve.points.len(), cfg.rates.len());
+            // Clean baseline: everything detected, ledger silent.
+            assert_eq!(curve.points[0].detected, curve.points[0].total);
+            assert_eq!(curve.points[0].overlap_conflict_bytes, 0);
+            for w in curve.points.windows(2) {
+                assert!(
+                    w[1].detected <= w[0].detected,
+                    "{}: detection rose with fault rate: {curve:?}",
+                    curve.policy.name()
+                );
+            }
+            // Full-rate faulting must be visible in the integrity ledger.
+            let last = curve.points.last().expect("points");
+            assert!(last.overlap_conflict_bytes > 0, "{}", curve.policy.name());
+        }
+        // The fault kinds split the policies: at full rate at least two
+        // policies must land on different detection counts.
+        let finals: Vec<usize> = report
+            .curves
+            .iter()
+            .map(|c| c.points.last().expect("points").detected)
+            .collect();
+        assert!(
+            finals.iter().any(|d| *d != finals[0]),
+            "policies did not separate: {finals:?}"
+        );
+        // And at least one policy must actually lose detections.
+        assert!(finals.iter().any(|d| *d < cfg.attack_flows), "{finals:?}");
+        let json = to_json(&report);
+        assert!(json.contains("\"bench\": \"desync\""));
+        assert!(json.contains("\"policy\": \"first-wins\""));
+        let table = render(&report);
+        assert!(table.contains("conflict_bytes"));
+    }
+}

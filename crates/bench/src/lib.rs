@@ -8,6 +8,7 @@
 //! here — see `EXPERIMENTS.md` at the workspace root.
 
 pub mod ablation;
+pub mod desync;
 pub mod figures;
 pub mod fp;
 pub mod table1;

@@ -20,7 +20,11 @@ pub struct NidsConfig {
     pub extractor: ExtractorConfig,
     /// The semantic template set.
     pub templates: Vec<Template>,
-    /// Flow-table limits.
+    /// Flow-table limits, including the TCP overlap resolution policy
+    /// (`flow_table.overlap_policy`): which copy of a divergently
+    /// retransmitted byte range the reassembler believes. Set it to match
+    /// the protected hosts' stacks — a sensor reassembling differently
+    /// from its victims can be desynchronized by crafted overlaps.
     pub flow_table: FlowTableConfig,
     /// Analyze flows on the work-stealing pool (`snids-exec`). When false
     /// the analysis tail runs sequentially on the calling thread.
@@ -80,5 +84,11 @@ mod tests {
         assert!(c.max_frame_bytes >= 64 * 1024);
         assert_eq!(c.templates.len(), 9);
         assert_eq!(c.dark_threshold, 5);
+        // Conservative default: first copy wins, matching the seed
+        // engine's behavior (and Snort's classic policy).
+        assert_eq!(
+            c.flow_table.overlap_policy,
+            snids_flow::OverlapPolicy::FirstWins
+        );
     }
 }

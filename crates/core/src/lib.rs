@@ -185,6 +185,7 @@ impl Nids {
         self.stats
             .drops
             .set(DropReason::StreamTruncated, self.flows.truncated_flows());
+        self.stats.overlap_conflict_bytes = self.flows.overlap_conflict_bytes();
     }
 
     /// True when the packet fails an enabled checksum check. IPv4 header
@@ -546,6 +547,36 @@ mod tests {
             s.processed,
             s.drops.packet_total()
         );
+    }
+
+    /// A divergent TCP overlap (same sequence range, different bytes)
+    /// surfaces in the integrity ledger even though no packet is dropped:
+    /// desync evasion attempts are observable, not silent.
+    #[test]
+    fn divergent_overlap_is_observable_in_stats() {
+        let plan = AddressPlan::default();
+        let mut nids = Nids::new(plan_config(&plan));
+        let attacker = Ipv4Addr::new(198, 18, 9, 9);
+        let target = plan.honeypots[0];
+        let syn = snids_packet::PacketBuilder::new(attacker, target)
+            .at(10)
+            .tcp_syn(4000, 21, 1)
+            .unwrap();
+        let real = snids_packet::PacketBuilder::new(attacker, target)
+            .at(11)
+            .tcp(4000, 21, 2, 0, snids_packet::TcpFlags::ACK, b"GET /real")
+            .unwrap();
+        // Retransmit of the same range with four bytes changed.
+        let fake = snids_packet::PacketBuilder::new(attacker, target)
+            .at(12)
+            .tcp(4000, 21, 2, 0, snids_packet::TcpFlags::ACK, b"GET /fake")
+            .unwrap();
+        nids.process_capture(&[syn, real, fake]);
+        let s = nids.stats();
+        assert_eq!(s.overlap_conflict_bytes, 4, "{}", s.drop_report());
+        assert!(s.drop_report().contains("integrity.overlap_conflict_bytes"));
+        assert!(s.packet_ledger_balanced());
+        assert_eq!(s.processed, s.packets);
     }
 
     /// A corrupted checksum drops the packet before any pipeline work and

@@ -192,6 +192,13 @@ pub struct PipelineStats {
     pub frame_bytes: u64,
     /// Alerts raised.
     pub alerts: u64,
+    /// Bytes buffered by reassembly where two segment copies overlapped
+    /// with *different* contents (counted whichever copy the configured
+    /// [`OverlapPolicy`](snids_flow::OverlapPolicy) kept). Clean
+    /// retransmits do not count; a non-zero value is the signature of a
+    /// TCP desync evasion attempt. Integrity warning, not a drop: no
+    /// packet or record balance includes it.
+    pub overlap_conflict_bytes: u64,
     /// Per-reason drop accounting.
     pub drops: DropCounters,
     /// Time in the classifier stage.
@@ -233,6 +240,7 @@ impl PipelineStats {
         self.frames_extracted += other.frames_extracted;
         self.frame_bytes += other.frame_bytes;
         self.alerts += other.alerts;
+        self.overlap_conflict_bytes += other.overlap_conflict_bytes;
         for (reason, n) in other.drops.iter() {
             self.drops.add(reason, n);
         }
@@ -289,6 +297,12 @@ impl PipelineStats {
                 out.push_str(&format!("  drop.{} = {}\n", reason.name(), n));
             }
         }
+        if self.overlap_conflict_bytes > 0 {
+            out.push_str(&format!(
+                "  integrity.overlap_conflict_bytes = {} (divergent TCP overlaps — possible desync evasion)\n",
+                self.overlap_conflict_bytes
+            ));
+        }
         out.push_str(&format!(
             "ledgers: records {} packets {}\n",
             if self.record_ledger_balanced() {
@@ -318,7 +332,7 @@ impl PipelineStats {
         }
         drops.push('}');
         format!(
-            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
+            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"overlap_conflict_bytes\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
             self.records_in,
             self.packets,
             self.processed,
@@ -327,6 +341,7 @@ impl PipelineStats {
             self.frames_extracted,
             self.frame_bytes,
             self.alerts,
+            self.overlap_conflict_bytes,
             drops,
             self.drops.total(),
             self.classify_nanos,
@@ -409,6 +424,29 @@ mod tests {
         }
         assert!(j.contains("\"defrag_timeout\":2"));
         assert!(j.contains("\"drops_total\":2"));
+        assert!(j.contains("\"overlap_conflict_bytes\":0"));
+    }
+
+    #[test]
+    fn overlap_conflicts_surface_in_report_json_and_merge() {
+        let mut s = PipelineStats::default();
+        assert!(!s.drop_report().contains("overlap_conflict_bytes"));
+        s.overlap_conflict_bytes = 37;
+        assert!(s
+            .drop_report()
+            .contains("integrity.overlap_conflict_bytes = 37"));
+        assert!(s.to_json().contains("\"overlap_conflict_bytes\":37"));
+        // Conflicts are an integrity warning, not a drop: ledgers stay
+        // balanced regardless.
+        assert!(s.record_ledger_balanced());
+        assert!(s.packet_ledger_balanced());
+
+        let other = PipelineStats {
+            overlap_conflict_bytes: 5,
+            ..PipelineStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.overlap_conflict_bytes, 42);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! does not fit one MTU), and attackers deliberately fragment to evade
 //! packet-at-a-time inspection. The NIDS therefore reassembles each
 //! directional flow's byte stream before handing it to the extraction
-//! stage.
+//! stage. Conflicting segment overlaps — the TCP desync evasion surface —
+//! resolve per a configurable [`OverlapPolicy`] with divergent bytes
+//! counted, so the sensor can both mirror its victims' stacks and notice
+//! when an attacker tries to split them.
 #![deny(missing_docs)]
 
 pub mod defrag;
@@ -16,5 +19,5 @@ pub use defrag::{
     DefragConfig, DefragDrop, DefragOutcome, DefragStats, Defragmenter, MAX_DATAGRAM,
 };
 pub use key::FlowKey;
-pub use reassembly::Reassembler;
+pub use reassembly::{OverlapPolicy, Reassembler};
 pub use table::{Flow, FlowTable, FlowTableConfig};

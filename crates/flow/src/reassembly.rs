@@ -1,4 +1,15 @@
 //! TCP stream reassembly for one direction of one connection.
+//!
+//! Reassembly is the classic NIDS evasion surface: when two segments carry
+//! *different* data for the same sequence range, real TCP stacks disagree
+//! about which copy the application sees (Aubard et al. 2025 measured the
+//! divergence across current OSes). A sensor that resolves overlaps
+//! differently from the victim can be shown one byte stream while the
+//! victim executes another. The [`Reassembler`] therefore implements the
+//! resolution as a pluggable [`OverlapPolicy`] and counts every divergent
+//! overlapped byte in [`Reassembler::overlap_conflict_bytes`], so a desync
+//! attempt is *observable* even when the configured policy happens to keep
+//! the right copy.
 
 use std::collections::BTreeMap;
 
@@ -7,23 +18,111 @@ use std::collections::BTreeMap;
 /// memory).
 pub const DEFAULT_MAX_STREAM: usize = 1 << 20;
 
+/// How a segment whose bytes overlap already-buffered data is resolved.
+///
+/// Policies are modeled per byte: every buffered byte remembers the
+/// relative start offset of the segment that contributed it (its *owner*),
+/// and a new segment starting at `new_start` takes an overlapped byte
+/// owned by a segment that started at `old_start` according to the
+/// policy's rule. This is the abstraction real stacks differ in:
+///
+/// | policy | new data wins when | models |
+/// |---|---|---|
+/// | `FirstWins` | never | a receiver that keeps whatever it buffered first |
+/// | `LastWins` | always | a receiver that lets retransmits overwrite |
+/// | `BsdLike` | `new_start < old_start` | BSD-style "prefer the segment that begins earlier" |
+/// | `LinuxLike` | `new_start <= old_start` | Linux-style: like BSD, but a same-start retransmit wins |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverlapPolicy {
+    /// Original data always wins; later conflicting copies are ignored.
+    #[default]
+    FirstWins,
+    /// The newest copy always wins.
+    LastWins,
+    /// New data wins only where its segment starts strictly before the
+    /// segment that owns the overlapped bytes.
+    BsdLike,
+    /// New data wins where its segment starts at or before the owner's
+    /// start — i.e. BSD plus "a same-start retransmit replaces".
+    LinuxLike,
+}
+
+impl OverlapPolicy {
+    /// Every policy, in a stable order (benchmark sweeps iterate this).
+    pub const ALL: [OverlapPolicy; 4] = [
+        OverlapPolicy::FirstWins,
+        OverlapPolicy::LastWins,
+        OverlapPolicy::BsdLike,
+        OverlapPolicy::LinuxLike,
+    ];
+
+    /// Stable kebab-case name (CLI flag value / JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            OverlapPolicy::FirstWins => "first-wins",
+            OverlapPolicy::LastWins => "last-wins",
+            OverlapPolicy::BsdLike => "bsd-like",
+            OverlapPolicy::LinuxLike => "linux-like",
+        }
+    }
+
+    /// Parse a [`OverlapPolicy::name`] (a few aliases accepted).
+    pub fn parse(s: &str) -> Option<OverlapPolicy> {
+        match s {
+            "first-wins" | "first" => Some(OverlapPolicy::FirstWins),
+            "last-wins" | "last" => Some(OverlapPolicy::LastWins),
+            "bsd-like" | "bsd" => Some(OverlapPolicy::BsdLike),
+            "linux-like" | "linux" => Some(OverlapPolicy::LinuxLike),
+            _ => None,
+        }
+    }
+
+    /// Does a new segment starting at `new_start` take overlapped bytes
+    /// currently owned by a segment that started at `old_start`?
+    fn new_wins(self, new_start: u32, old_start: u32) -> bool {
+        match self {
+            OverlapPolicy::FirstWins => false,
+            OverlapPolicy::LastWins => true,
+            OverlapPolicy::BsdLike => new_start < old_start,
+            OverlapPolicy::LinuxLike => new_start <= old_start,
+        }
+    }
+}
+
+/// One maximal run of buffered bytes contributed under a single owner.
+#[derive(Debug, Clone)]
+struct Chunk {
+    data: Vec<u8>,
+    /// Relative start offset of the segment these bytes came from — the
+    /// tiebreaker [`OverlapPolicy::new_wins`] consults.
+    owner: u32,
+}
+
 /// Reassembles one direction of a TCP connection from possibly
 /// out-of-order, overlapping segments.
 ///
 /// Sequence handling: the first observed segment anchors the stream (its
 /// sequence number becomes relative offset 0; a SYN consumes one sequence
-/// number). Overlaps resolve **first-copy-wins**, matching what a typical
-/// receiver that buffered the earlier segment would deliver — the NIDS must
-/// see the same bytes the victim does.
+/// number). Overlaps resolve per the configured [`OverlapPolicy`]
+/// (byte-granular), and every overlapped byte whose two copies *differ* is
+/// counted in [`Reassembler::overlap_conflict_bytes`] regardless of which
+/// copy wins — the NIDS must see the same bytes the victim does, and must
+/// notice when an attacker tries to make that impossible.
 #[derive(Debug, Clone)]
 pub struct Reassembler {
     isn: Option<u32>,
-    /// relative offset → segment bytes
-    segments: BTreeMap<u32, Vec<u8>>,
+    /// Disjoint buffered runs: relative offset → chunk. Adjacent chunks
+    /// may touch but never overlap, so `assembled` is a prefix walk.
+    chunks: BTreeMap<u32, Chunk>,
+    policy: OverlapPolicy,
     max_bytes: usize,
+    /// Distinct bytes currently buffered (coverage, not arrival volume —
+    /// a pure retransmit adds nothing).
     buffered: usize,
     /// set when data had to be dropped (cap exceeded)
     truncated: bool,
+    /// Overlapped bytes whose copies disagreed.
+    overlap_conflict_bytes: u64,
 }
 
 impl Default for Reassembler {
@@ -33,15 +132,27 @@ impl Default for Reassembler {
 }
 
 impl Reassembler {
-    /// A reassembler with a custom byte cap.
+    /// A first-copy-wins reassembler with a custom byte cap.
     pub fn new(max_bytes: usize) -> Self {
+        Reassembler::with_policy(max_bytes, OverlapPolicy::FirstWins)
+    }
+
+    /// A reassembler with a custom byte cap and overlap policy.
+    pub fn with_policy(max_bytes: usize, policy: OverlapPolicy) -> Self {
         Reassembler {
             isn: None,
-            segments: BTreeMap::new(),
+            chunks: BTreeMap::new(),
+            policy,
             max_bytes,
             buffered: 0,
             truncated: false,
+            overlap_conflict_bytes: 0,
         }
+    }
+
+    /// The overlap-resolution policy this stream runs under.
+    pub fn policy(&self) -> OverlapPolicy {
+        self.policy
     }
 
     /// Record a SYN with sequence number `seq` (anchors relative offset 0
@@ -63,17 +174,115 @@ impl Reassembler {
         if rel > u32::MAX / 2 {
             return;
         }
-        if (rel as usize).saturating_add(data.len()) > self.max_bytes {
+        // Byte cap and window bound: a segment may not extend past the cap
+        // or past half the sequence space (so chunk arithmetic below stays
+        // within u32).
+        let end = rel as u64 + data.len() as u64;
+        if end > self.max_bytes as u64 || end > u64::from(u32::MAX / 2) + 1 {
             self.truncated = true;
             return;
         }
-        if self.buffered + data.len() > self.max_bytes {
-            self.truncated = true;
-            return;
+        self.insert(rel, data);
+    }
+
+    /// Merge the segment `[rel, rel + data.len())` into the disjoint chunk
+    /// set, resolving overlapped regions per the policy and counting
+    /// divergent bytes. Every affected chunk is removed and re-emitted as
+    /// up to three pieces (prefix / contested / suffix), so the disjoint
+    /// invariant holds by construction.
+    fn insert(&mut self, rel: u32, data: &[u8]) {
+        let end = rel + data.len() as u32;
+        let overlapping: Vec<u32> = self
+            .chunks
+            .range(..end)
+            .filter(|(&s, c)| s + c.data.len() as u32 > rel)
+            .map(|(&s, _)| s)
+            .collect();
+
+        let mut pieces: Vec<(u32, Chunk)> = Vec::new();
+        let mut removed = 0usize;
+        // Next offset of the new segment not yet accounted for.
+        let mut cursor = rel;
+        for s in overlapping {
+            let Some(old) = self.chunks.remove(&s) else {
+                continue;
+            };
+            removed += old.data.len();
+            let old_end = s + old.data.len() as u32;
+            // Old bytes before the new segment survive untouched.
+            if s < rel {
+                pieces.push((
+                    s,
+                    Chunk {
+                        data: old.data[..(rel - s) as usize].to_vec(),
+                        owner: old.owner,
+                    },
+                ));
+            }
+            // New bytes filling the gap before this chunk.
+            if cursor < s {
+                pieces.push((
+                    cursor,
+                    Chunk {
+                        data: data[(cursor - rel) as usize..(s - rel) as usize].to_vec(),
+                        owner: rel,
+                    },
+                ));
+            }
+            // The contested region: both copies exist.
+            let c0 = s.max(rel);
+            let c1 = old_end.min(end);
+            let old_slice = &old.data[(c0 - s) as usize..(c1 - s) as usize];
+            let new_slice = &data[(c0 - rel) as usize..(c1 - rel) as usize];
+            self.overlap_conflict_bytes += old_slice
+                .iter()
+                .zip(new_slice)
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            if self.policy.new_wins(rel, old.owner) {
+                pieces.push((
+                    c0,
+                    Chunk {
+                        data: new_slice.to_vec(),
+                        owner: rel,
+                    },
+                ));
+            } else {
+                pieces.push((
+                    c0,
+                    Chunk {
+                        data: old_slice.to_vec(),
+                        owner: old.owner,
+                    },
+                ));
+            }
+            // Old bytes after the new segment survive untouched.
+            if old_end > end {
+                pieces.push((
+                    end,
+                    Chunk {
+                        data: old.data[(end - s) as usize..].to_vec(),
+                        owner: old.owner,
+                    },
+                ));
+            }
+            cursor = c1;
         }
-        self.buffered += data.len();
-        // first-copy-wins: keep existing segments, insert only if new offset
-        self.segments.entry(rel).or_insert_with(|| data.to_vec());
+        // New bytes past the last overlapped chunk.
+        if cursor < end {
+            pieces.push((
+                cursor,
+                Chunk {
+                    data: data[(cursor - rel) as usize..].to_vec(),
+                    owner: rel,
+                },
+            ));
+        }
+        for (s, c) in pieces {
+            self.buffered += c.data.len();
+            self.chunks.insert(s, c);
+        }
+        self.buffered -= removed;
     }
 
     /// True if data was dropped due to the cap.
@@ -81,25 +290,29 @@ impl Reassembler {
         self.truncated
     }
 
-    /// Total bytes currently buffered (before overlap resolution).
+    /// Distinct stream bytes currently buffered. Coverage, not arrival
+    /// volume: retransmits and overlaps do not inflate this, so it is
+    /// always `<= max_bytes`.
     pub fn buffered(&self) -> usize {
         self.buffered
     }
 
+    /// Overlapped bytes whose two copies carried *different* data — the
+    /// observable signature of a TCP desync/evasion attempt. Counted on
+    /// every conflicting overlap regardless of which copy the policy kept.
+    pub fn overlap_conflict_bytes(&self) -> u64 {
+        self.overlap_conflict_bytes
+    }
+
     /// The contiguous byte stream from relative offset 0 (stops at the
-    /// first gap). Overlapping regions resolve first-copy-wins.
+    /// first gap). Overlapping regions resolve per the configured policy.
     pub fn assembled(&self) -> Vec<u8> {
-        let mut out: Vec<u8> = Vec::with_capacity(self.buffered.min(self.max_bytes));
-        for (&rel, data) in &self.segments {
-            let rel = rel as usize;
-            if rel > out.len() {
-                break; // gap
+        let mut out: Vec<u8> = Vec::with_capacity(self.buffered);
+        for (&s, c) in &self.chunks {
+            if s as usize != out.len() {
+                break; // chunks are disjoint, so a mismatch is a gap
             }
-            if rel + data.len() <= out.len() {
-                continue; // fully covered by earlier copy
-            }
-            let skip = out.len() - rel;
-            out.extend_from_slice(&data[skip..]);
+            out.extend_from_slice(&c.data);
         }
         out
     }
@@ -147,6 +360,97 @@ mod tests {
         assert_eq!(r.assembled(), b"AAAABB");
     }
 
+    /// The four policies, one divergent same-start retransmit: who wins
+    /// matches the policy table, and the conflict ledger counts every
+    /// divergent byte either way.
+    #[test]
+    fn policy_matrix_same_start_retransmit() {
+        for (policy, expect) in [
+            (OverlapPolicy::FirstWins, &b"AAAA"[..]),
+            (OverlapPolicy::LastWins, &b"BBBB"[..]),
+            (OverlapPolicy::BsdLike, &b"AAAA"[..]),
+            (OverlapPolicy::LinuxLike, &b"BBBB"[..]),
+        ] {
+            let mut r = Reassembler::with_policy(1024, policy);
+            r.on_data(0, b"AAAA");
+            r.on_data(0, b"BBBB");
+            assert_eq!(r.assembled(), expect, "{}", policy.name());
+            assert_eq!(r.overlap_conflict_bytes(), 4, "{}", policy.name());
+            assert_eq!(r.buffered(), 4, "{}", policy.name());
+        }
+    }
+
+    /// A later segment overlapping mid-stream (starts *inside* buffered
+    /// data): only LastWins takes the conflicting copy.
+    #[test]
+    fn policy_matrix_mid_stream_overlap() {
+        for (policy, expect) in [
+            (OverlapPolicy::FirstWins, &b"AAAADD"[..]),
+            (OverlapPolicy::LastWins, &b"AACCDD"[..]),
+            (OverlapPolicy::BsdLike, &b"AAAADD"[..]),
+            (OverlapPolicy::LinuxLike, &b"AAAADD"[..]),
+        ] {
+            let mut r = Reassembler::with_policy(1024, policy);
+            r.on_data(0, b"AAAA");
+            r.on_data(2, b"CCDD"); // [2,4) contested, [4,6) fresh
+            assert_eq!(r.assembled(), expect, "{}", policy.name());
+            assert_eq!(r.overlap_conflict_bytes(), 2, "{}", policy.name());
+        }
+    }
+
+    /// A segment that starts *before* buffered data and runs into it: the
+    /// earlier start wins under BSD/Linux/Last, loses only under First.
+    #[test]
+    fn policy_matrix_undercut_overlap() {
+        for (policy, expect) in [
+            (OverlapPolicy::FirstWins, &b"AAXX"[..]),
+            (OverlapPolicy::LastWins, &b"AAAA"[..]),
+            (OverlapPolicy::BsdLike, &b"AAAA"[..]),
+            (OverlapPolicy::LinuxLike, &b"AAAA"[..]),
+        ] {
+            let mut r = Reassembler::with_policy(1024, policy);
+            r.on_syn(u32::MAX); // anchor relative offset 0 at seq 0
+            r.on_data(2, b"XX"); // arrives first, owns [2,4)
+            r.on_data(0, b"AAAA"); // starts earlier, covers [0,4)
+            assert_eq!(r.assembled(), expect, "{}", policy.name());
+            assert_eq!(r.overlap_conflict_bytes(), 2, "{}", policy.name());
+        }
+    }
+
+    /// Identical overlapping copies are not conflicts.
+    #[test]
+    fn clean_retransmits_count_no_conflicts() {
+        for policy in OverlapPolicy::ALL {
+            let mut r = Reassembler::with_policy(1024, policy);
+            r.on_data(0, b"hello world");
+            r.on_data(0, b"hello world");
+            r.on_data(6, b"world");
+            assert_eq!(r.assembled(), b"hello world", "{}", policy.name());
+            assert_eq!(r.overlap_conflict_bytes(), 0, "{}", policy.name());
+        }
+    }
+
+    /// Regression (buffered-bytes accounting): pure retransmits used to
+    /// run `buffered += data.len()` even though the duplicate was
+    /// discarded, inflating `buffered` until the cap falsely tripped.
+    /// Coverage accounting keeps `buffered` at the distinct-byte count and
+    /// `truncated` stays clear no matter how often a segment repeats.
+    #[test]
+    fn retransmits_do_not_inflate_buffered_or_trip_the_cap() {
+        let mut r = Reassembler::new(64);
+        let payload = [0x41u8; 48];
+        for _ in 0..10 {
+            r.on_data(0, &payload); // 480 bytes of arrival volume
+            assert_eq!(r.buffered(), 48);
+            assert!(!r.truncated(), "a retransmit must never trip the cap");
+        }
+        assert_eq!(r.assembled(), payload);
+        // and the remaining 16 bytes of capacity are still usable
+        r.on_data(48, &[0x42u8; 16]);
+        assert_eq!(r.buffered(), 64);
+        assert!(!r.truncated());
+    }
+
     #[test]
     fn sequence_wraparound() {
         let mut r = Reassembler::default();
@@ -162,6 +466,7 @@ mod tests {
         r.on_syn(1000); // isn = 1001
         r.on_data(500, b"stale"); // rel wraps negative
         assert_eq!(r.assembled(), b"");
+        assert_eq!(r.buffered(), 0);
     }
 
     #[test]
@@ -196,5 +501,33 @@ mod tests {
         assert_eq!(r.assembled(), b"one");
         r.on_data(3, b"_two___");
         assert_eq!(r.assembled(), b"one_two___three");
+    }
+
+    /// One segment spanning several buffered chunks resolves each
+    /// contested region against that region's own owner.
+    #[test]
+    fn multi_chunk_overlap_resolves_per_owner() {
+        let mut r = Reassembler::with_policy(1024, OverlapPolicy::BsdLike);
+        r.on_syn(u32::MAX); // anchor relative offset 0 at seq 0
+        r.on_data(2, b"BB"); // owner 2
+        r.on_data(6, b"CC"); // owner 6
+                             // Starts at 0: earlier than both owners, so BSD replaces both,
+                             // and fills the gaps.
+        r.on_data(0, b"AAAAAAAAAA");
+        assert_eq!(r.assembled(), b"AAAAAAAAAA");
+        assert_eq!(r.buffered(), 10);
+        assert_eq!(r.overlap_conflict_bytes(), 4);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in OverlapPolicy::ALL {
+            assert_eq!(OverlapPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(
+            OverlapPolicy::parse("linux"),
+            Some(OverlapPolicy::LinuxLike)
+        );
+        assert_eq!(OverlapPolicy::parse("nonsense"), None);
     }
 }

@@ -1,7 +1,7 @@
 //! The flow table: per-flow state with idle eviction.
 
 use crate::key::FlowKey;
-use crate::reassembly::Reassembler;
+use crate::reassembly::{OverlapPolicy, Reassembler};
 use snids_packet::{IpProtocol, Packet, TransportSummary};
 use std::collections::HashMap;
 
@@ -14,6 +14,9 @@ pub struct FlowTableConfig {
     pub idle_timeout_micros: u64,
     /// Per-stream reassembly byte cap.
     pub max_stream_bytes: usize,
+    /// How conflicting TCP segment overlaps resolve — pick the policy of
+    /// the stacks this sensor protects so the NIDS sees what victims see.
+    pub overlap_policy: OverlapPolicy,
 }
 
 impl Default for FlowTableConfig {
@@ -22,6 +25,7 @@ impl Default for FlowTableConfig {
             max_flows: 65_536,
             idle_timeout_micros: 120 * 1_000_000,
             max_stream_bytes: crate::reassembly::DEFAULT_MAX_STREAM,
+            overlap_policy: OverlapPolicy::default(),
         }
     }
 }
@@ -46,14 +50,14 @@ pub struct Flow {
 }
 
 impl Flow {
-    fn new(key: FlowKey, ts: u64, max_stream: usize) -> Flow {
+    fn new(key: FlowKey, ts: u64, max_stream: usize, policy: OverlapPolicy) -> Flow {
         Flow {
             key,
             first_seen: ts,
             last_seen: ts,
             packets: 0,
             payload_bytes: 0,
-            stream: Reassembler::new(max_stream),
+            stream: Reassembler::with_policy(max_stream, policy),
             udp_next: 0,
         }
     }
@@ -71,6 +75,7 @@ pub struct FlowTable {
     config: FlowTableConfig,
     evicted: u64,
     truncated_flows: u64,
+    overlap_conflict_bytes: u64,
 }
 
 impl FlowTable {
@@ -81,6 +86,7 @@ impl FlowTable {
             config,
             evicted: 0,
             truncated_flows: 0,
+            overlap_conflict_bytes: 0,
         }
     }
 
@@ -106,6 +112,13 @@ impl FlowTable {
         self.truncated_flows
     }
 
+    /// Cumulative overlapped bytes whose copies carried different data,
+    /// across every flow this table has tracked (including flows since
+    /// drained or evicted) — the table-wide desync-attempt signal.
+    pub fn overlap_conflict_bytes(&self) -> u64 {
+        self.overlap_conflict_bytes
+    }
+
     /// Feed a packet; returns the flow key when the packet belonged to a
     /// trackable flow.
     pub fn process(&mut self, packet: &Packet) -> Option<FlowKey> {
@@ -114,14 +127,16 @@ impl FlowTable {
             self.evict_coldest();
         }
         let max_stream = self.config.max_stream_bytes;
+        let policy = self.config.overlap_policy;
         let flow = self
             .flows
             .entry(key)
-            .or_insert_with(|| Flow::new(key, packet.ts_micros, max_stream));
+            .or_insert_with(|| Flow::new(key, packet.ts_micros, max_stream, policy));
         flow.last_seen = flow.last_seen.max(packet.ts_micros);
         flow.packets += 1;
         flow.payload_bytes += packet.payload().len() as u64;
         let was_truncated = flow.stream.truncated();
+        let conflicts_before = flow.stream.overlap_conflict_bytes();
         match (key.proto, packet.transport()) {
             (IpProtocol::Tcp, Some(TransportSummary::Tcp(tcp))) => {
                 if tcp.flags.syn() && !tcp.flags.ack() {
@@ -142,9 +157,11 @@ impl FlowTable {
             }
             _ => {}
         }
+        let conflict_delta = flow.stream.overlap_conflict_bytes() - conflicts_before;
         if !was_truncated && flow.stream.truncated() {
             self.truncated_flows += 1;
         }
+        self.overlap_conflict_bytes += conflict_delta;
         Some(key)
     }
 
@@ -324,6 +341,32 @@ mod tests {
         assert_eq!(t.truncated_flows(), 1);
         t.process(&b.tcp(1, 80, 96, 0, TcpFlags::ACK, &payload).unwrap());
         assert_eq!(t.truncated_flows(), 1, "counted once per flow");
+    }
+
+    /// A divergent overlapping retransmit is resolved per the configured
+    /// policy and surfaces in the table-wide conflict ledger — even after
+    /// the flow itself is drained.
+    #[test]
+    fn divergent_retransmit_counts_conflicts_per_policy() {
+        use crate::reassembly::OverlapPolicy;
+        for (policy, expect) in [
+            (OverlapPolicy::FirstWins, &b"real"[..]),
+            (OverlapPolicy::LastWins, &b"fake"[..]),
+        ] {
+            let mut t = FlowTable::new(FlowTableConfig {
+                overlap_policy: policy,
+                ..FlowTableConfig::default()
+            });
+            let b = builder();
+            let k = t
+                .process(&b.tcp(1, 80, 0, 0, TcpFlags::ACK, b"real").unwrap())
+                .unwrap();
+            t.process(&b.tcp(1, 80, 0, 0, TcpFlags::ACK, b"fake").unwrap());
+            assert_eq!(t.get(&k).unwrap().payload(), expect, "{}", policy.name());
+            assert_eq!(t.overlap_conflict_bytes(), 4, "{}", policy.name());
+            t.drain();
+            assert_eq!(t.overlap_conflict_bytes(), 4, "survives drain");
+        }
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Differential oracle for the overlap-policy reassembly engine, plus the
+//! never-panic / invariant suite.
+//!
+//! The oracle is a deliberately naive per-byte reference model: a
+//! `BTreeMap<u32, (u8, u32)>` mapping each relative offset to `(value,
+//! owner_start)`, resolving every overlapped byte one at a time with the
+//! policy rule. The engine keeps disjoint chunk runs and resolves whole
+//! contested regions at once — these tests pin the two byte-exact equal
+//! (assembled stream, coverage, and conflict ledger) on randomized
+//! adversarial segment corpora for every policy.
+
+use proptest::prelude::*;
+use snids_flow::{OverlapPolicy, Reassembler};
+use std::collections::BTreeMap;
+
+/// The naive reference model. Mirrors the engine's anchoring, window and
+/// cap rules; differs only in doing everything a byte at a time.
+struct ByteModel {
+    policy: OverlapPolicy,
+    isn: Option<u32>,
+    /// relative offset → (byte value, owner segment's relative start)
+    map: BTreeMap<u32, (u8, u32)>,
+    max_bytes: usize,
+    conflicts: u64,
+}
+
+impl ByteModel {
+    fn new(max_bytes: usize, policy: OverlapPolicy) -> Self {
+        ByteModel {
+            policy,
+            isn: None,
+            map: BTreeMap::new(),
+            max_bytes,
+            conflicts: 0,
+        }
+    }
+
+    fn on_syn(&mut self, seq: u32) {
+        if self.isn.is_none() {
+            self.isn = Some(seq.wrapping_add(1));
+        }
+    }
+
+    fn on_data(&mut self, seq: u32, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let isn = *self.isn.get_or_insert(seq);
+        let rel = seq.wrapping_sub(isn);
+        if rel > u32::MAX / 2 {
+            return;
+        }
+        let end = rel as u64 + data.len() as u64;
+        if end > self.max_bytes as u64 || end > u64::from(u32::MAX / 2) + 1 {
+            return; // engine sets `truncated`; coverage-wise a no-op
+        }
+        for (i, &b) in data.iter().enumerate() {
+            let off = rel + i as u32;
+            match self.map.get(&off).copied() {
+                None => {
+                    self.map.insert(off, (b, rel));
+                }
+                Some((old_b, old_owner)) => {
+                    if old_b != b {
+                        self.conflicts += 1;
+                    }
+                    let new_wins = match self.policy {
+                        OverlapPolicy::FirstWins => false,
+                        OverlapPolicy::LastWins => true,
+                        OverlapPolicy::BsdLike => rel < old_owner,
+                        OverlapPolicy::LinuxLike => rel <= old_owner,
+                    };
+                    if new_wins {
+                        self.map.insert(off, (b, rel));
+                    }
+                }
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.map.len()
+    }
+
+    fn assembled(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (&off, &(b, _)) in &self.map {
+            if off as usize != out.len() {
+                break;
+            }
+            out.push(b);
+        }
+        out
+    }
+}
+
+/// Derive an adversarial segment list from proptest primitives: offsets
+/// cluster inside a small window so overlaps (including repeated and
+/// divergent ones) are common, and each segment's bytes come from a
+/// per-segment seed so conflicting copies genuinely differ.
+fn segments_from(specs: &[(u32, u16, u64)]) -> Vec<(u32, Vec<u8>)> {
+    specs
+        .iter()
+        .map(|&(off, len, fill_seed)| {
+            let len = 1 + (len % 64) as usize;
+            let mut s = fill_seed | 1;
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 56) as u8
+                })
+                .collect();
+            (off % 512, data)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Byte-exact agreement between the chunk engine and the naive byte
+    /// map, for every policy, on randomized adversarial segment corpora:
+    /// same assembled stream, same coverage, same conflict count.
+    #[test]
+    fn engine_agrees_with_byte_oracle(
+        specs in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<u64>()), 1..24),
+        isn in any::<u32>(),
+    ) {
+        let segments = segments_from(&specs);
+        for policy in OverlapPolicy::ALL {
+            let mut engine = Reassembler::with_policy(4096, policy);
+            let mut oracle = ByteModel::new(4096, policy);
+            engine.on_syn(isn);
+            oracle.on_syn(isn);
+            for (off, data) in &segments {
+                let seq = isn.wrapping_add(1).wrapping_add(*off);
+                engine.on_data(seq, data);
+                oracle.on_data(seq, data);
+            }
+            prop_assert_eq!(
+                engine.assembled(),
+                oracle.assembled(),
+                "assembled diverged under {}",
+                policy.name()
+            );
+            prop_assert_eq!(
+                engine.buffered(),
+                oracle.buffered(),
+                "coverage diverged under {}",
+                policy.name()
+            );
+            prop_assert_eq!(
+                engine.overlap_conflict_bytes(),
+                oracle.conflicts,
+                "conflict ledger diverged under {}",
+                policy.name()
+            );
+        }
+    }
+
+    /// Never-panic + core invariants under arbitrary (unclamped) sequence
+    /// numbers and a tiny cap: `buffered() <= max_bytes` always, the
+    /// assembled prefix never exceeds the cap, and wraparound boundaries
+    /// cannot smuggle bytes past it.
+    #[test]
+    fn invariants_hold_under_arbitrary_segments(
+        raw_seqs in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<u64>()), 1..32),
+        syn in any::<u32>(),
+        max_bytes in 1usize..256,
+    ) {
+        for policy in OverlapPolicy::ALL {
+            let mut r = Reassembler::with_policy(max_bytes, policy);
+            r.on_syn(syn);
+            for &(seq, len, fill) in &raw_seqs {
+                // Raw absolute sequence numbers: below-ISN, far-future and
+                // wrapping values all included — none may panic.
+                let len = 1 + (len % 96) as usize;
+                let data: Vec<u8> = (0..len).map(|i| (fill as u8).wrapping_add(i as u8)).collect();
+                r.on_data(seq, &data);
+                prop_assert!(
+                    r.buffered() <= max_bytes,
+                    "buffered {} > cap {} under {}",
+                    r.buffered(),
+                    max_bytes,
+                    policy.name()
+                );
+                prop_assert!(r.assembled().len() <= max_bytes);
+            }
+        }
+    }
+
+    /// Under `FirstWins`, `assembled()` is prefix-stable: feeding more
+    /// segments never rewrites bytes already delivered, only extends them.
+    /// (Under the other policies content may legitimately change, but the
+    /// assembled length is still non-decreasing — coverage only grows.)
+    #[test]
+    fn first_wins_is_prefix_stable_and_length_monotone(
+        specs in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<u64>()), 1..24),
+    ) {
+        let segments = segments_from(&specs);
+        for policy in OverlapPolicy::ALL {
+            let mut r = Reassembler::with_policy(4096, policy);
+            r.on_syn(0);
+            let mut prev = Vec::new();
+            for (off, data) in &segments {
+                r.on_data(1u32.wrapping_add(*off), data);
+                let now = r.assembled();
+                prop_assert!(
+                    now.len() >= prev.len(),
+                    "assembled length shrank under {}",
+                    policy.name()
+                );
+                if policy == OverlapPolicy::FirstWins {
+                    prop_assert_eq!(
+                        &now[..prev.len()],
+                        &prev[..],
+                        "FirstWins rewrote delivered bytes"
+                    );
+                }
+                prev = now;
+            }
+        }
+    }
+
+    /// Cap enforcement at wraparound boundaries: anchoring near the top of
+    /// sequence space, segments that cross 2^32 land at their correct
+    /// relative offsets and the cap still binds.
+    #[test]
+    fn cap_enforced_across_sequence_wraparound(
+        cap in 8usize..128,
+        spill in 1u32..64,
+    ) {
+        for policy in OverlapPolicy::ALL {
+            let mut r = Reassembler::with_policy(cap, policy);
+            r.on_syn(u32::MAX - 4); // isn = MAX - 3, rel 0 at seq MAX-3
+            // Fill to the cap exactly, crossing the 2^32 boundary.
+            let fill = vec![0xAB; cap];
+            r.on_data(u32::MAX - 3, &fill);
+            prop_assert!(!r.truncated());
+            prop_assert_eq!(r.buffered(), cap);
+            prop_assert_eq!(r.assembled(), fill.clone());
+            // One more byte anywhere past the cap must refuse + mark.
+            let past = (u32::MAX - 3).wrapping_add(cap as u32);
+            r.on_data(past.wrapping_add(spill - 1), &[0xCD]);
+            prop_assert!(r.truncated());
+            prop_assert_eq!(r.buffered(), cap);
+            prop_assert_eq!(r.assembled(), fill);
+        }
+    }
+}

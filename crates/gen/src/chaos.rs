@@ -71,6 +71,18 @@ pub struct ChaosLog {
     /// conflicting overlaps are non-destructive by design (first-copy-wins
     /// reassembly keeps the original data) and are not recorded here.
     pub touched_sources: HashSet<Ipv4Addr>,
+    /// TCP desync faults applied by [`desync_packets`] (any kind,
+    /// including the benign reorder/stale kinds).
+    pub desync_faults: u64,
+    /// Payload bytes injected by [`desync_packets`] whose copy diverges
+    /// from the original stream content. An upper bound on the engine's
+    /// `overlap_conflict_bytes` for the capture (stale injections are
+    /// rejected at the reassembly window and never reach the ledger).
+    pub divergent_overlap_bytes: u64,
+    /// Sources whose streams had *divergent* overlaps injected. Whether
+    /// detection survives for these depends on the reassembly policy;
+    /// sources outside this set must always still be detected.
+    pub divergent_sources: HashSet<Ipv4Addr>,
 }
 
 impl ChaosLog {
@@ -260,6 +272,163 @@ fn conflicting_retransmit<G: RngCore>(rng: &mut G, p: &Packet, out: &mut Vec<Pac
     }
 }
 
+/// TCP desync fault intensity for [`desync_packets`].
+#[derive(Debug, Clone)]
+pub struct DesyncConfig {
+    /// Per data-bearing-segment fault probability in `[0, 1]`.
+    pub rate: f64,
+}
+
+impl DesyncConfig {
+    /// A config with the given per-segment fault rate.
+    pub fn with_rate(rate: f64) -> Self {
+        DesyncConfig {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for DesyncConfig {
+    fn default() -> Self {
+        DesyncConfig::with_rate(0.1)
+    }
+}
+
+/// Divergent copy of a byte range: always differs from the original in
+/// every position (adding 0x55 mod 256 never maps a byte to itself).
+fn garbage(data: &[u8]) -> Vec<u8> {
+    data.iter().map(|b| b.wrapping_add(0x55)).collect()
+}
+
+/// Inject TCP desynchronization faults: overlapping retransmits whose
+/// copies *disagree*, segment splits/reorders, and stale below-window
+/// segments. All injected packets carry valid checksums — they survive
+/// validation and reach reassembly, which must resolve each overlap per
+/// its configured [`OverlapPolicy`](snids_flow::OverlapPolicy).
+///
+/// Six kinds, chosen uniformly per faulted segment, with deliberately
+/// different per-policy blast radii:
+///
+/// | kind | shape                              | corrupts under            |
+/// |------|------------------------------------|---------------------------|
+/// | 0    | same-start garbage copy *after*    | last-wins, linux-like     |
+/// | 1    | garbage tail-half copy *after*     | last-wins                 |
+/// | 2    | same-start garbage copy *before*   | first-wins, bsd-like      |
+/// | 3    | split in two, halves swapped       | none (reorder only)       |
+/// | 4    | stale far-below-window garbage     | none (window-rejected)    |
+/// | 5    | under-cut garbage copy *after*     | last-wins, bsd, linux     |
+///
+/// Because the kinds split the policies differently, sweeping the fault
+/// rate yields a *distinct* detection-degradation curve per policy — the
+/// signal the desync bench plots.
+pub fn desync_packets<G: RngCore>(
+    rng: &mut G,
+    packets: &[Packet],
+    cfg: &DesyncConfig,
+    log: &mut ChaosLog,
+) -> Vec<Packet> {
+    let mut out: Vec<Packet> = Vec::with_capacity(packets.len() + packets.len() / 2);
+    for p in packets {
+        let (Some(ip), Some(tcp)) = (p.ip(), p.tcp()) else {
+            out.push(p.clone());
+            continue;
+        };
+        let payload = p.payload();
+        // SYNs and tiny segments pass through: the ISN anchor must stay
+        // intact and a split needs at least two bytes per half.
+        if tcp.flags.syn() || payload.len() < 4 || !rng.gen_bool(cfg.rate) {
+            out.push(p.clone());
+            continue;
+        }
+        log.desync_faults += 1;
+        let ident = ip.identification.wrapping_add(0x4000);
+        let inject = |seq: u32, data: &[u8], ts: u64, out: &mut Vec<Packet>| {
+            let seg = PacketBuilder::new(ip.src, ip.dst)
+                .at(ts)
+                .identification(ident)
+                .tcp(tcp.src_port, tcp.dst_port, seq, tcp.ack, tcp.flags, data);
+            if let Ok(seg) = seg {
+                out.push(seg);
+            }
+        };
+        match rng.gen_range(0..6u8) {
+            0 => {
+                // Garbage retransmit of the whole segment, arriving after.
+                out.push(p.clone());
+                inject(tcp.seq, &garbage(payload), p.ts_micros + 1, &mut out);
+                log.divergent_overlap_bytes += payload.len() as u64;
+                log.divergent_sources.insert(ip.src);
+            }
+            1 => {
+                // Garbage copy of the tail half, arriving after: starts
+                // mid-segment, so only a pure last-wins stack believes it.
+                let half = payload.len() / 2;
+                out.push(p.clone());
+                inject(
+                    tcp.seq.wrapping_add(half as u32),
+                    &garbage(&payload[half..]),
+                    p.ts_micros + 1,
+                    &mut out,
+                );
+                log.divergent_overlap_bytes += (payload.len() - half) as u64;
+                log.divergent_sources.insert(ip.src);
+            }
+            2 => {
+                // Garbage copy arriving *before* the real segment: stacks
+                // that trust the first (or the earlier-started) copy keep
+                // the garbage.
+                inject(tcp.seq, &garbage(payload), p.ts_micros, &mut out);
+                out.push(p.clone());
+                log.divergent_overlap_bytes += payload.len() as u64;
+                log.divergent_sources.insert(ip.src);
+            }
+            3 => {
+                // Split and swap: second half arrives first. Pure
+                // reordering — every policy reassembles the same bytes.
+                let half = payload.len() / 2;
+                inject(
+                    tcp.seq.wrapping_add(half as u32),
+                    &payload[half..],
+                    p.ts_micros,
+                    &mut out,
+                );
+                inject(tcp.seq, &payload[..half], p.ts_micros + 1, &mut out);
+            }
+            4 => {
+                // Stale garbage far below the receive window (an old
+                // "ghost" segment). The window check rejects it before any
+                // overlap resolution; not logged as divergent.
+                inject(
+                    tcp.seq.wrapping_sub(0x4000_0000),
+                    &garbage(payload),
+                    p.ts_micros,
+                    &mut out,
+                );
+                out.push(p.clone());
+            }
+            _ => {
+                // Under-cut: garbage starting shortly *before* this
+                // segment, arriving after it, overrunning its head.
+                // Earlier-start-wins stacks (BSD, Linux) prefer it.
+                let cut = payload.len().min(64);
+                let under = 1 + (u64::from(rng.next_u32()) % 32) as usize;
+                let mut g = vec![0x55u8; under];
+                g.extend_from_slice(&garbage(&payload[..cut]));
+                out.push(p.clone());
+                inject(
+                    tcp.seq.wrapping_sub(under as u32),
+                    &g,
+                    p.ts_micros + 1,
+                    &mut out,
+                );
+                log.divergent_overlap_bytes += g.len() as u64;
+                log.divergent_sources.insert(ip.src);
+            }
+        }
+    }
+    out
+}
+
 /// Serialize packets to pcap bytes with byte-level faults layered on top.
 ///
 /// Faults that desynchronise the record stream (truncation, hostile
@@ -403,6 +572,127 @@ mod tests {
         assert!(decoded.len() as u64 + stats.undecodable > pkts.len() as u64 / 2);
         assert_eq!(stats.truncated_records + stats.malformed_records, 1);
         assert!(stats.balanced());
+    }
+
+    /// Reassemble one direction of a capture under a policy (test-side
+    /// mini harness; the real pipeline goes through the flow table).
+    fn reassemble(packets: &[Packet], policy: snids_flow::OverlapPolicy) -> (Vec<u8>, u64) {
+        let mut r = snids_flow::Reassembler::with_policy(1 << 20, policy);
+        for p in packets {
+            let Some(tcp) = p.tcp() else { continue };
+            if tcp.flags.syn() {
+                r.on_syn(tcp.seq);
+            } else {
+                r.on_data(tcp.seq, p.payload());
+            }
+        }
+        (r.assembled().to_vec(), r.overlap_conflict_bytes())
+    }
+
+    #[test]
+    fn desync_same_seed_same_packets() {
+        let pkts = capture();
+        let cfg = DesyncConfig::with_rate(0.4);
+        let run = |seed| {
+            let mut log = ChaosLog::default();
+            let out = desync_packets(&mut StdRng::seed_from_u64(seed), &pkts, &cfg, &mut log);
+            (out, log)
+        };
+        let (a, la) = run(9);
+        let (b, lb) = run(9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.raw(), y.raw());
+        }
+        assert_eq!(la.desync_faults, lb.desync_faults);
+        assert_eq!(la.divergent_overlap_bytes, lb.divergent_overlap_bytes);
+        let (c, _) = run(10);
+        assert!(
+            a.len() != c.len() || a.iter().zip(&c).any(|(x, y)| x.raw() != y.raw()),
+            "different seed must produce a different fault pattern"
+        );
+    }
+
+    #[test]
+    fn desync_zero_rate_is_identity() {
+        let pkts = capture();
+        let mut log = ChaosLog::default();
+        let out = desync_packets(
+            &mut StdRng::seed_from_u64(1),
+            &pkts,
+            &DesyncConfig::with_rate(0.0),
+            &mut log,
+        );
+        assert_eq!(log.desync_faults, 0);
+        assert!(log.divergent_sources.is_empty());
+        assert_eq!(out.len(), pkts.len());
+        for (a, b) in out.iter().zip(&pkts) {
+            assert_eq!(a.raw(), b.raw());
+        }
+    }
+
+    /// The whole point of the fault family: the same desynced wire data
+    /// reassembles *differently* under different overlap policies, while
+    /// coverage (stream length) stays identical and every policy's
+    /// conflict ledger lights up.
+    #[test]
+    fn desync_splits_policies_apart() {
+        use crate::traces::tcp_flow_packets;
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let flow = tcp_flow_packets(
+            Ipv4Addr::new(198, 18, 3, 3),
+            Ipv4Addr::new(192, 168, 1, 10),
+            4400,
+            21,
+            &payload,
+            100,
+            0x7777,
+        );
+        let mut log = ChaosLog::default();
+        let faulted = desync_packets(
+            &mut StdRng::seed_from_u64(21),
+            &flow,
+            &DesyncConfig::with_rate(1.0),
+            &mut log,
+        );
+        assert!(log.desync_faults > 0);
+        assert!(log.divergent_overlap_bytes > 0);
+        assert_eq!(
+            log.divergent_sources.into_iter().collect::<Vec<_>>(),
+            vec![Ipv4Addr::new(198, 18, 3, 3)]
+        );
+
+        let mut streams = Vec::new();
+        for policy in snids_flow::OverlapPolicy::ALL {
+            let (clean, clean_conflicts) = reassemble(&flow, policy);
+            assert_eq!(clean, payload, "clean capture must round-trip");
+            assert_eq!(clean_conflicts, 0);
+            let (dirty, conflicts) = reassemble(&faulted, policy);
+            assert_eq!(
+                dirty.len(),
+                payload.len(),
+                "desync faults never change coverage under {}",
+                policy.name()
+            );
+            assert!(
+                conflicts > 0,
+                "conflict ledger must light up under {}",
+                policy.name()
+            );
+            assert!(
+                conflicts <= log.divergent_overlap_bytes,
+                "log bound violated under {}",
+                policy.name()
+            );
+            streams.push(dirty);
+        }
+        // At least one policy must disagree with another, and at least one
+        // must have had its stream corrupted relative to the original.
+        assert!(
+            streams.iter().any(|s| s != &streams[0]),
+            "all policies reassembled identically — no desync achieved"
+        );
+        assert!(streams.iter().any(|s| s != &payload));
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!
 //! # measure flow-analysis throughput on a synthesized polymorphic storm
 //! snids bench --flows 144 --repeats 3
+//!
+//! # sweep TCP desync fault rates across overlap policies
+//! snids bench --desync --flows 64
+//!
+//! # reassemble like the protected hosts' stacks
+//! snids analyze trace.pcap --overlap-policy linux-like
 //! ```
 
 use rand::rngs::StdRng;
@@ -33,7 +39,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--no-classify] [--json] [--stats]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--flows N] [--seed N] [--repeats N] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--no-classify] [--json] [--stats]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync] [--flows N] [--seed N] [--repeats N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -106,6 +112,17 @@ fn analyze(args: &[String]) -> ExitCode {
             Ok(ip) => config.honeypots.push(ip),
             Err(_) => {
                 eprintln!("bad --honeypot address: {hp}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(name) = flag_values(args, "--overlap-policy").first() {
+        match snids::flow::OverlapPolicy::parse(name) {
+            Some(policy) => config.flow_table.overlap_policy = policy,
+            None => {
+                eprintln!(
+                    "bad --overlap-policy `{name}` (want first-wins, last-wins, bsd-like or linux-like)"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -240,6 +257,9 @@ fn synth(args: &[String]) -> ExitCode {
 }
 
 fn bench(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--desync") {
+        return bench_desync(args);
+    }
     let flows = flag_value_u64(args, "--flows", 144) as usize;
     let cfg = snids::bench::throughput::BenchConfig {
         seed: flag_value_u64(args, "--seed", 2006),
@@ -265,6 +285,48 @@ fn bench(args: &[String]) -> ExitCode {
     eprintln!("wrote {out}");
     if report.runs.iter().any(|r| !r.identical) {
         eprintln!("ALERT STREAMS DIVERGED ACROSS WORKER COUNTS");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_desync(args: &[String]) -> ExitCode {
+    use snids::bench::desync;
+    let mut cfg = desync::DesyncBenchConfig {
+        seed: flag_value_u64(args, "--seed", 2006),
+        ..desync::DesyncBenchConfig::default()
+    };
+    if let Some(flows) = flag_values(args, "--flows")
+        .first()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        let flows = flows.max(2);
+        cfg.attack_flows = flows / 2;
+        cfg.background_flows = flows - flows / 2;
+    }
+    eprintln!(
+        "desync sweep: {} attack + {} benign flows, rates {:?}, policies {:?}",
+        cfg.attack_flows,
+        cfg.background_flows,
+        cfg.rates,
+        snids::flow::OverlapPolicy::ALL
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>(),
+    );
+    let report = desync::run(&cfg);
+    print!("{}", desync::render(&report));
+    let out = flag_values(args, "--out")
+        .first()
+        .copied()
+        .unwrap_or("BENCH_desync.json");
+    if let Err(e) = std::fs::write(out, desync::to_json(&report)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if !report.zero_rate_identical {
+        eprintln!("ALERT STREAMS DIVERGED ACROSS POLICIES AT FAULT RATE 0");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
