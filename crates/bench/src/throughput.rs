@@ -12,7 +12,12 @@
 //! fresh [`Nids`] with `NidsConfig::threads` pinned, the best wall time of
 //! `repeats` runs is kept, and the rendered alert stream is compared
 //! byte-for-byte against the 1-thread baseline — correctness first, speed
-//! second. [`to_json`] emits the machine-readable `BENCH_throughput.json`.
+//! second. Each worker count is additionally replayed with the
+//! observability layer enabled, so the report carries the measured
+//! instrumentation overhead (`obs_overhead`, enabled/disabled wall-time
+//! ratio) and the scheduler's self-profile (tasks, steals, busy fraction)
+//! from the instrumented run. [`to_json`] emits the machine-readable
+//! `BENCH_throughput.json`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -141,6 +146,26 @@ pub struct ThreadRun {
     pub analysis_speedup: f64,
     /// Rendered alert stream is byte-identical to the baseline's.
     pub identical: bool,
+    /// Best wall time with the observability layer enabled (seconds).
+    pub obs_secs: f64,
+    /// Instrumentation overhead: `obs_secs / secs` (1.0 = free).
+    pub obs_overhead: f64,
+    /// Scheduler self-profile from the best instrumented run.
+    pub pool: PoolProfile,
+}
+
+/// Scheduler counters captured after a run ([`snids_exec::PoolStats`]
+/// condensed for the report).
+#[derive(Debug, Clone, Default)]
+pub struct PoolProfile {
+    /// Tasks executed across all workers.
+    pub tasks: u64,
+    /// Tasks obtained by stealing from a sibling's deque.
+    pub steals: u64,
+    /// Tasks submitted through the injector.
+    pub injected: u64,
+    /// Fraction of the run's wall time the average worker spent busy.
+    pub busy_fraction: f64,
 }
 
 /// The full benchmark result.
@@ -162,11 +187,12 @@ pub struct Report {
     pub runs: Vec<ThreadRun>,
 }
 
-fn bench_nids(plan: &AddressPlan, threads: usize) -> Nids {
+fn bench_nids(plan: &AddressPlan, threads: usize, observability: bool) -> Nids {
     Nids::new(NidsConfig {
         honeypots: plan.honeypots.clone(),
         dark_nets: vec![(plan.dark_net, 16)],
         threads,
+        observability,
         ..NidsConfig::default()
     })
 }
@@ -185,7 +211,7 @@ pub fn run(cfg: &BenchConfig) -> Report {
         let mut alerts_n = 0usize;
         let mut flows = 0u64;
         for _ in 0..cfg.repeats.max(1) {
-            let mut nids = bench_nids(&plan, threads);
+            let mut nids = bench_nids(&plan, threads, false);
             let t0 = Instant::now();
             let alerts = nids.process_capture(&workload.packets);
             let secs = t0.elapsed().as_secs_f64();
@@ -202,6 +228,26 @@ pub fn run(cfg: &BenchConfig) -> Report {
                 .collect::<Vec<_>>()
                 .join("\n");
         }
+        // Replay with observability on: same workload, same worker count,
+        // so the wall-time ratio isolates the cost of instrumentation.
+        let mut best_obs_secs = f64::INFINITY;
+        let mut pool = PoolProfile::default();
+        for _ in 0..cfg.repeats.max(1) {
+            let mut nids = bench_nids(&plan, threads, true);
+            let t0 = Instant::now();
+            let _ = nids.process_capture(&workload.packets);
+            let secs = t0.elapsed().as_secs_f64();
+            if secs < best_obs_secs {
+                best_obs_secs = secs;
+                let stats = nids.pool_stats();
+                pool = PoolProfile {
+                    tasks: stats.tasks_total(),
+                    steals: stats.steals_total(),
+                    injected: stats.injected,
+                    busy_fraction: stats.busy_fraction((secs * 1e9) as u64),
+                };
+            }
+        }
         let (base_secs, base_analysis, base_render) =
             baseline.get_or_insert_with(|| (best_secs, best_analysis, rendered.clone()));
         runs.push(ThreadRun {
@@ -214,6 +260,9 @@ pub fn run(cfg: &BenchConfig) -> Report {
             speedup: *base_secs / best_secs.max(1e-9),
             analysis_speedup: *base_analysis / best_analysis.max(1e-9),
             identical: rendered == *base_render,
+            obs_secs: best_obs_secs,
+            obs_overhead: best_obs_secs / best_secs.max(1e-9),
+            pool,
         });
     }
 
@@ -244,7 +293,7 @@ pub fn render(report: &Report) -> String {
     );
     let _ = writeln!(
         s,
-        "\n{:<8} {:>10} {:>12} {:>11} {:>8} {:>8} {:>10} {:>10}",
+        "\n{:<8} {:>10} {:>12} {:>11} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>6}",
         "threads",
         "time (s)",
         "packets/s",
@@ -252,12 +301,15 @@ pub fn render(report: &Report) -> String {
         "alerts",
         "speedup",
         "analysis×",
-        "identical"
+        "identical",
+        "obs×",
+        "steals",
+        "busy"
     );
     for r in &report.runs {
         let _ = writeln!(
             s,
-            "{:<8} {:>10.3} {:>12.0} {:>11.1} {:>8} {:>7.2}x {:>9.2}x {:>10}",
+            "{:<8} {:>10.3} {:>12.0} {:>11.1} {:>8} {:>7.2}x {:>9.2}x {:>10} {:>7.3}x {:>8} {:>5.0}%",
             r.threads,
             r.secs,
             r.packets_per_sec,
@@ -266,6 +318,9 @@ pub fn render(report: &Report) -> String {
             r.speedup,
             r.analysis_speedup,
             if r.identical { "yes" } else { "NO" },
+            r.obs_overhead,
+            r.pool.steals,
+            r.pool.busy_fraction * 100.0,
         );
     }
     s
@@ -289,7 +344,7 @@ pub fn to_json(report: &Report) -> String {
     for (i, r) in report.runs.iter().enumerate() {
         let _ = write!(
             s,
-            "{}\n    {{\"threads\": {}, \"secs\": {:.6}, \"analysis_secs\": {:.6}, \"packets_per_sec\": {:.1}, \"flows_per_sec\": {:.2}, \"alerts\": {}, \"speedup\": {:.3}, \"analysis_speedup\": {:.3}, \"alerts_identical_to_baseline\": {}}}",
+            "{}\n    {{\"threads\": {}, \"secs\": {:.6}, \"analysis_secs\": {:.6}, \"packets_per_sec\": {:.1}, \"flows_per_sec\": {:.2}, \"alerts\": {}, \"speedup\": {:.3}, \"analysis_speedup\": {:.3}, \"alerts_identical_to_baseline\": {}, \"obs_secs\": {:.6}, \"obs_overhead\": {:.4}, \"pool\": {{\"tasks\": {}, \"steals\": {}, \"injected\": {}, \"busy_fraction\": {:.4}}}}}",
             if i == 0 { "" } else { "," },
             r.threads,
             r.secs,
@@ -300,6 +355,12 @@ pub fn to_json(report: &Report) -> String {
             r.speedup,
             r.analysis_speedup,
             r.identical,
+            r.obs_secs,
+            r.obs_overhead,
+            r.pool.tasks,
+            r.pool.steals,
+            r.pool.injected,
+            r.pool.busy_fraction,
         );
     }
     let _ = write!(s, "\n  ]\n}}\n");
@@ -340,10 +401,17 @@ mod tests {
             assert!(r.secs > 0.0 && r.speedup > 0.0);
         }
         assert_eq!(report.runs[0].alerts, report.runs[1].alerts);
+        for r in &report.runs {
+            assert!(r.obs_secs > 0.0 && r.obs_overhead > 0.0);
+            assert!((0.0..=1.0).contains(&r.pool.busy_fraction));
+        }
         let json = to_json(&report);
         assert!(json.contains("\"bench\": \"throughput\""));
         assert!(json.contains("\"alerts_identical_to_baseline\": true"));
+        assert!(json.contains("\"obs_overhead\""));
+        assert!(json.contains("\"busy_fraction\""));
         let table = render(&report);
         assert!(table.contains("threads"));
+        assert!(table.contains("obs"));
     }
 }

@@ -56,16 +56,18 @@ impl Alert {
         )
     }
 
-    /// Serialize to a JSON object. Hand-rolled: every string field comes
-    /// from fixed internal tables or IPv4 formatting, so no escaping is
-    /// required.
+    /// Serialize to a JSON object. Hand-rolled, but *escaped* where it
+    /// matters: the template name comes from the operator DSL and may
+    /// contain quotes, backslashes or control bytes, so it goes through
+    /// [`snids_obs::json::escape`]. Addresses, ports and severities are
+    /// formatted from fixed internal types and cannot produce such bytes.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"src\":\"{}\",\"dst\":\"{}\",\"dst_port\":{},\"template\":\"{}\",\"severity\":\"{}\",\"origin\":\"{:?}\",\"start\":{},\"detail\":{}}}",
             self.src,
             self.dst,
             self.dst_port,
-            self.template,
+            snids_obs::json::escape(self.template),
             self.severity,
             self.origin,
             self.start,
@@ -111,5 +113,37 @@ mod tests {
         let json = a.to_json();
         assert!(json.contains("\"dst\":\"10.0.0.1\""));
         assert!(json.contains("\"template\":\"xor-decrypt-loop\""));
+    }
+
+    /// An operator DSL template named with quotes/control bytes must not
+    /// corrupt the JSON sink.
+    #[test]
+    fn hostile_template_name_is_escaped_in_alert_json() {
+        let name: &'static str = Box::leak("tm\"pl\\{\n\u{2}".to_string().into_boxed_str());
+        let m = TemplateMatch {
+            template: name,
+            severity: Severity::High,
+            start: 0,
+            end: 1,
+            trace_start: 0,
+            bound_regs: vec![],
+            consts: vec![],
+        };
+        let frame = BinaryFrame {
+            data: vec![0x90],
+            origin: FrameOrigin::Raw,
+            offset: 0,
+            reason: "test",
+        };
+        let mut flow_table = snids_flow::FlowTable::default();
+        let p =
+            snids_packet::PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 0, 0, 1))
+                .tcp(1234, 80, 0, 0, snids_packet::TcpFlags::ACK, b"x")
+                .unwrap();
+        let key = flow_table.process(&p).unwrap();
+        let a = Alert::from_match(flow_table.get(&key).unwrap(), &frame, m);
+        let json = a.to_json();
+        assert!(json.contains("tm\\\"pl\\\\{\\n\\u0002"), "{json}");
+        assert!(!json.bytes().any(|b| b < 0x20), "raw control byte: {json}");
     }
 }

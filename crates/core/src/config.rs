@@ -48,6 +48,26 @@ pub struct NidsConfig {
     /// beyond this are truncated and the excess accounted as
     /// `decoder_bailout` — a hostile flow cannot buy unbounded analysis.
     pub max_frame_bytes: usize,
+    /// Enable the observability layer: per-stage latency histograms and
+    /// counters, plus the flow flight recorder. Defaults from the
+    /// `SNIDS_OBS` environment variable (`1`/`true` enables) so a
+    /// deployment or CI run can turn metrics on without a code change.
+    /// When false, instrumentation reduces to one relaxed atomic load per
+    /// event.
+    pub observability: bool,
+    /// Flight-recorder ring capacity, in events (only meaningful when
+    /// `observability` is on).
+    pub flight_recorder_capacity: usize,
+}
+
+/// Environment variable that defaults [`NidsConfig::observability`].
+pub const OBS_ENV: &str = "SNIDS_OBS";
+
+fn obs_env_default() -> bool {
+    matches!(
+        std::env::var(OBS_ENV).ok().as_deref().map(str::trim),
+        Some("1") | Some("true")
+    )
 }
 
 impl Default for NidsConfig {
@@ -65,6 +85,8 @@ impl Default for NidsConfig {
             chaos_analysis_panic_marker: None,
             verify_checksums: true,
             max_frame_bytes: 1 << 20,
+            observability: obs_env_default(),
+            flight_recorder_capacity: snids_obs::DEFAULT_RECORDER_CAPACITY,
         }
     }
 }
@@ -82,6 +104,7 @@ mod tests {
         assert!(c.chaos_analysis_panic_marker.is_none());
         assert!(c.verify_checksums);
         assert!(c.max_frame_bytes >= 64 * 1024);
+        assert_eq!(c.flight_recorder_capacity, 1024);
         assert_eq!(c.templates.len(), 9);
         assert_eq!(c.dark_threshold, 5);
         // Conservative default: first copy wins, matching the seed

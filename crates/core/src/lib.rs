@@ -35,7 +35,8 @@ pub use stats::{DropCounters, DropReason, PipelineStats};
 
 use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier};
 use snids_extract::BinaryExtractor;
-use snids_flow::{DefragOutcome, Defragmenter, Flow, FlowTable};
+use snids_flow::{DefragDrop, DefragOutcome, Defragmenter, Flow, FlowKey, FlowTable};
+use snids_obs::{Event, EventKind, Obs, Stage};
 use snids_packet::{Ipv4Header, Packet, TcpHeader, ETHERNET_HEADER_LEN};
 use snids_semantic::{Analyzer, TemplateMatch};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -62,6 +63,76 @@ pub struct Nids {
     chaos_panic_marker: Option<Vec<u8>>,
     verify_checksums: bool,
     max_frame_bytes: usize,
+    /// Per-pipeline observability registry ([`Obs::disabled`] when the
+    /// config leaves metrics off — one atomic load per event).
+    obs: Obs,
+    /// Flight-recorder dumps captured when alerts fired or flows were
+    /// dropped mid-analysis (bounded; see [`MAX_FLIGHT_DUMPS`]).
+    flight_dumps: Vec<String>,
+}
+
+/// Cap on retained flight-recorder dumps: enough to debug a burst, small
+/// enough that a flood of alerting flows cannot grow memory unboundedly.
+pub const MAX_FLIGHT_DUMPS: usize = 64;
+
+/// Reason code carried in flight-recorder events: 0 is "none", otherwise
+/// `DropReason as u16 + 1` (the obs crate stays ignorant of core types).
+fn reason_code(reason: Option<DropReason>) -> u16 {
+    reason.map(|r| r as u16 + 1).unwrap_or(0)
+}
+
+/// Recover the [`DropReason`] behind a flight-recorder reason code.
+fn reason_name(code: u16) -> &'static str {
+    match code {
+        0 => "-",
+        c => DropReason::ALL
+            .get(c as usize - 1)
+            .map(|r| r.name())
+            .unwrap_or("unknown"),
+    }
+}
+
+/// Record one flight-recorder event (free function so the pool-worker
+/// closures can record through a cloned [`Obs`] handle).
+fn record_event(
+    obs: &Obs,
+    stage: Stage,
+    kind: EventKind,
+    key: Option<&FlowKey>,
+    bytes: u64,
+    reason: Option<DropReason>,
+) {
+    let (src, dst, src_port, dst_port) = match key {
+        Some(k) => (u32::from(k.src), u32::from(k.dst), k.src_port, k.dst_port),
+        None => (0, 0, 0, 0),
+    };
+    obs.recorder().record(Event {
+        seq: 0,
+        stage,
+        kind,
+        src,
+        dst,
+        src_port,
+        dst_port,
+        bytes,
+        reason: reason_code(reason),
+    });
+}
+
+/// Render one flight-recorder event for a dump.
+fn render_event(e: &Event) -> String {
+    format!(
+        "  #{} {} {} {}:{} -> {}:{} bytes={} reason={}",
+        e.seq,
+        e.stage.name(),
+        e.kind.name(),
+        std::net::Ipv4Addr::from(e.src),
+        e.src_port,
+        std::net::Ipv4Addr::from(e.dst),
+        e.dst_port,
+        e.bytes,
+        reason_name(e.reason),
+    )
 }
 
 /// Everything learned from analyzing one flow (or one batch of flows):
@@ -73,6 +144,10 @@ struct FlowOutcome {
     frame_bytes: u64,
     bailouts: u64,
     panicked: u64,
+    /// Identities of the flows behind `panicked`, for flight-recorder
+    /// dumps (a panicked flow is a lost detection opportunity — exactly
+    /// when an operator wants the causal trail).
+    panicked_keys: Vec<FlowKey>,
 }
 
 impl FlowOutcome {
@@ -82,6 +157,7 @@ impl FlowOutcome {
         self.frame_bytes += other.frame_bytes;
         self.bailouts += other.bailouts;
         self.panicked += other.panicked;
+        self.panicked_keys.extend(other.panicked_keys);
     }
 }
 
@@ -131,7 +207,143 @@ impl Nids {
             chaos_panic_marker: config.chaos_analysis_panic_marker.clone(),
             verify_checksums: config.verify_checksums,
             max_frame_bytes: config.max_frame_bytes.max(1),
+            obs: if config.observability {
+                Obs::new(config.flight_recorder_capacity)
+            } else {
+                Obs::disabled()
+            },
+            flight_dumps: Vec::new(),
         }
+    }
+
+    /// The pipeline's observability registry (the shared disabled handle
+    /// when the config left metrics off).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Flight-recorder dumps captured so far (one per alerting or
+    /// mid-analysis-dropped flow, newest last, capped at
+    /// [`MAX_FLIGHT_DUMPS`]).
+    pub fn flight_dumps(&self) -> &[String] {
+        &self.flight_dumps
+    }
+
+    /// The scheduler self-profile of the pool this pipeline analyzes flows
+    /// on.
+    pub fn pool_stats(&self) -> snids_exec::PoolStats {
+        self.pool().stats()
+    }
+
+    /// Mirror ledger totals and pool self-profiling into the obs registry
+    /// so a snapshot is self-contained. Cheap enough to call before every
+    /// exposition; a no-op when observability is off.
+    fn publish_gauges(&self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for reason in DropReason::ALL {
+            self.obs.set_named(
+                &format!("drop.{}", reason.name()),
+                self.stats.drops.get(reason),
+            );
+        }
+        self.obs
+            .set_named("snids_packets_total", self.stats.packets);
+        self.obs
+            .set_named("snids_processed_total", self.stats.processed);
+        self.obs
+            .set_named("snids_flows_analyzed_total", self.stats.flows_analyzed);
+        self.obs.set_named("snids_alerts_total", self.stats.alerts);
+        let pool = self.pool_stats();
+        self.obs
+            .set_named("snids_pool_threads", pool.threads as u64);
+        self.obs
+            .set_named("snids_pool_injected_total", pool.injected);
+        self.obs
+            .set_named("snids_pool_injector_depth", pool.injector_depth as u64);
+        self.obs
+            .set_named("snids_pool_tasks_panicked_total", pool.tasks_panicked);
+        for (i, w) in pool.workers.iter().enumerate() {
+            self.obs.set_named(
+                &format!("snids_pool_tasks_total{{worker=\"{i}\"}}"),
+                w.tasks,
+            );
+            self.obs.set_named(
+                &format!("snids_pool_steals_total{{worker=\"{i}\"}}"),
+                w.steals,
+            );
+            self.obs.set_named(
+                &format!("snids_pool_busy_nanos_total{{worker=\"{i}\"}}"),
+                w.busy_nanos,
+            );
+        }
+    }
+
+    /// A deterministic point-in-time metrics snapshot (ledger totals and
+    /// pool stats freshly mirrored in).
+    pub fn obs_snapshot(&self) -> snids_obs::Snapshot {
+        self.publish_gauges();
+        self.obs.snapshot()
+    }
+
+    /// The Prometheus-style text exposition page for this pipeline.
+    pub fn metrics_page(&self) -> String {
+        snids_obs::expo::render_text(&self.obs_snapshot())
+    }
+
+    /// The JSON metrics snapshot for this pipeline.
+    pub fn metrics_json(&self) -> String {
+        snids_obs::expo::render_json(&self.obs_snapshot())
+    }
+
+    /// Record one flight-recorder event tagged with `key`'s five-tuple
+    /// (all-zero identity when the packet had no trackable flow).
+    fn obs_event(
+        &self,
+        stage: Stage,
+        kind: EventKind,
+        key: Option<&FlowKey>,
+        bytes: u64,
+        reason: Option<DropReason>,
+    ) {
+        record_event(&self.obs, stage, kind, key, bytes, reason);
+    }
+
+    /// Capture the flight trail for `(src, dst, dst_port)` into the dump
+    /// list (source port intentionally wildcarded: alerts do not carry
+    /// it). No-op beyond [`MAX_FLIGHT_DUMPS`] or when the trail is empty.
+    fn dump_flight(
+        &mut self,
+        why: &str,
+        src: std::net::Ipv4Addr,
+        dst: std::net::Ipv4Addr,
+        dst_port: u16,
+    ) {
+        if self.flight_dumps.len() >= MAX_FLIGHT_DUMPS {
+            return;
+        }
+        let (src, dst) = (u32::from(src), u32::from(dst));
+        let trail: Vec<String> = self
+            .obs
+            .recorder()
+            .events()
+            .iter()
+            .filter(|e| e.src == src && e.dst == dst && e.dst_port == dst_port)
+            .map(render_event)
+            .collect();
+        if trail.is_empty() {
+            return;
+        }
+        self.flight_dumps.push(format!(
+            "flight[{}] {} -> {}:{} ({} events)\n{}",
+            why,
+            std::net::Ipv4Addr::from(src),
+            std::net::Ipv4Addr::from(dst),
+            dst_port,
+            trail.len(),
+            trail.join("\n"),
+        ));
     }
 
     /// The pool the flow-analysis stage runs on: this pipeline's dedicated
@@ -219,9 +431,35 @@ impl Nids {
     /// ends up in exactly one ledger slot: `processed` (possibly later,
     /// when its datagram completes) or a packet-level drop counter.
     pub fn process_packet(&mut self, packet: &Packet) {
+        let observing = self.obs.enabled();
         self.stats.packets += 1;
-        if self.fails_checksum(packet) {
+        let t_cap = if observing {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let failed = self.fails_checksum(packet);
+        if let Some(t0) = t_cap {
+            // One capture event per packet fed in: the conservation
+            // invariant the metrics e2e checks against the ledger.
+            self.obs.record_stage(
+                Stage::Capture,
+                t0.elapsed().as_nanos() as u64,
+                packet.raw().len() as u64,
+            );
+        }
+        if failed {
             self.stats.drops.inc(DropReason::ChecksumFailed);
+            if observing {
+                let key = FlowKey::of(packet);
+                self.obs_event(
+                    Stage::Capture,
+                    EventKind::Drop,
+                    key.as_ref(),
+                    packet.raw().len() as u64,
+                    Some(DropReason::ChecksumFailed),
+                );
+            }
             return;
         }
         // Defragment before anything else; incomplete fragments buffer.
@@ -232,7 +470,20 @@ impl Nids {
             .map(|h| h.more_fragments || h.fragment_offset != 0)
             .unwrap_or(false)
         {
-            match self.defrag.ingest(packet.clone()) {
+            let t_defrag = if observing {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let outcome = self.defrag.ingest(packet.clone());
+            if let Some(t0) = t_defrag {
+                self.obs.record_stage(
+                    Stage::Defrag,
+                    t0.elapsed().as_nanos() as u64,
+                    packet.payload().len() as u64,
+                );
+            }
+            match outcome {
                 DefragOutcome::Reassembled {
                     packet: p,
                     pieces: n,
@@ -246,9 +497,29 @@ impl Nids {
                     pieces = 1;
                     &whole
                 }
-                DefragOutcome::Buffered | DefragOutcome::Dropped(_) => {
+                DefragOutcome::Buffered => {
                     // Buffered fragments are credited when their datagram
-                    // resolves; drops were tallied by the defragmenter.
+                    // resolves.
+                    self.sync_drop_counters();
+                    return;
+                }
+                DefragOutcome::Dropped(drop) => {
+                    // The drop was tallied by the defragmenter; mirror it
+                    // into the flight recorder with the ledger's reason.
+                    if observing {
+                        let reason = match drop {
+                            DefragDrop::CapExceeded => DropReason::DefragCapExceeded,
+                            DefragDrop::Oversize => DropReason::DefragOversize,
+                            DefragDrop::Invalid => DropReason::DefragInvalid,
+                        };
+                        self.obs_event(
+                            Stage::Defrag,
+                            EventKind::Drop,
+                            None,
+                            packet.payload().len() as u64,
+                            Some(reason),
+                        );
+                    }
                     self.sync_drop_counters();
                     return;
                 }
@@ -261,14 +532,70 @@ impl Nids {
         self.sync_drop_counters();
         let t0 = Instant::now();
         let verdict = self.classifier.classify(packet);
-        self.stats.classify_nanos += t0.elapsed().as_nanos() as u64;
+        let classify_nanos = t0.elapsed().as_nanos() as u64;
+        self.stats.classify_nanos += classify_nanos;
+        if observing {
+            self.obs.record_stage(
+                Stage::Classify,
+                classify_nanos,
+                packet.payload().len() as u64,
+            );
+        }
         if !verdict.is_suspicious() {
             return;
         }
         self.stats.suspicious_packets += 1;
         let t1 = Instant::now();
-        self.flows.process(packet);
-        self.stats.reassembly_nanos += t1.elapsed().as_nanos() as u64;
+        let outcome = self.flows.process_tracked(packet);
+        let reassembly_nanos = t1.elapsed().as_nanos() as u64;
+        self.stats.reassembly_nanos += reassembly_nanos;
+        if observing {
+            self.obs.record_stage(
+                Stage::Reassembly,
+                reassembly_nanos,
+                outcome.segment_bytes as u64,
+            );
+            // The flight recorder tracks suspicious (tracked) traffic:
+            // only those flows can later alert or be dropped with a trail
+            // worth dumping, and skipping the benign majority keeps the
+            // enabled-mode overhead inside its budget.
+            self.obs_event(
+                Stage::Capture,
+                EventKind::Ingest,
+                outcome.key.as_ref(),
+                outcome.segment_bytes as u64,
+                None,
+            );
+            if let Some(evicted) = outcome.evicted {
+                self.obs_event(
+                    Stage::Reassembly,
+                    EventKind::Drop,
+                    Some(&evicted),
+                    0,
+                    Some(DropReason::FlowEvicted),
+                );
+                let (src, dst, port) = (evicted.src, evicted.dst, evicted.dst_port);
+                self.dump_flight("flow_evicted", src, dst, port);
+            }
+            if outcome.conflict_bytes > 0 {
+                self.obs_event(
+                    Stage::Reassembly,
+                    EventKind::Conflict,
+                    outcome.key.as_ref(),
+                    outcome.conflict_bytes,
+                    None,
+                );
+            }
+            if outcome.truncated {
+                self.obs_event(
+                    Stage::Reassembly,
+                    EventKind::Drop,
+                    outcome.key.as_ref(),
+                    outcome.segment_bytes as u64,
+                    Some(DropReason::StreamTruncated),
+                );
+            }
+        }
     }
 
     /// Stages 3–5 for one application payload: extraction, disassembly,
@@ -351,8 +678,15 @@ impl Nids {
         let analyzer = &self.analyzer;
         let frame_cap = self.max_frame_bytes;
         let chaos_marker = self.chaos_panic_marker.as_deref();
+        let obs = self.obs.clone();
+        let observing = obs.enabled();
 
         let analyze_one = |flow: &Flow| -> FlowOutcome {
+            let t_extract = if observing {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let payload = flow.payload();
             if let Some(marker) = chaos_marker {
                 if !marker.is_empty() && payload.windows(marker.len()).any(|w| w == marker) {
@@ -360,6 +694,13 @@ impl Nids {
                 }
             }
             let frames = extractor.extract(&payload);
+            if let Some(t) = t_extract {
+                obs.record_stage(
+                    Stage::Extract,
+                    t.elapsed().as_nanos() as u64,
+                    payload.len() as u64,
+                );
+            }
             let mut out = FlowOutcome {
                 frames: frames.len() as u64,
                 ..FlowOutcome::default()
@@ -371,9 +712,28 @@ impl Nids {
                 // budget bounds start discovery inside it. Either limit
                 // firing is a decoder bailout for this frame.
                 let data = &frame.data[..frame.data.len().min(frame_cap)];
-                let analysis = analyzer.analyze_frame(data);
+                let analysis = if observing {
+                    let (analysis, timing) = analyzer.analyze_frame_timed(data);
+                    let bytes = data.len() as u64;
+                    obs.record_stage(Stage::Decode, timing.decode_nanos, bytes);
+                    obs.record_stage(Stage::IrLift, timing.lift_nanos, bytes);
+                    obs.record_stage(Stage::TemplateMatch, timing.match_nanos, bytes);
+                    analysis
+                } else {
+                    analyzer.analyze_frame(data)
+                };
                 if analysis.sweep_exhausted || frame.data.len() > frame_cap {
                     out.bailouts += 1;
+                    if observing {
+                        record_event(
+                            &obs,
+                            Stage::Decode,
+                            EventKind::Drop,
+                            Some(&flow.key),
+                            frame.data.len() as u64,
+                            Some(DropReason::DecoderBailout),
+                        );
+                    }
                 }
                 for m in analysis.matches {
                     out.alerts.push(Alert::from_match(flow, frame, m));
@@ -386,7 +746,10 @@ impl Nids {
             for flow in batch.iter() {
                 match catch_unwind(AssertUnwindSafe(|| analyze_one(flow))) {
                     Ok(outcome) => agg.absorb(outcome),
-                    Err(_) => agg.panicked += 1,
+                    Err(_) => {
+                        agg.panicked += 1;
+                        agg.panicked_keys.push(flow.key);
+                    }
                 }
             }
             agg
@@ -401,6 +764,7 @@ impl Nids {
                 .map(|(result, batch)| {
                     result.unwrap_or_else(|_| FlowOutcome {
                         panicked: batch.len() as u64,
+                        panicked_keys: batch.iter().map(|f| f.key).collect(),
                         ..FlowOutcome::default()
                     })
                 })
@@ -437,6 +801,46 @@ impl Nids {
                 && a.dst_port == b.dst_port
         });
         self.stats.alerts += alerts.len() as u64;
+        if observing {
+            // A panicked flow is a lost detection opportunity and an alert
+            // is a confirmed one — both trigger an automatic dump of the
+            // flow's recorded trail.
+            for key in &total.panicked_keys {
+                self.obs_event(
+                    Stage::Extract,
+                    EventKind::Drop,
+                    Some(key),
+                    0,
+                    Some(DropReason::AnalysisPanicked),
+                );
+            }
+            for key in total.panicked_keys.clone() {
+                self.dump_flight("analysis_panicked", key.src, key.dst, key.dst_port);
+            }
+            let mut dumped: Vec<(std::net::Ipv4Addr, std::net::Ipv4Addr, u16)> = Vec::new();
+            for alert in &alerts {
+                // Alerts carry no source port, so the event's src_port is
+                // 0; dumps match on (src, dst, dst_port) and don't care.
+                self.obs.recorder().record(Event {
+                    seq: 0,
+                    stage: Stage::TemplateMatch,
+                    kind: EventKind::Alert,
+                    src: u32::from(alert.src),
+                    dst: u32::from(alert.dst),
+                    src_port: 0,
+                    dst_port: alert.dst_port,
+                    bytes: (alert.detail.end - alert.detail.start) as u64,
+                    reason: 0,
+                });
+            }
+            for alert in alerts.clone() {
+                let id = (alert.src, alert.dst, alert.dst_port);
+                if !dumped.contains(&id) {
+                    dumped.push(id);
+                    self.dump_flight("alert", alert.src, alert.dst, alert.dst_port);
+                }
+            }
+        }
         alerts
     }
 
@@ -861,6 +1265,98 @@ mod tests {
         );
         // And finish() has nothing left to say about that flow.
         assert!(nids.finish().is_empty());
+    }
+
+    /// With observability on, the stage metrics, exposition pages and the
+    /// flight recorder all see the honeypot exploit end to end.
+    #[test]
+    fn observability_captures_the_pipeline() {
+        let plan = AddressPlan::default();
+        let mut config = plan_config(&plan);
+        config.observability = true;
+        let mut nids = Nids::new(config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let attacker = Ipv4Addr::new(198, 18, 7, 7);
+
+        let payload = SCENARIOS[0].build_payload(&mut rng);
+        let probe = snids_packet::PacketBuilder::new(attacker, plan.honeypots[0])
+            .at(100)
+            .tcp_syn(4000, 21, 1)
+            .unwrap();
+        let mut capture = vec![probe];
+        capture.extend(tcp_flow_packets(
+            attacker,
+            plan.web_server,
+            4001,
+            21,
+            &payload,
+            200,
+            0x42,
+        ));
+        let alerts = nids.process_capture(&capture);
+        assert!(!alerts.is_empty());
+
+        // Every ingested packet is a Capture-stage event, exactly once.
+        let snap = nids.obs_snapshot();
+        assert!(snap.enabled);
+        let cap = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == Stage::Capture)
+            .expect("capture stage");
+        assert_eq!(cap.events, nids.stats().packets);
+        assert_eq!(cap.count, nids.stats().packets);
+        // Quantiles are log2-bucket upper bounds: monotone in rank, though
+        // p99 may overshoot the exact max.
+        assert!(cap.p50_nanos <= cap.p99_nanos && cap.max_nanos > 0);
+
+        // The mirrored drop gauges agree with the ledger.
+        for (name, value) in &snap.named {
+            if let Some(reason) = name.strip_prefix("drop.") {
+                let ledger = DropReason::ALL
+                    .iter()
+                    .find(|r| r.name() == reason)
+                    .map(|r| nids.stats().drops.get(*r))
+                    .unwrap_or(0);
+                assert_eq!(*value, ledger, "{name}");
+            }
+        }
+
+        // Both exposition formats render and are deterministic.
+        let page = nids.metrics_page();
+        assert!(page.contains("snids_stage_events_total{stage=\"capture\"}"));
+        assert!(page.contains("snids_pool_threads"));
+        assert_eq!(page, nids.metrics_page());
+        let json = nids.metrics_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json, nids.metrics_json());
+
+        // The alert triggered a flight-recorder dump naming the victim.
+        assert!(!nids.flight_dumps().is_empty());
+        let dump = &nids.flight_dumps()[0];
+        assert!(dump.contains("alert"), "{dump}");
+        assert!(dump.contains(&plan.web_server.to_string()), "{dump}");
+    }
+
+    /// When observability is off (the default), no stage events accrue and
+    /// the recorder stays empty — the disabled path really is inert.
+    #[test]
+    fn disabled_observability_records_nothing() {
+        let plan = AddressPlan::default();
+        let mut config = plan_config(&plan);
+        config.observability = false;
+        let mut nids = Nids::new(config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let attacker = Ipv4Addr::new(198, 18, 7, 7);
+        let payload = SCENARIOS[0].build_payload(&mut rng);
+        let capture = tcp_flow_packets(attacker, plan.web_server, 4001, 21, &payload, 200, 0x42);
+        nids.process_capture(&capture);
+
+        let snap = nids.obs().snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.stages.iter().all(|s| s.events == 0));
+        assert_eq!(snap.recorder_recorded, 0);
+        assert!(nids.flight_dumps().is_empty());
     }
 
     /// The direct payload path works for standalone binaries.

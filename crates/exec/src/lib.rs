@@ -46,26 +46,54 @@
 mod latch;
 mod pool;
 
-pub use pool::{TaskPanic, ThreadPool};
+pub use pool::{PoolStats, TaskPanic, ThreadPool, WorkerStats};
 
 use std::sync::OnceLock;
 
 /// Environment variable overriding the global pool's worker count.
 pub const THREADS_ENV: &str = "SNIDS_THREADS";
 
+/// Interpret a raw `SNIDS_THREADS` value: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a positive integer, and `Err(warning)` when the
+/// variable is set but unusable (so the caller can surface it instead of
+/// silently falling back).
+pub fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "{THREADS_ENV}={raw:?} must be at least 1; using detected parallelism instead"
+        )),
+        Err(_) => Err(format!(
+            "{THREADS_ENV}={raw:?} is not a positive integer; using detected parallelism instead"
+        )),
+    }
+}
+
 /// Worker count the global pool uses: `SNIDS_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (falling back to 1 when even that is unavailable).
+/// (falling back to 1 when even that is unavailable). An unusable
+/// `SNIDS_THREADS` value emits a warning through [`snids_obs::warn`]
+/// rather than falling back silently — once per process, because the
+/// global pool is lazy and a front-end may also call this eagerly at
+/// startup to surface the warning even on runs that never parallelize.
 pub fn default_threads() -> usize {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var(THREADS_ENV).ok();
+    match parse_threads(raw.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => detected_parallelism(),
+        Err(warning) => {
+            WARNED.call_once(|| snids_obs::warn(&warning));
+            detected_parallelism()
+        }
+    }
+}
+
+fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The process-wide shared pool, created on first use with
@@ -73,4 +101,25 @@ pub fn default_threads() -> usize {
 pub fn global() -> &'static ThreadPool {
     static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
     GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_threads(Some(" 8 ")), Ok(Some(8)));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_with_a_warning() {
+        for bad in ["0", "-2", "two", "", "4.5"] {
+            let err = parse_threads(Some(bad)).expect_err(bad);
+            assert!(err.contains(THREADS_ENV), "{err}");
+            assert!(err.contains("detected parallelism"), "{err}");
+        }
+    }
 }

@@ -24,6 +24,18 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(10);
 /// bookkeeping negligible.
 const CHUNKS_PER_WORKER: usize = 4;
 
+/// Self-profiling cells for one worker (wait-free updates on the
+/// scheduling path; read racily by [`ThreadPool::stats`]).
+#[derive(Default)]
+struct WorkerCells {
+    /// Tasks this worker (or a caller helping under its index) executed.
+    tasks: AtomicU64,
+    /// Tasks taken from a *sibling's* deque.
+    steals: AtomicU64,
+    /// Nanoseconds spent inside task bodies (not parked, not searching).
+    busy_nanos: AtomicU64,
+}
+
 /// State shared between the pool handle and its workers.
 struct Shared {
     /// Tasks submitted from outside the pool (FIFO).
@@ -37,6 +49,10 @@ struct Shared {
     live: AtomicBool,
     /// Tasks whose panic was contained by a worker (observability).
     tasks_panicked: AtomicU64,
+    /// Per-worker scheduling counters, indexed like `locals`.
+    worker_cells: Vec<WorkerCells>,
+    /// Tasks pushed onto the injector (external submissions).
+    injected: AtomicU64,
 }
 
 thread_local! {
@@ -59,6 +75,55 @@ pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+}
+
+/// One worker's scheduling tallies (see [`ThreadPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks executed on this worker's index (including helping callers).
+    pub tasks: u64,
+    /// Tasks stolen from a sibling's deque.
+    pub steals: u64,
+    /// Wall nanoseconds spent inside task bodies.
+    pub busy_nanos: u64,
+}
+
+/// A point-in-time scheduler self-profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker count.
+    pub threads: usize,
+    /// Tasks submitted from outside the pool (injector pushes).
+    pub injected: u64,
+    /// Tasks currently waiting on the injector.
+    pub injector_depth: usize,
+    /// Tasks whose panic a worker contained.
+    pub tasks_panicked: u64,
+    /// Per-worker tallies, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total tasks executed across workers.
+    pub fn tasks_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn steals_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Fraction of `wall_nanos` the average worker spent busy (clamped to
+    /// `[0, 1]`; 0 when `wall_nanos` is 0).
+    pub fn busy_fraction(&self, wall_nanos: u64) -> f64 {
+        let denom = wall_nanos.saturating_mul(self.threads as u64);
+        if denom == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.workers.iter().map(|w| w.busy_nanos).sum();
+        (busy as f64 / denom as f64).clamp(0.0, 1.0)
+    }
 }
 
 /// A contained panic from one task (or one item of a
@@ -100,6 +165,8 @@ impl ThreadPool {
             wakeup: Condvar::new(),
             live: AtomicBool::new(true),
             tasks_panicked: AtomicU64::new(0),
+            worker_cells: (0..threads).map(|_| WorkerCells::default()).collect(),
+            injected: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|idx| {
@@ -126,6 +193,28 @@ impl ThreadPool {
     /// theirs; this also counts fire-and-forget [`ThreadPool::spawn`]s).
     pub fn tasks_panicked(&self) -> u64 {
         self.shared.tasks_panicked.load(Ordering::Relaxed)
+    }
+
+    /// A racy-but-consistent-enough snapshot of the scheduler's
+    /// self-profile: per-worker task/steal/busy tallies, external
+    /// submissions, and the current injector backlog.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            injected: self.shared.injected.load(Ordering::Relaxed),
+            injector_depth: lock(&self.shared.injector).len(),
+            tasks_panicked: self.tasks_panicked(),
+            workers: self
+                .shared
+                .worker_cells
+                .iter()
+                .map(|c| WorkerStats {
+                    tasks: c.tasks.load(Ordering::Relaxed),
+                    steals: c.steals.load(Ordering::Relaxed),
+                    busy_nanos: c.busy_nanos.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
     }
 
     /// Identity used to recognise "am I on this pool's worker?".
@@ -323,7 +412,10 @@ impl ThreadPool {
             Some((pool, idx)) if pool == self.id() => {
                 lock(&self.shared.locals[idx]).push_back(task)
             }
-            _ => lock(&self.shared.injector).push_back(task),
+            _ => {
+                self.shared.injected.fetch_add(1, Ordering::Relaxed);
+                lock(&self.shared.injector).push_back(task)
+            }
         }
         self.shared.wakeup.notify_all();
     }
@@ -336,7 +428,7 @@ impl ThreadPool {
             Some((pool, idx)) if pool == self.id() => {
                 while !latch.is_done() {
                     match find_task(&self.shared, idx) {
-                        Some(task) => run_task(&self.shared, task),
+                        Some(task) => run_task(&self.shared, idx, task),
                         None => std::thread::yield_now(),
                     }
                 }
@@ -366,7 +458,7 @@ impl std::fmt::Debug for ThreadPool {
 }
 
 /// Scheduling order: own deque (LIFO) → injector (FIFO) → steal a sibling's
-/// oldest task (FIFO).
+/// oldest task (FIFO). A successful steal is counted against `idx`.
 fn find_task(shared: &Shared, idx: usize) -> Option<Task> {
     if let Some(task) = lock(&shared.locals[idx]).pop_back() {
         return Some(task);
@@ -378,6 +470,9 @@ fn find_task(shared: &Shared, idx: usize) -> Option<Task> {
     for offset in 1..n {
         let victim = (idx + offset) % n;
         if let Some(task) = lock(&shared.locals[victim]).pop_front() {
+            shared.worker_cells[idx]
+                .steals
+                .fetch_add(1, Ordering::Relaxed);
             return Some(task);
         }
     }
@@ -385,11 +480,17 @@ fn find_task(shared: &Shared, idx: usize) -> Option<Task> {
 }
 
 /// Run one task with its panic contained (the worker must survive anything
-/// a task does).
-fn run_task(shared: &Shared, task: Task) {
+/// a task does), charging its wall time to `idx`'s busy counter.
+fn run_task(shared: &Shared, idx: usize, task: Task) {
+    let start = std::time::Instant::now();
     if catch_unwind(AssertUnwindSafe(task)).is_err() {
         shared.tasks_panicked.fetch_add(1, Ordering::Relaxed);
     }
+    let cells = &shared.worker_cells[idx];
+    cells.tasks.fetch_add(1, Ordering::Relaxed);
+    cells
+        .busy_nanos
+        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 fn worker_main(shared: Arc<Shared>, idx: usize) {
@@ -397,7 +498,7 @@ fn worker_main(shared: Arc<Shared>, idx: usize) {
     CURRENT_WORKER.with(|c| c.set(Some((id, idx))));
     loop {
         if let Some(task) = find_task(&shared, idx) {
-            run_task(&shared, task);
+            run_task(&shared, idx, task);
             continue;
         }
         if !shared.live.load(Ordering::Acquire) {
@@ -555,5 +656,35 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn stats_account_for_executed_work() {
+        let pool = ThreadPool::new(3);
+        let items: Vec<u64> = (0..500).collect();
+        let _ = pool.par_map(&items, |x| {
+            // Enough work per item that busy_nanos cannot round to zero.
+            (0..200u64).fold(*x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        });
+        // The latch releases before the executing worker finishes its
+        // bookkeeping, so give the final tally a moment to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.stats().tasks_total() < pool.stats().injected
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.workers.len(), 3);
+        // Every chunk ran as a task somewhere; the caller is not a worker,
+        // so all chunks went through the injector.
+        assert!(stats.tasks_total() >= 2, "{stats:?}");
+        assert_eq!(stats.injected, stats.tasks_total(), "{stats:?}");
+        assert_eq!(stats.injector_depth, 0);
+        assert!(stats.workers.iter().map(|w| w.busy_nanos).sum::<u64>() > 0);
+        let frac = stats.busy_fraction(u64::MAX / 8);
+        assert!((0.0..=1.0).contains(&frac));
+        assert_eq!(stats.busy_fraction(0), 0.0);
     }
 }

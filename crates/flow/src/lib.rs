@@ -20,4 +20,4 @@ pub use defrag::{
 };
 pub use key::FlowKey;
 pub use reassembly::{OverlapPolicy, Reassembler};
-pub use table::{Flow, FlowTable, FlowTableConfig};
+pub use table::{Flow, FlowTable, FlowTableConfig, ProcessOutcome};

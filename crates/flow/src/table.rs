@@ -122,9 +122,19 @@ impl FlowTable {
     /// Feed a packet; returns the flow key when the packet belonged to a
     /// trackable flow.
     pub fn process(&mut self, packet: &Packet) -> Option<FlowKey> {
-        let key = FlowKey::of(packet)?;
+        self.process_tracked(packet).key
+    }
+
+    /// [`FlowTable::process`] with the side effects reported back, so an
+    /// instrumenting caller can observe evictions, truncation onsets, and
+    /// overlap conflicts without this crate knowing about metrics.
+    pub fn process_tracked(&mut self, packet: &Packet) -> ProcessOutcome {
+        let mut outcome = ProcessOutcome::default();
+        let Some(key) = FlowKey::of(packet) else {
+            return outcome;
+        };
         if !self.flows.contains_key(&key) && self.flows.len() >= self.config.max_flows {
-            self.evict_coldest();
+            outcome.evicted = self.evict_coldest();
         }
         let max_stream = self.config.max_stream_bytes;
         let policy = self.config.overlap_policy;
@@ -135,6 +145,7 @@ impl FlowTable {
         flow.last_seen = flow.last_seen.max(packet.ts_micros);
         flow.packets += 1;
         flow.payload_bytes += packet.payload().len() as u64;
+        outcome.segment_bytes = packet.payload().len();
         let was_truncated = flow.stream.truncated();
         let conflicts_before = flow.stream.overlap_conflict_bytes();
         match (key.proto, packet.transport()) {
@@ -160,9 +171,12 @@ impl FlowTable {
         let conflict_delta = flow.stream.overlap_conflict_bytes() - conflicts_before;
         if !was_truncated && flow.stream.truncated() {
             self.truncated_flows += 1;
+            outcome.truncated = true;
         }
         self.overlap_conflict_bytes += conflict_delta;
-        Some(key)
+        outcome.conflict_bytes = conflict_delta;
+        outcome.key = Some(key);
+        outcome
     }
 
     /// Look up a flow.
@@ -195,17 +209,33 @@ impl FlowTable {
         self.flows.drain().map(|(_, f)| f).collect()
     }
 
-    fn evict_coldest(&mut self) {
-        if let Some(k) = self
+    fn evict_coldest(&mut self) -> Option<FlowKey> {
+        let k = self
             .flows
             .values()
             .min_by_key(|f| f.last_seen)
-            .map(|f| f.key)
-        {
-            self.flows.remove(&k);
-            self.evicted += 1;
-        }
+            .map(|f| f.key)?;
+        self.flows.remove(&k);
+        self.evicted += 1;
+        Some(k)
     }
+}
+
+/// What one [`FlowTable::process_tracked`] call did, for callers that
+/// instrument the reassembly stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessOutcome {
+    /// The packet's flow, when trackable.
+    pub key: Option<FlowKey>,
+    /// A flow force-evicted at the `max_flows` cap to make room.
+    pub evicted: Option<FlowKey>,
+    /// Divergent-overlap bytes this packet introduced.
+    pub conflict_bytes: u64,
+    /// True when this packet pushed the flow's stream over its byte cap
+    /// (reported once per flow, at the onset).
+    pub truncated: bool,
+    /// Payload bytes the tracked segment carried.
+    pub segment_bytes: usize,
 }
 
 #[cfg(test)]
@@ -367,6 +397,73 @@ mod tests {
             t.drain();
             assert_eq!(t.overlap_conflict_bytes(), 4, "survives drain");
         }
+    }
+
+    #[test]
+    fn process_tracked_reports_side_effects() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            max_flows: 1,
+            max_stream_bytes: 8,
+            ..FlowTableConfig::default()
+        });
+        let b = builder();
+        let first = t.process_tracked(
+            &b.clone()
+                .at(10)
+                .tcp(1, 80, 0, 0, TcpFlags::ACK, b"abcd")
+                .unwrap(),
+        );
+        assert!(first.key.is_some());
+        assert_eq!(first.evicted, None);
+        assert_eq!(first.segment_bytes, 4);
+        assert!(!first.truncated);
+        assert_eq!(first.conflict_bytes, 0);
+
+        // A second flow at the cap evicts the first.
+        let second = t.process_tracked(
+            &b.clone()
+                .at(20)
+                .tcp(2, 80, 0, 0, TcpFlags::ACK, b"efgh")
+                .unwrap(),
+        );
+        assert_eq!(second.evicted, first.key);
+
+        // Overflowing the stream cap reports truncation onset once.
+        let over = t.process_tracked(
+            &b.clone()
+                .at(30)
+                .tcp(2, 80, 4, 0, TcpFlags::ACK, b"ijklmnop")
+                .unwrap(),
+        );
+        assert!(over.truncated);
+        let again = t.process_tracked(
+            &b.clone()
+                .at(40)
+                .tcp(2, 80, 12, 0, TcpFlags::ACK, b"qr")
+                .unwrap(),
+        );
+        assert!(!again.truncated, "onset reported once");
+
+        // A divergent retransmit reports its conflict delta.
+        let conflict = t.process_tracked(
+            &b.clone()
+                .at(50)
+                .tcp(2, 80, 0, 0, TcpFlags::ACK, b"XXgh")
+                .unwrap(),
+        );
+        assert_eq!(conflict.conflict_bytes, 2);
+
+        // Untrackable packets yield the default outcome.
+        use snids_packet::{EtherType, EthernetFrame, MacAddr};
+        let eth = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::new(2, 0, 0, 0, 0, 1),
+            ethertype: EtherType::Arp,
+        };
+        let mut raw = eth.to_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 28]);
+        let p = snids_packet::Packet::decode(0, raw).unwrap();
+        assert_eq!(t.process_tracked(&p), ProcessOutcome::default());
     }
 
     #[test]

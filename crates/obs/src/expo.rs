@@ -1,0 +1,198 @@
+//! Deterministic rendering of a [`Snapshot`] as Prometheus-style text and
+//! as JSON.
+//!
+//! Both renderers iterate stages in pipeline order and named metrics in
+//! sorted order, and format nothing that depends on wall-clock time or
+//! hash-map iteration, so two snapshots of equal state render to identical
+//! bytes. That property is load-bearing: tests diff rendered pages.
+
+use crate::json::escape;
+use crate::registry::Snapshot;
+
+/// Picks one quantile field out of a [`StageSnapshot`](crate::registry::StageSnapshot).
+type QuantileSelector = fn(&crate::registry::StageSnapshot) -> u64;
+
+/// Latency quantiles exposed per stage, as `(label, selector)` pairs.
+const QUANTILES: [(&str, QuantileSelector); 3] = [
+    ("0.5", |s| s.p50_nanos),
+    ("0.9", |s| s.p90_nanos),
+    ("0.99", |s| s.p99_nanos),
+];
+
+/// Render a Prometheus-style text exposition page.
+///
+/// Named counters whose names already embed a label set (e.g.
+/// `snids_pool_tasks_total{worker="0"}`) are emitted verbatim; plain names
+/// get no labels.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP snids_stage_events_total Events handled per pipeline stage.\n");
+    out.push_str("# TYPE snids_stage_events_total counter\n");
+    for stage in &snap.stages {
+        out.push_str(&format!(
+            "snids_stage_events_total{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            stage.events
+        ));
+    }
+    out.push_str("# HELP snids_stage_bytes_total Bytes carried by events per pipeline stage.\n");
+    out.push_str("# TYPE snids_stage_bytes_total counter\n");
+    for stage in &snap.stages {
+        out.push_str(&format!(
+            "snids_stage_bytes_total{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            stage.bytes
+        ));
+    }
+    out.push_str(
+        "# HELP snids_stage_latency_nanos Per-stage latency distribution (log2 buckets).\n",
+    );
+    out.push_str("# TYPE snids_stage_latency_nanos summary\n");
+    for stage in &snap.stages {
+        for (label, pick) in QUANTILES {
+            out.push_str(&format!(
+                "snids_stage_latency_nanos{{stage=\"{}\",quantile=\"{}\"}} {}\n",
+                stage.stage.name(),
+                label,
+                pick(stage)
+            ));
+        }
+        out.push_str(&format!(
+            "snids_stage_latency_nanos_sum{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            stage.sum_nanos
+        ));
+        out.push_str(&format!(
+            "snids_stage_latency_nanos_count{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            stage.count
+        ));
+        out.push_str(&format!(
+            "snids_stage_latency_nanos_max{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            stage.max_nanos
+        ));
+    }
+    for (name, value) in &snap.named {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out.push_str("# HELP snids_warnings_total Process-level configuration warnings emitted.\n");
+    out.push_str("# TYPE snids_warnings_total counter\n");
+    out.push_str(&format!("snids_warnings_total {}\n", snap.warnings));
+    out.push_str(
+        "# HELP snids_flight_recorder_events_total Events offered to the flight recorder.\n",
+    );
+    out.push_str("# TYPE snids_flight_recorder_events_total counter\n");
+    out.push_str(&format!(
+        "snids_flight_recorder_events_total {}\n",
+        snap.recorder_recorded
+    ));
+    out.push_str(&format!(
+        "snids_flight_recorder_contended_total {}\n",
+        snap.recorder_contended
+    ));
+    out.push_str(&format!(
+        "snids_flight_recorder_capacity {}\n",
+        snap.recorder_capacity
+    ));
+    out
+}
+
+/// Render a deterministic JSON document (stages in pipeline order, named
+/// metrics sorted, histogram buckets as sparse `[index, count]` pairs).
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"enabled\":{},", snap.enabled));
+    out.push_str("\"stages\":[");
+    for (i, stage) in snap.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sparse: Vec<String> = stage
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| format!("[{idx},{n}]"))
+            .collect();
+        out.push_str(&format!(
+            "{{\"stage\":\"{}\",\"events\":{},\"bytes\":{},\"latency\":{{\"count\":{},\"sum_nanos\":{},\"max_nanos\":{},\"p50_nanos\":{},\"p90_nanos\":{},\"p99_nanos\":{},\"buckets\":[{}]}}}}",
+            stage.stage.name(),
+            stage.events,
+            stage.bytes,
+            stage.count,
+            stage.sum_nanos,
+            stage.max_nanos,
+            stage.p50_nanos,
+            stage.p90_nanos,
+            stage.p99_nanos,
+            sparse.join(",")
+        ));
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (name, value)) in snap.named.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(name), value));
+    }
+    out.push_str(&format!(
+        "}},\"warnings\":{},\"flight_recorder\":{{\"recorded\":{},\"contended\":{},\"capacity\":{}}}}}",
+        snap.warnings, snap.recorder_recorded, snap.recorder_contended, snap.recorder_capacity
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Obs;
+    use crate::stage::Stage;
+
+    fn sample() -> Obs {
+        let obs = Obs::new(8);
+        obs.record_stage(Stage::Capture, 120, 60);
+        obs.record_stage(Stage::Capture, 90, 40);
+        obs.record_stage(Stage::TemplateMatch, 5000, 512);
+        obs.counter("snids_pool_tasks_total{worker=\"0\"}").add(7);
+        obs.counter("drop.truncated_segment").add(2);
+        obs
+    }
+
+    #[test]
+    fn text_page_contains_stages_quantiles_and_named() {
+        let page = render_text(&sample().snapshot());
+        assert!(page.contains("snids_stage_events_total{stage=\"capture\"} 2"));
+        assert!(page.contains("snids_stage_bytes_total{stage=\"capture\"} 100"));
+        assert!(
+            page.contains("snids_stage_latency_nanos{stage=\"template_match\",quantile=\"0.99\"}")
+        );
+        assert!(page.contains("snids_stage_latency_nanos_count{stage=\"capture\"} 2"));
+        assert!(page.contains("snids_pool_tasks_total{worker=\"0\"} 7"));
+        assert!(page.contains("drop.truncated_segment 2"));
+        assert!(page.contains("snids_flight_recorder_capacity 8"));
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let obs = sample();
+        let snap = obs.snapshot();
+        assert_eq!(render_text(&snap), render_text(&obs.snapshot()));
+        assert_eq!(render_json(&snap), render_json(&obs.snapshot()));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let doc = render_json(&sample().snapshot());
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced braces in {doc}"
+        );
+        assert!(doc.contains("\"stage\":\"capture\",\"events\":2,\"bytes\":100"));
+        // Embedded label quotes in counter names must be escaped.
+        assert!(doc.contains("\"snids_pool_tasks_total{worker=\\\"0\\\"}\":7"));
+        assert!(doc.contains("\"flight_recorder\":{\"recorded\":"));
+    }
+}

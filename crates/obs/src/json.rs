@@ -1,0 +1,76 @@
+//! String escaping for the workspace's hand-rolled JSON emitters.
+//!
+//! The workspace emits JSON with `format!` rather than a serializer (the
+//! vendored `serde` is a marker-trait stand-in), so every string that can
+//! carry attacker-influenced bytes — template names from the operator DSL,
+//! addresses, drop reasons — must be escaped at the emission site. This
+//! module is the single shared implementation.
+
+/// Escape `s` for inclusion inside a JSON string literal (the surrounding
+/// quotes are the caller's job). Handles `"`, `\`, and all control bytes
+/// below 0x20 (`\n`/`\r`/`\t` as short escapes, the rest as `\u00XX`).
+/// Non-ASCII is passed through unescaped: the output is UTF-8 and valid
+/// JSON either way.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+/// [`escape`] appending into an existing buffer.
+pub fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape("sled-decode"), "sled-decode");
+        assert_eq!(escape("10.0.0.1:80"), "10.0.0.1:80");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_escape() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_as_utf8() {
+        assert_eq!(escape("šablóna-π"), "šablóna-π");
+    }
+
+    #[test]
+    fn escaped_output_is_valid_inside_a_json_string() {
+        // Every escaped string, wrapped in quotes, must contain no raw
+        // quote, backslash-without-escape, or control byte.
+        let hostile = "x\"\\\u{0}\u{7}\nénd";
+        let escaped = escape(hostile);
+        assert!(!escaped.bytes().any(|b| b < 0x20));
+        // Raw quotes only appear escaped.
+        let mut prev_backslash = false;
+        for ch in escaped.chars() {
+            if ch == '"' {
+                assert!(prev_backslash, "unescaped quote in {escaped:?}");
+            }
+            prev_backslash = ch == '\\' && !prev_backslash;
+        }
+    }
+}

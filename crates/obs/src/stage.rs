@@ -1,0 +1,78 @@
+//! The pipeline stages the observability layer knows about.
+
+/// One stage of the packet-to-alert pipeline, in data-flow order.
+///
+/// The discriminants are stable (they index metric arrays and are packed
+/// into flight-recorder slots), so new stages must be appended, never
+/// inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Packet intake: decode, checksum verification, ledger entry.
+    Capture = 0,
+    /// Honeypot + dark-space traffic classification.
+    Classify = 1,
+    /// IPv4 defragmentation.
+    Defrag = 2,
+    /// Flow tracking and TCP stream reassembly.
+    Reassembly = 3,
+    /// Binary detection and extraction from reassembled payloads.
+    Extract = 4,
+    /// Disassembly start discovery (the budgeted x86 sweep).
+    Decode = 5,
+    /// Lifting decoded instructions to the canonical IR trace.
+    IrLift = 6,
+    /// Template unification over the IR trace.
+    TemplateMatch = 7,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Capture,
+        Stage::Classify,
+        Stage::Defrag,
+        Stage::Reassembly,
+        Stage::Extract,
+        Stage::Decode,
+        Stage::IrLift,
+        Stage::TemplateMatch,
+    ];
+
+    /// Stable snake_case name (metric label / JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Capture => "capture",
+            Stage::Classify => "classify",
+            Stage::Defrag => "defrag",
+            Stage::Reassembly => "reassembly",
+            Stage::Extract => "extract",
+            Stage::Decode => "decode",
+            Stage::IrLift => "ir_lift",
+            Stage::TemplateMatch => "template_match",
+        }
+    }
+
+    /// Recover a stage from its packed `u8` discriminant.
+    pub fn from_code(code: u8) -> Option<Stage> {
+        Stage::ALL.get(code as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_names_are_distinct() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as u8, i as u8);
+            assert_eq!(Stage::from_code(i as u8), Some(*s));
+        }
+        assert_eq!(Stage::from_code(Stage::ALL.len() as u8), None);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+}

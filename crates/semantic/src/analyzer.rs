@@ -29,9 +29,11 @@ pub struct TemplateMatch {
 }
 
 impl TemplateMatch {
-    /// Serialize to a JSON object. Hand-rolled: template names and
-    /// register names come from fixed internal tables (alphanumeric plus
-    /// `-`), so no string escaping is required.
+    /// Serialize to a JSON object. Hand-rolled, but *escaped*: template
+    /// names come from the operator DSL (any non-whitespace bytes,
+    /// including quotes and control characters), so they go through
+    /// [`snids_obs::json::escape`]. Register names are from a fixed
+    /// internal table and need no escaping.
     pub fn to_json(&self) -> String {
         let regs: Vec<String> = self
             .bound_regs
@@ -45,7 +47,7 @@ impl TemplateMatch {
             .collect();
         format!(
             "{{\"template\":\"{}\",\"severity\":\"{}\",\"start\":{},\"end\":{},\"trace_start\":{},\"bound_regs\":[{}],\"consts\":[{}]}}",
-            self.template,
+            snids_obs::json::escape(self.template),
             self.severity,
             self.start,
             self.end,
@@ -103,6 +105,18 @@ impl Default for AnalyzerConfig {
             sweep_budget: SweepBudget::default(),
         }
     }
+}
+
+/// Wall nanoseconds one frame spent in each analysis stage (see
+/// [`Analyzer::analyze_frame_timed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Start discovery (the budgeted disassembly sweep).
+    pub decode_nanos: u64,
+    /// Lifting decoded instructions to IR traces.
+    pub lift_nanos: u64,
+    /// Template unification over the lifted traces.
+    pub match_nanos: u64,
 }
 
 /// Everything the analyzer learned about one frame: the matches, plus
@@ -167,6 +181,61 @@ impl Analyzer {
             matches: self.analyze_starts(frame, &outcome.starts),
             sweep_exhausted: outcome.exhausted,
         }
+    }
+
+    /// [`Analyzer::analyze_frame`] with per-stage wall time reported back,
+    /// so an instrumenting caller can attribute the frame's cost to start
+    /// discovery (decode), IR lifting, and template matching without this
+    /// crate knowing about metrics. Timing uses `Instant` and is a little
+    /// slower than the untimed path; call it only when observing.
+    pub fn analyze_frame_timed(&self, frame: &[u8]) -> (FrameAnalysis, StageTiming) {
+        // Starts are processed in chunks: all of a chunk's traces are
+        // lifted, then all are matched, with one clock read at each
+        // boundary. Clock reads are also chained (a stage's end is the
+        // next stage's start), so the amortized cost is ~2 reads per
+        // TIMED_CHUNK starts instead of 4 per start — this is a hot loop
+        // and the instrumentation must not distort what it times. The
+        // chunk bounds the lifted-trace buffer, so a hostile frame with
+        // thousands of starts cannot buy unbounded memory.
+        const TIMED_CHUNK: usize = 16;
+        let mut timing = StageTiming::default();
+        let t0 = std::time::Instant::now();
+        let outcome = default_starts_budgeted(frame, &self.config.sweep_budget);
+        let mut mark = std::time::Instant::now();
+        timing.decode_nanos = (mark - t0).as_nanos() as u64;
+        let mut matches: Vec<TemplateMatch> = Vec::new();
+        let mut traces = Vec::with_capacity(TIMED_CHUNK.min(outcome.starts.len()));
+        for chunk in outcome.starts.chunks(TIMED_CHUNK) {
+            traces.clear();
+            for &start in chunk {
+                traces.push(trace_from(frame, start, self.config.max_trace_ops));
+            }
+            let lifted = std::time::Instant::now();
+            timing.lift_nanos += (lifted - mark).as_nanos() as u64;
+            for trace in &traces {
+                for tmpl in &self.templates {
+                    let mut budget = self.config.budget_per_trace;
+                    if let Some(info) = match_template(trace, tmpl, &mut budget) {
+                        let m = to_match(tmpl, trace, &info);
+                        if !matches
+                            .iter()
+                            .any(|x| x.template == m.template && x.start == m.start)
+                        {
+                            matches.push(m);
+                        }
+                    }
+                }
+            }
+            mark = std::time::Instant::now();
+            timing.match_nanos += (mark - lifted).as_nanos() as u64;
+        }
+        (
+            FrameAnalysis {
+                matches,
+                sweep_exhausted: outcome.exhausted,
+            },
+            timing,
+        )
     }
 
     /// True if any template matches — the detection fast path (stops at the
@@ -332,6 +401,41 @@ mod tests {
         assert!(!xor_only.detects(&alt), "xor-only must miss the alt scheme");
         let full = Analyzer::default();
         assert!(full.detects(&alt), "full set must catch it");
+    }
+
+    #[test]
+    fn timed_analysis_agrees_with_untimed() {
+        let a = Analyzer::default();
+        for frame in [&shell_code()[..], b"GET / HTTP/1.0\r\n\r\n"] {
+            let plain = a.analyze_frame(frame);
+            let (timed, timing) = a.analyze_frame_timed(frame);
+            assert_eq!(plain.matches, timed.matches);
+            assert_eq!(plain.sweep_exhausted, timed.sweep_exhausted);
+            // decode always runs; lift/match only when starts exist.
+            let _ = timing.decode_nanos + timing.lift_nanos + timing.match_nanos;
+        }
+    }
+
+    #[test]
+    fn hostile_template_names_serialize_as_valid_json() {
+        let m = TemplateMatch {
+            template: Box::leak("bad\"name\\with\n\u{1}ctl-π".to_string().into_boxed_str()),
+            severity: Severity::High,
+            start: 0,
+            end: 4,
+            trace_start: 0,
+            bound_regs: Vec::new(),
+            consts: Vec::new(),
+        };
+        let json = m.to_json();
+        assert!(
+            json.contains("bad\\\"name\\\\with\\n\\u0001ctl-π"),
+            "{json}"
+        );
+        assert!(
+            !json.bytes().any(|b| b < 0x20),
+            "raw control byte in {json}"
+        );
     }
 
     #[test]

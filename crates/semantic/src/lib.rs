@@ -30,7 +30,9 @@ pub mod matcher;
 pub mod pattern;
 pub mod templates;
 
-pub use analyzer::{Analyzer, AnalyzerConfig, FrameAnalysis, NaiveAnalyzer, TemplateMatch};
+pub use analyzer::{
+    Analyzer, AnalyzerConfig, FrameAnalysis, NaiveAnalyzer, StageTiming, TemplateMatch,
+};
 pub use dsl::parse as parse_templates;
 pub use matcher::match_template;
 pub use pattern::{PatOp, PatValue, Severity, Template, VarId, XformOp};

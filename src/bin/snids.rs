@@ -24,6 +24,12 @@
 //!
 //! # reassemble like the protected hosts' stacks
 //! snids analyze trace.pcap --overlap-policy linux-like
+//!
+//! # print per-stage metrics and flight-recorder dumps after the run
+//! snids analyze trace.pcap --metrics
+//!
+//! # keep serving the final metrics over HTTP for a scraper
+//! snids analyze trace.pcap --metrics-listen 127.0.0.1:9100
 //! ```
 
 use rand::rngs::StdRng;
@@ -39,12 +45,15 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--no-classify] [--json] [--stats]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync] [--flows N] [--seed N] [--repeats N] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync] [--flows N] [--seed N] [--repeats N] [--out FILE]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    // Resolve SNIDS_THREADS up front so an unusable value warns on stderr
+    // even for runs that never construct the (lazy) global pool.
+    snids::exec::default_threads();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
@@ -83,11 +92,17 @@ fn analyze(args: &[String]) -> ExitCode {
     let no_classify = args.iter().any(|a| a == "--no-classify");
     let json = args.iter().any(|a| a == "--json");
     let stats_report = args.iter().any(|a| a == "--stats");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let metrics_listen = flag_values(args, "--metrics-listen").first().copied();
 
     let mut config = NidsConfig {
         classification_enabled: !no_classify,
         ..NidsConfig::default()
     };
+    // Either metrics flag implies observability, whatever SNIDS_OBS says.
+    if metrics || metrics_listen.is_some() {
+        config.observability = true;
+    }
     for path in flag_values(args, "--templates") {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -172,6 +187,44 @@ fn analyze(args: &[String]) -> ExitCode {
         }
         if alerts.is_empty() {
             eprintln!("no alerts");
+        }
+    }
+    if metrics {
+        // Prometheus text page then the deterministic JSON snapshot, both
+        // on stdout; flight-recorder dumps go to stderr with the rest of
+        // the diagnostics.
+        print!("{}", nids.metrics_page());
+        println!("{}", nids.metrics_json());
+        for dump in nids.flight_dumps() {
+            eprintln!("{dump}");
+        }
+    }
+    if let Some(addr) = metrics_listen {
+        let server = match snids::obs::MetricsServer::bind(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind --metrics-listen {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Ok(local) = server.local_addr() {
+            eprintln!("serving metrics on http://{local}/metrics (and /json); ctrl-c to stop");
+        }
+        let text = nids.metrics_page();
+        let json = nids.metrics_json();
+        let served = server.serve(
+            |path| {
+                if path.ends_with("json") {
+                    ("application/json".to_string(), json.clone())
+                } else {
+                    ("text/plain; version=0.0.4".to_string(), text.clone())
+                }
+            },
+            None,
+        );
+        if let Err(e) = served {
+            eprintln!("metrics listener stopped: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if alerts.is_empty() {

@@ -54,6 +54,7 @@
 //! | [`gen`] | workload generation (engines, exploits, traces) |
 //! | [`core`] | the assembled five-stage pipeline (Figure 3) |
 //! | [`exec`] | the work-stealing thread pool the pipeline runs on |
+//! | [`obs`] | stage metrics, flight recorder, metrics exposition |
 //! | [`bench`] | experiment runners (paper tables/figures, throughput) |
 //!
 //! `ARCHITECTURE.md` at the workspace root walks one packet through all of
@@ -67,6 +68,7 @@ pub use snids_extract as extract;
 pub use snids_flow as flow;
 pub use snids_gen as gen;
 pub use snids_ir as ir;
+pub use snids_obs as obs;
 pub use snids_packet as packet;
 pub use snids_semantic as semantic;
 pub use snids_sig as sig;
