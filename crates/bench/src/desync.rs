@@ -10,11 +10,16 @@
 //!
 //! The *same* faulted capture is then replayed through four pipelines,
 //! one per [`OverlapPolicy`], and the per-source detection rate recorded.
-//! The resulting per-policy curves are the experiment's deliverable
-//! (`BENCH_desync.json`): policies fail against *different* fault kinds,
-//! so the curves separate — quantifying how much a sensor loses by
-//! reassembling with the wrong stack model, while the
-//! `overlap_conflict_bytes` column shows the evasion is never silent.
+//! Each policy is measured twice: with the dataflow second pass **off**
+//! (the seed engine's behavior) and in its default **near-miss** mode,
+//! where a silent flow carrying divergent overlaps gets slice-matched and
+//! its retained alternative stream view analyzed. The resulting curve
+//! pairs are the experiment's deliverable (`BENCH_desync.json`): policies
+//! fail against *different* fault kinds, so the off-curves separate —
+//! quantifying how much a sensor loses by reassembling with the wrong
+//! stack model — while the near-miss curves quantify how much of that
+//! loss the dataflow pass buys back. The `overlap_conflict_bytes` column
+//! shows the evasion is never silent either way.
 //!
 //! Faulting uses a superset construction: whether flow `i` is faulted is
 //! `hash(seed, i) < rate`, and a faulted flow's transformation is seeded
@@ -24,7 +29,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use snids_core::{Nids, NidsConfig};
+use snids_core::{DataflowMode, Nids, NidsConfig};
 use snids_flow::OverlapPolicy;
 use snids_gen::chaos::{desync_packets, ChaosLog, DesyncConfig};
 use snids_gen::traces::{tcp_flow_packets, AddressPlan};
@@ -188,63 +193,80 @@ pub struct Report {
     pub attack_flows: usize,
     /// Background flows in every capture.
     pub background_flows: usize,
-    /// At rate 0 all four policies rendered byte-identical alert streams.
+    /// At rate 0 all four policies — in both dataflow modes — rendered
+    /// byte-identical alert streams.
     pub zero_rate_identical: bool,
-    /// One curve per policy.
+    /// One curve per policy with the dataflow pass off: the seed
+    /// engine's degradation baseline.
     pub curves: Vec<PolicyCurve>,
+    /// The same policies with the near-miss dataflow pass on — the
+    /// recovery curves.
+    pub dataflow_curves: Vec<PolicyCurve>,
 }
 
-fn desync_nids(plan: &AddressPlan, policy: OverlapPolicy) -> Nids {
+fn desync_nids(plan: &AddressPlan, policy: OverlapPolicy, dataflow: DataflowMode) -> Nids {
     let mut config = NidsConfig {
         honeypots: plan.honeypots.clone(),
         dark_nets: vec![(plan.dark_net, 16)],
         ..NidsConfig::default()
     };
     config.flow_table.overlap_policy = policy;
+    config.dataflow = dataflow;
     Nids::new(config)
 }
 
-/// Run the sweep: one shared capture per rate, replayed through one
-/// pipeline per policy.
+/// Run the sweep: one shared capture per rate, replayed through two
+/// pipelines per policy (dataflow off, then near-miss).
 pub fn run(cfg: &DesyncBenchConfig) -> Report {
     let plan = AddressPlan::default();
-    let mut curves: Vec<PolicyCurve> = OverlapPolicy::ALL
-        .iter()
-        .map(|&policy| PolicyCurve {
-            policy,
-            points: Vec::with_capacity(cfg.rates.len()),
-        })
-        .collect();
+    let new_curves = || -> Vec<PolicyCurve> {
+        OverlapPolicy::ALL
+            .iter()
+            .map(|&policy| PolicyCurve {
+                policy,
+                points: Vec::with_capacity(cfg.rates.len()),
+            })
+            .collect()
+    };
+    let mut curves = new_curves();
+    let mut dataflow_curves = new_curves();
     let mut zero_rate_identical = true;
 
     for &rate in &cfg.rates {
         let capture = build_capture(cfg, rate);
         let mut zero_render: Option<String> = None;
-        for curve in &mut curves {
-            let mut nids = desync_nids(&plan, curve.policy);
-            let alerts = nids.process_capture(&capture.packets);
-            let detected = capture
-                .attack_sources
-                .iter()
-                .filter(|src| alerts.iter().any(|a| a.src == **src))
-                .count();
-            curve.points.push(CurvePoint {
-                rate,
-                faulted: capture.faulted_sources.len(),
-                detected,
-                total: capture.attack_sources.len(),
-                alerts: alerts.len(),
-                overlap_conflict_bytes: nids.stats().overlap_conflict_bytes,
-            });
-            if rate == 0.0 {
-                let rendered = alerts
+        for (curve_set, mode) in [
+            (&mut curves, DataflowMode::Off),
+            (&mut dataflow_curves, DataflowMode::NearMiss),
+        ] {
+            for curve in curve_set.iter_mut() {
+                let mut nids = desync_nids(&plan, curve.policy, mode);
+                let alerts = nids.process_capture(&capture.packets);
+                let detected = capture
+                    .attack_sources
                     .iter()
-                    .map(|a| a.render())
-                    .collect::<Vec<_>>()
-                    .join("\n");
-                match &zero_render {
-                    None => zero_render = Some(rendered),
-                    Some(base) => zero_rate_identical &= rendered == *base,
+                    .filter(|src| alerts.iter().any(|a| a.src == **src))
+                    .count();
+                curve.points.push(CurvePoint {
+                    rate,
+                    faulted: capture.faulted_sources.len(),
+                    detected,
+                    total: capture.attack_sources.len(),
+                    alerts: alerts.len(),
+                    overlap_conflict_bytes: nids.stats().overlap_conflict_bytes,
+                });
+                if rate == 0.0 {
+                    // The rate-0 identity gate covers both modes: with no
+                    // conflicts the near-miss pass must change nothing.
+                    let rendered = alerts
+                        .iter()
+                        .map(|a| a.render())
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    match &zero_render {
+                        None => zero_render = Some(rendered),
+                        Some(base) => zero_rate_identical &= rendered == *base,
+                    }
                 }
             }
         }
@@ -256,6 +278,7 @@ pub fn run(cfg: &DesyncBenchConfig) -> Report {
         background_flows: cfg.background_flows,
         zero_rate_identical,
         curves,
+        dataflow_curves,
     }
 }
 
@@ -271,24 +294,29 @@ pub fn render(report: &Report) -> String {
         report.seed,
         if report.zero_rate_identical { "yes" } else { "NO" },
     );
-    for curve in &report.curves {
-        let _ = writeln!(s, "\npolicy: {}", curve.policy.name());
-        let _ = writeln!(
-            s,
-            "{:>6} {:>8} {:>10} {:>8} {:>8} {:>16}",
-            "rate", "faulted", "detected", "rate%", "alerts", "conflict_bytes"
-        );
-        for p in &curve.points {
-            let pct = if p.total == 0 {
-                0.0
-            } else {
-                p.detected as f64 * 100.0 / p.total as f64
-            };
+    for (curve_set, mode) in [
+        (&report.curves, "off"),
+        (&report.dataflow_curves, "near-miss"),
+    ] {
+        for curve in curve_set {
+            let _ = writeln!(s, "\npolicy: {} (dataflow {mode})", curve.policy.name());
             let _ = writeln!(
                 s,
-                "{:>6.2} {:>8} {:>6}/{:<3} {:>7.1}% {:>8} {:>16}",
-                p.rate, p.faulted, p.detected, p.total, pct, p.alerts, p.overlap_conflict_bytes,
+                "{:>6} {:>8} {:>10} {:>8} {:>8} {:>16}",
+                "rate", "faulted", "detected", "rate%", "alerts", "conflict_bytes"
             );
+            for p in &curve.points {
+                let pct = if p.total == 0 {
+                    0.0
+                } else {
+                    p.detected as f64 * 100.0 / p.total as f64
+                };
+                let _ = writeln!(
+                    s,
+                    "{:>6.2} {:>8} {:>6}/{:<3} {:>7.1}% {:>8} {:>16}",
+                    p.rate, p.faulted, p.detected, p.total, pct, p.alerts, p.overlap_conflict_bytes,
+                );
+            }
         }
     }
     s
@@ -301,32 +329,40 @@ pub fn to_json(report: &Report) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"bench\": \"desync\",\n  \"workload\": {{\"seed\": {}, \"attack_flows\": {}, \"background_flows\": {}}},\n  \"zero_rate_alerts_identical\": {},\n  \"curves\": [",
+        "{{\n  \"bench\": \"desync\",\n  \"workload\": {{\"seed\": {}, \"attack_flows\": {}, \"background_flows\": {}}},\n  \"zero_rate_alerts_identical\": {},",
         report.seed, report.attack_flows, report.background_flows, report.zero_rate_identical,
     );
-    for (ci, curve) in report.curves.iter().enumerate() {
-        let _ = write!(
-            s,
-            "{}\n    {{\"policy\": \"{}\", \"points\": [",
-            if ci == 0 { "" } else { "," },
-            curve.policy.name(),
-        );
-        for (pi, p) in curve.points.iter().enumerate() {
+    for (key, curve_set) in [
+        ("curves", &report.curves),
+        ("dataflow_curves", &report.dataflow_curves),
+    ] {
+        let _ = write!(s, "\n  \"{key}\": [");
+        for (ci, curve) in curve_set.iter().enumerate() {
             let _ = write!(
                 s,
-                "{}\n      {{\"rate\": {:.2}, \"faulted\": {}, \"detected\": {}, \"total\": {}, \"alerts\": {}, \"overlap_conflict_bytes\": {}}}",
-                if pi == 0 { "" } else { "," },
-                p.rate,
-                p.faulted,
-                p.detected,
-                p.total,
-                p.alerts,
-                p.overlap_conflict_bytes,
+                "{}\n    {{\"policy\": \"{}\", \"points\": [",
+                if ci == 0 { "" } else { "," },
+                curve.policy.name(),
             );
+            for (pi, p) in curve.points.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}\n      {{\"rate\": {:.2}, \"faulted\": {}, \"detected\": {}, \"total\": {}, \"alerts\": {}, \"overlap_conflict_bytes\": {}}}",
+                    if pi == 0 { "" } else { "," },
+                    p.rate,
+                    p.faulted,
+                    p.detected,
+                    p.total,
+                    p.alerts,
+                    p.overlap_conflict_bytes,
+                );
+            }
+            let _ = write!(s, "\n    ]}}");
         }
-        let _ = write!(s, "\n    ]}}");
+        let _ = write!(s, "\n  ],");
     }
-    let _ = write!(s, "\n  ]\n}}\n");
+    s.pop(); // drop the trailing comma after the last curve set
+    let _ = write!(s, "\n}}\n");
     s
 }
 
@@ -399,7 +435,105 @@ mod tests {
         let json = to_json(&report);
         assert!(json.contains("\"bench\": \"desync\""));
         assert!(json.contains("\"policy\": \"first-wins\""));
+        assert!(json.contains("\"dataflow_curves\""));
         let table = render(&report);
         assert!(table.contains("conflict_bytes"));
+        assert!(table.contains("dataflow near-miss"));
+    }
+
+    /// The near-miss dataflow pass can only add detections: at every
+    /// (policy, rate) point its curve dominates the off curve, and it
+    /// actually recovers ground somewhere (the pass is not a no-op).
+    #[test]
+    fn dataflow_curves_dominate_and_recover() {
+        let cfg = small_config();
+        let report = run(&cfg);
+        assert_eq!(report.dataflow_curves.len(), report.curves.len());
+        let mut recovered_any = false;
+        for (off, on) in report.curves.iter().zip(&report.dataflow_curves) {
+            assert_eq!(off.policy, on.policy);
+            for (po, pn) in off.points.iter().zip(&on.points) {
+                assert!(
+                    pn.detected >= po.detected,
+                    "{}: dataflow pass lost detections at rate {}: {} < {}",
+                    off.policy.name(),
+                    po.rate,
+                    pn.detected,
+                    po.detected
+                );
+                recovered_any |= pn.detected > po.detected;
+            }
+            // Recovery curves obey the same superset monotonicity.
+            for w in on.points.windows(2) {
+                assert!(
+                    w[1].detected <= w[0].detected,
+                    "{}: recovery curve rose with fault rate: {on:?}",
+                    on.policy.name()
+                );
+            }
+        }
+        assert!(recovered_any, "dataflow pass never recovered a detection");
+    }
+
+    /// Differential oracle for the rate-0 identity gate, covering all
+    /// three modes (the sweep only exercises off and near-miss): on an
+    /// un-faulted capture every `--dataflow` setting must render the
+    /// byte-identical alert stream, under every reassembly policy. The
+    /// second pass may only ever fire on flows the fast matcher missed,
+    /// so clean traffic must be invisible to it even in `On` mode.
+    #[test]
+    fn zero_rate_alerts_identical_across_all_modes() {
+        let cfg = small_config();
+        let capture = build_capture(&cfg, 0.0);
+        let plan = AddressPlan::default();
+        let mut base: Option<String> = None;
+        for &policy in &OverlapPolicy::ALL {
+            for mode in [DataflowMode::Off, DataflowMode::NearMiss, DataflowMode::On] {
+                let mut nids = desync_nids(&plan, policy, mode);
+                let rendered = nids
+                    .process_capture(&capture.packets)
+                    .iter()
+                    .map(|a| a.render())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                assert!(!rendered.is_empty(), "clean capture produced no alerts");
+                match &base {
+                    None => base = Some(rendered),
+                    Some(b) => assert_eq!(
+                        &rendered,
+                        b,
+                        "alerts diverged: policy {} mode {mode:?}",
+                        policy.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// CI smoke: at fault rate 0.3, the near-miss pass detects at least
+    /// as many last-wins attack sources as the seed (dataflow-off)
+    /// engine, on a capture that actually carries faults.
+    #[test]
+    fn near_miss_dominates_last_wins_at_rate_03() {
+        let cfg = DesyncBenchConfig {
+            seed: crate::DEFAULT_SEED,
+            attack_flows: 12,
+            background_flows: 6,
+            rates: vec![0.3],
+        };
+        let report = run(&cfg);
+        let find = |curves: &[PolicyCurve]| -> usize {
+            curves
+                .iter()
+                .find(|c| c.policy == OverlapPolicy::LastWins)
+                .and_then(|c| c.points.first())
+                .map(|p| p.detected)
+                .unwrap_or(0)
+        };
+        let capture = build_capture(&cfg, 0.3);
+        assert!(!capture.faulted_sources.is_empty(), "no faults at 0.3");
+        let off = find(&report.curves);
+        let on = find(&report.dataflow_curves);
+        assert!(on >= off, "near-miss lost ground: {on} < {off}");
     }
 }

@@ -2,7 +2,7 @@
 
 use snids_extract::ExtractorConfig;
 use snids_flow::FlowTableConfig;
-use snids_semantic::{default_templates, Template};
+use snids_semantic::{default_templates, DataflowMode, Template};
 use std::net::Ipv4Addr;
 
 /// Configuration for the assembled pipeline.
@@ -58,6 +58,14 @@ pub struct NidsConfig {
     /// Flight-recorder ring capacity, in events (only meaningful when
     /// `observability` is on).
     pub flight_recorder_capacity: usize,
+    /// When the dataflow second pass runs on a flow's frames: `Off`
+    /// (never — seed behavior), `NearMiss` (the default: only when the
+    /// instruction-run matcher stayed silent *and* the flow carried
+    /// divergent TCP overlaps, the desync-evasion signature), or `On`
+    /// (on every silent flow). The pass re-examines the frames with
+    /// def-use slice matching and, when the reassembler retained a
+    /// divergent losing copy, analyzes that alternative stream view too.
+    pub dataflow: DataflowMode,
 }
 
 /// Environment variable that defaults [`NidsConfig::observability`].
@@ -87,6 +95,7 @@ impl Default for NidsConfig {
             max_frame_bytes: 1 << 20,
             observability: obs_env_default(),
             flight_recorder_capacity: snids_obs::DEFAULT_RECORDER_CAPACITY,
+            dataflow: DataflowMode::default(),
         }
     }
 }
@@ -107,6 +116,9 @@ mod tests {
         assert_eq!(c.flight_recorder_capacity, 1024);
         assert_eq!(c.templates.len(), 9);
         assert_eq!(c.dark_threshold, 5);
+        // Dataflow second pass fires only on near-miss flows by default:
+        // identical output to the seed on conflict-free traffic.
+        assert_eq!(c.dataflow, DataflowMode::NearMiss);
         // Conservative default: first copy wins, matching the seed
         // engine's behavior (and Snort's classic policy).
         assert_eq!(

@@ -31,6 +31,7 @@ pub mod stats;
 
 pub use alert::Alert;
 pub use config::NidsConfig;
+pub use snids_semantic::DataflowMode;
 pub use stats::{DropCounters, DropReason, PipelineStats};
 
 use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier};
@@ -63,6 +64,9 @@ pub struct Nids {
     chaos_panic_marker: Option<Vec<u8>>,
     verify_checksums: bool,
     max_frame_bytes: usize,
+    /// When the dataflow second pass (slice matching + alternative stream
+    /// view) runs on a flow whose fast pass stayed silent.
+    dataflow: DataflowMode,
     /// Per-pipeline observability registry ([`Obs::disabled`] when the
     /// config leaves metrics off — one atomic load per event).
     obs: Obs,
@@ -144,6 +148,18 @@ struct FlowOutcome {
     frame_bytes: u64,
     bailouts: u64,
     panicked: u64,
+    /// Frames the dataflow second pass examined (primary + alternative
+    /// view).
+    dataflow_frames: u64,
+    /// Frames whose dataflow analysis hit its work budget and was
+    /// truncated.
+    dataflow_exhausted: u64,
+    /// Flows where only the second pass produced alerts — detections the
+    /// fast matcher alone would have missed.
+    dataflow_recovered: u64,
+    /// Flows whose retained divergent-overlap shadow produced an
+    /// alternative stream view for analysis.
+    alt_views: u64,
     /// Identities of the flows behind `panicked`, for flight-recorder
     /// dumps (a panicked flow is a lost detection opportunity — exactly
     /// when an operator wants the causal trail).
@@ -157,6 +173,10 @@ impl FlowOutcome {
         self.frame_bytes += other.frame_bytes;
         self.bailouts += other.bailouts;
         self.panicked += other.panicked;
+        self.dataflow_frames += other.dataflow_frames;
+        self.dataflow_exhausted += other.dataflow_exhausted;
+        self.dataflow_recovered += other.dataflow_recovered;
+        self.alt_views += other.alt_views;
         self.panicked_keys.extend(other.panicked_keys);
     }
 }
@@ -207,6 +227,7 @@ impl Nids {
             chaos_panic_marker: config.chaos_analysis_panic_marker.clone(),
             verify_checksums: config.verify_checksums,
             max_frame_bytes: config.max_frame_bytes.max(1),
+            dataflow: config.dataflow,
             obs: if config.observability {
                 Obs::new(config.flight_recorder_capacity)
             } else {
@@ -677,6 +698,7 @@ impl Nids {
         let extractor = &self.extractor;
         let analyzer = &self.analyzer;
         let frame_cap = self.max_frame_bytes;
+        let dataflow = self.dataflow;
         let chaos_marker = self.chaos_panic_marker.as_deref();
         let obs = self.obs.clone();
         let observing = obs.enabled();
@@ -739,6 +761,63 @@ impl Nids {
                     out.alerts.push(Alert::from_match(flow, frame, m));
                 }
             }
+            // Dataflow second pass, for flows the fast matcher stayed
+            // silent on: slice-match the frames it already saw (recovering
+            // decoders whose instruction run was broken by corruption),
+            // and when the reassembler retained a divergent losing copy,
+            // analyze that alternative stream view — the bytes a victim
+            // stack resolving the overlap the other way would execute.
+            // `NearMiss` additionally requires the desync signature
+            // (divergent overlaps) so conflict-free traffic pays nothing.
+            let second_pass = out.alerts.is_empty()
+                && match dataflow {
+                    DataflowMode::Off => false,
+                    DataflowMode::NearMiss => flow.has_conflicts(),
+                    DataflowMode::On => true,
+                };
+            if second_pass {
+                let t_df = if observing {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                let mut df_bytes = 0u64;
+                let mut slice_pass =
+                    |frame: &snids_extract::BinaryFrame, fast_too: bool, out: &mut FlowOutcome| {
+                        let data = &frame.data[..frame.data.len().min(frame_cap)];
+                        df_bytes += data.len() as u64;
+                        out.dataflow_frames += 1;
+                        if fast_too {
+                            for m in analyzer.analyze_frame(data).matches {
+                                out.alerts.push(Alert::from_match(flow, frame, m));
+                            }
+                        }
+                        let sa = analyzer.analyze_frame_slices(data);
+                        if sa.dataflow_exhausted {
+                            out.dataflow_exhausted += 1;
+                        }
+                        for m in sa.matches {
+                            out.alerts.push(Alert::from_match(flow, frame, m));
+                        }
+                    };
+                for frame in &frames {
+                    slice_pass(frame, false, &mut out);
+                }
+                if let Some(alt) = flow.alternate_payload() {
+                    out.alt_views += 1;
+                    for frame in &extractor.extract(&alt) {
+                        // The alternative view never saw the fast pass:
+                        // run both matchers over it.
+                        slice_pass(frame, true, &mut out);
+                    }
+                }
+                if !out.alerts.is_empty() {
+                    out.dataflow_recovered += 1;
+                }
+                if let Some(t) = t_df {
+                    obs.record_stage(Stage::Dataflow, t.elapsed().as_nanos() as u64, df_bytes);
+                }
+            }
             out
         };
         let run_batch = |batch: &&[Flow]| -> FlowOutcome {
@@ -788,6 +867,23 @@ impl Nids {
         self.stats
             .drops
             .add(DropReason::AnalysisPanicked, total.panicked);
+        self.stats
+            .drops
+            .add(DropReason::DataflowExhausted, total.dataflow_exhausted);
+        if observing && total.dataflow_frames > 0 {
+            self.obs
+                .counter("snids_dataflow_frames_total")
+                .add(total.dataflow_frames);
+            self.obs
+                .counter("snids_dataflow_recovered_total")
+                .add(total.dataflow_recovered);
+            self.obs
+                .counter("snids_dataflow_exhausted_total")
+                .add(total.dataflow_exhausted);
+            self.obs
+                .counter("snids_dataflow_alt_views_total")
+                .add(total.alt_views);
+        }
         // Total order over every rendered field: two flows can share a
         // source (NATs, repeat attackers), and the flow table drains in
         // hash order, so anything short of a total key would leak drain
@@ -1357,6 +1453,56 @@ mod tests {
         assert!(snap.stages.iter().all(|s| s.events == 0));
         assert_eq!(snap.recorder_recorded, 0);
         assert!(nids.flight_dumps().is_empty());
+    }
+
+    /// A whole-segment garbage retransmit under last-wins leaves zero
+    /// real exploit bytes in the assembled view — the fast matcher alone
+    /// goes blind (the seed behavior, reproduced by `DataflowMode::Off`).
+    /// The near-miss dataflow pass analyzes the retained losing copy of
+    /// the divergent overlap and recovers the detection.
+    #[test]
+    fn dataflow_near_miss_recovers_desynced_flow() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        let attacker = Ipv4Addr::new(198, 18, 5, 5);
+        let exploit = SCENARIOS[0].build_payload(&mut rng);
+        let garbage: Vec<u8> = exploit.iter().map(|x| x.wrapping_add(0x55)).collect();
+        let run = |mode: snids_semantic::DataflowMode| {
+            let mut config = plan_config(&plan);
+            config.flow_table.overlap_policy = snids_flow::OverlapPolicy::LastWins;
+            config.dataflow = mode;
+            let mut nids = Nids::new(config);
+            let probe = snids_packet::PacketBuilder::new(attacker, plan.honeypots[0])
+                .at(100)
+                .tcp_syn(4000, 21, 1)
+                .unwrap();
+            let b = snids_packet::PacketBuilder::new(attacker, plan.web_server);
+            let syn = b.clone().at(200).tcp_syn(4001, 21, 1).unwrap();
+            let real = b
+                .clone()
+                .at(201)
+                .tcp(4001, 21, 2, 0, snids_packet::TcpFlags::ACK, &exploit)
+                .unwrap();
+            // Same range retransmitted with garbage: last-wins believes it.
+            let fake = b
+                .clone()
+                .at(202)
+                .tcp(4001, 21, 2, 0, snids_packet::TcpFlags::ACK, &garbage)
+                .unwrap();
+            let alerts = nids.process_capture(&[probe, syn, real, fake]);
+            assert!(nids.stats().overlap_conflict_bytes > 0);
+            alerts
+        };
+        let missed = run(snids_semantic::DataflowMode::Off);
+        assert!(
+            missed.iter().all(|a| a.src != attacker),
+            "seed behavior: the assembled view is all garbage: {missed:?}"
+        );
+        let recovered = run(snids_semantic::DataflowMode::NearMiss);
+        assert!(
+            recovered.iter().any(|a| a.src == attacker),
+            "near-miss pass must recover the losing copy: {recovered:?}"
+        );
     }
 
     /// The direct payload path works for standalone binaries.

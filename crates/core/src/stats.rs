@@ -49,11 +49,14 @@ pub enum DropReason {
     /// the panic — the process survives — but that flow's detection
     /// opportunity was lost.
     AnalysisPanicked,
+    /// The dataflow second pass hit its work budget on a frame and
+    /// returned a truncated analysis; slice matching saw only a prefix.
+    DataflowExhausted,
 }
 
 impl DropReason {
     /// All reasons, in ledger order.
-    pub const ALL: [DropReason; 13] = [
+    pub const ALL: [DropReason; 14] = [
         DropReason::PcapRecordMalformed,
         DropReason::PcapRecordTruncated,
         DropReason::FrameUndecodable,
@@ -67,6 +70,7 @@ impl DropReason {
         DropReason::StreamTruncated,
         DropReason::DecoderBailout,
         DropReason::AnalysisPanicked,
+        DropReason::DataflowExhausted,
     ];
 
     /// Stable snake_case name (JSON key / CLI label).
@@ -85,6 +89,7 @@ impl DropReason {
             DropReason::StreamTruncated => "stream_truncated",
             DropReason::DecoderBailout => "decoder_bailout",
             DropReason::AnalysisPanicked => "analysis_panicked",
+            DropReason::DataflowExhausted => "dataflow_exhausted",
         }
     }
 

@@ -18,6 +18,13 @@ use std::collections::BTreeMap;
 /// memory).
 pub const DEFAULT_MAX_STREAM: usize = 1 << 20;
 
+/// Cap on retained *shadow* bytes per stream direction — the losing copies
+/// of divergent overlaps (see [`Reassembler::alternate_assembled`]). An
+/// attacker can manufacture divergent overlaps at will, so the retained
+/// ambiguity is bounded tightly; real desync evasions need only a segment
+/// or two of divergence.
+pub const MAX_SHADOW_BYTES: usize = 8 * 1024;
+
 /// How a segment whose bytes overlap already-buffered data is resolved.
 ///
 /// Policies are modeled per byte: every buffered byte remembers the
@@ -123,6 +130,15 @@ pub struct Reassembler {
     truncated: bool,
     /// Overlapped bytes whose copies disagreed.
     overlap_conflict_bytes: u64,
+    /// Losing copies of *divergent* contested regions: relative offset →
+    /// the bytes the policy discarded there. This is what lets a near-miss
+    /// analysis check the alternative interpretation of an ambiguous
+    /// stream (the copy a differently-behaving victim stack would keep).
+    shadows: BTreeMap<u32, Vec<u8>>,
+    /// Bytes currently retained in `shadows`.
+    shadow_bytes: usize,
+    /// Set when a losing copy was discarded because the shadow cap was hit.
+    shadow_truncated: bool,
 }
 
 impl Default for Reassembler {
@@ -147,6 +163,9 @@ impl Reassembler {
             buffered: 0,
             truncated: false,
             overlap_conflict_bytes: 0,
+            shadows: BTreeMap::new(),
+            shadow_bytes: 0,
+            shadow_truncated: false,
         }
     }
 
@@ -234,12 +253,21 @@ impl Reassembler {
             let c1 = old_end.min(end);
             let old_slice = &old.data[(c0 - s) as usize..(c1 - s) as usize];
             let new_slice = &data[(c0 - rel) as usize..(c1 - rel) as usize];
-            self.overlap_conflict_bytes += old_slice
+            let divergent = old_slice
                 .iter()
                 .zip(new_slice)
                 .filter(|(a, b)| a != b)
                 .count() as u64;
-            if self.policy.new_wins(rel, old.owner) {
+            self.overlap_conflict_bytes += divergent;
+            let new_wins = self.policy.new_wins(rel, old.owner);
+            if divergent > 0 {
+                // Retain the copy the policy discards: a differently-
+                // behaving victim stack would have kept it, so a near-miss
+                // analysis must be able to reconstruct that view.
+                let loser = if new_wins { old_slice } else { new_slice };
+                self.retain_shadow(c0, loser);
+            }
+            if new_wins {
                 pieces.push((
                     c0,
                     Chunk {
@@ -315,6 +343,55 @@ impl Reassembler {
             out.extend_from_slice(&c.data);
         }
         out
+    }
+
+    /// Record the losing copy of a divergent contested region, bounded by
+    /// [`MAX_SHADOW_BYTES`]. The *first* divergence at an offset is kept
+    /// (later rewrites of an already-contested range cannot evict it — an
+    /// attacker may not launder the evidence by overwriting twice).
+    fn retain_shadow(&mut self, at: u32, loser: &[u8]) {
+        if self.shadows.contains_key(&at) {
+            return;
+        }
+        if self.shadow_bytes + loser.len() > MAX_SHADOW_BYTES {
+            self.shadow_truncated = true;
+            return;
+        }
+        self.shadow_bytes += loser.len();
+        self.shadows.insert(at, loser.to_vec());
+    }
+
+    /// Bytes currently retained as losing copies of divergent overlaps.
+    pub fn shadow_bytes(&self) -> usize {
+        self.shadow_bytes
+    }
+
+    /// True when a losing copy was discarded because the shadow cap hit.
+    pub fn shadow_truncated(&self) -> bool {
+        self.shadow_truncated
+    }
+
+    /// The *alternative interpretation* of the stream: [`assembled`]
+    /// with every divergent contested region replaced by the copy the
+    /// policy discarded. This is the byte stream a victim whose stack
+    /// resolves overlaps the other way would execute. Returns `None` when
+    /// the stream held no divergent overlaps (the views coincide).
+    ///
+    /// [`assembled`]: Reassembler::assembled
+    pub fn alternate_assembled(&self) -> Option<Vec<u8>> {
+        if self.shadows.is_empty() {
+            return None;
+        }
+        let mut out = self.assembled();
+        for (&s, bytes) in &self.shadows {
+            let s = s as usize;
+            if s >= out.len() {
+                break;
+            }
+            let n = bytes.len().min(out.len() - s);
+            out[s..s + n].copy_from_slice(&bytes[..n]);
+        }
+        Some(out)
     }
 }
 
@@ -517,6 +594,79 @@ mod tests {
         assert_eq!(r.assembled(), b"AAAAAAAAAA");
         assert_eq!(r.buffered(), 10);
         assert_eq!(r.overlap_conflict_bytes(), 4);
+    }
+
+    /// The alternative view restores the losing copy of a divergent
+    /// whole-segment retransmit — the view a differently-resolving victim
+    /// stack would execute.
+    #[test]
+    fn alternate_view_restores_the_losing_copy() {
+        // last-wins keeps the garbage retransmit; the alternative is the
+        // original data.
+        let mut r = Reassembler::with_policy(1024, OverlapPolicy::LastWins);
+        r.on_data(0, b"REALDATA");
+        r.on_data(0, b"GARBAGE!");
+        assert_eq!(r.assembled(), b"GARBAGE!");
+        assert_eq!(r.alternate_assembled().unwrap(), b"REALDATA");
+        // first-wins keeps garbage that arrived first; the alternative is
+        // the real copy that came after.
+        let mut r = Reassembler::with_policy(1024, OverlapPolicy::FirstWins);
+        r.on_data(0, b"GARBAGE!");
+        r.on_data(0, b"REALDATA");
+        assert_eq!(r.assembled(), b"GARBAGE!");
+        assert_eq!(r.alternate_assembled().unwrap(), b"REALDATA");
+    }
+
+    /// A partial (tail-half) divergent overlap flips only the contested
+    /// region in the alternative view.
+    #[test]
+    fn alternate_view_flips_only_the_contested_region() {
+        let mut r = Reassembler::with_policy(1024, OverlapPolicy::LastWins);
+        r.on_data(0, b"AAAABBBB");
+        r.on_data(4, b"XXXX");
+        assert_eq!(r.assembled(), b"AAAAXXXX");
+        assert_eq!(r.alternate_assembled().unwrap(), b"AAAABBBB");
+        assert_eq!(r.shadow_bytes(), 4);
+    }
+
+    /// Clean retransmits leave no ambiguity: there is no alternative view.
+    #[test]
+    fn no_divergence_means_no_alternate_view() {
+        for policy in OverlapPolicy::ALL {
+            let mut r = Reassembler::with_policy(1024, policy);
+            r.on_data(0, b"hello world");
+            r.on_data(0, b"hello world");
+            assert!(r.alternate_assembled().is_none(), "{}", policy.name());
+            assert_eq!(r.shadow_bytes(), 0);
+        }
+    }
+
+    /// The first divergence at an offset is retained even when an attacker
+    /// overwrites the contested range again — evidence cannot be laundered
+    /// by a second rewrite.
+    #[test]
+    fn first_divergence_is_kept() {
+        let mut r = Reassembler::with_policy(1024, OverlapPolicy::LastWins);
+        r.on_data(0, b"REAL");
+        r.on_data(0, b"JNK1");
+        r.on_data(0, b"JNK2");
+        assert_eq!(r.assembled(), b"JNK2");
+        assert_eq!(r.alternate_assembled().unwrap(), b"REAL");
+    }
+
+    /// Shadow retention is capped: a flood of divergent overlaps cannot
+    /// balloon memory, and the truncation is observable.
+    #[test]
+    fn shadow_cap_is_enforced() {
+        let mut r = Reassembler::with_policy(1 << 20, OverlapPolicy::LastWins);
+        let a = vec![0x41u8; 4096];
+        let b = vec![0x42u8; 4096];
+        for i in 0..4u32 {
+            r.on_data(i * 4096, &a);
+            r.on_data(i * 4096, &b);
+        }
+        assert!(r.shadow_bytes() <= MAX_SHADOW_BYTES);
+        assert!(r.shadow_truncated());
     }
 
     #[test]

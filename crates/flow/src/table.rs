@@ -66,6 +66,19 @@ impl Flow {
     pub fn payload(&self) -> Vec<u8> {
         self.stream.assembled()
     }
+
+    /// The alternative interpretation of the stream — the view a victim
+    /// stack resolving divergent overlaps the *other* way would execute.
+    /// `None` when the flow carried no divergent overlaps.
+    pub fn alternate_payload(&self) -> Option<Vec<u8>> {
+        self.stream.alternate_assembled()
+    }
+
+    /// True when the flow carried divergent overlapping copies — the
+    /// per-flow desync-attempt signal.
+    pub fn has_conflicts(&self) -> bool {
+        self.stream.overlap_conflict_bytes() > 0
+    }
 }
 
 /// Directional flow table.

@@ -182,6 +182,13 @@ impl Evaluator {
         &self.state
     }
 
+    /// Advance the abstract state over one (already-annotated) op without
+    /// re-annotating it — the dataflow pass replays a trace this way to
+    /// snapshot the register state between ops.
+    pub fn step_op(&mut self, insn: &IrInsn) {
+        self.step(insn);
+    }
+
     /// Annotate `ops` in execution order (fills [`IrInsn::src_value`] and,
     /// for software interrupts, [`IrInsn::aux_value`] with EBX — the Linux
     /// `socketcall` subcode).

@@ -16,11 +16,13 @@
 //!    paper: templates still match when the key is built by "added
 //!    sequences of stack and mathematic operations".
 
+pub mod dataflow;
 pub mod eval;
 pub mod lift;
 pub mod op;
 pub mod trace;
 
+pub use dataflow::{AbsVal, Advance, Dataflow, DataflowBudget, DefUseLink, LoopSpan, MemWrite};
 pub use eval::{AbstractState, Evaluator};
 pub use lift::lift;
 pub use op::{BinKind, IrInsn, Place, SemOp, StrKind, Target, UnKind, Value};

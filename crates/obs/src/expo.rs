@@ -73,6 +73,42 @@ pub fn render_text(snap: &Snapshot) -> String {
             stage.max_nanos
         ));
     }
+    out.push_str(
+        "# HELP snids_stage_latency_hist_nanos Per-stage latency histogram (log2 le buckets).\n",
+    );
+    out.push_str("# TYPE snids_stage_latency_hist_nanos histogram\n");
+    for stage in &snap.stages {
+        // Native Prometheus histogram: cumulative `le` buckets. Emit up to
+        // the highest occupied bucket (the tail is flat, `+Inf` covers it)
+        // so the page stays compact and deterministic.
+        let mut cumulative = 0u64;
+        if let Some(last) = stage.buckets.iter().rposition(|&n| n > 0) {
+            for (i, &n) in stage.buckets.iter().enumerate().take(last + 1) {
+                cumulative += n;
+                out.push_str(&format!(
+                    "snids_stage_latency_hist_nanos_bucket{{stage=\"{}\",le=\"{}\"}} {}\n",
+                    stage.stage.name(),
+                    crate::hist::bucket_upper_bound(i),
+                    cumulative
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "snids_stage_latency_hist_nanos_bucket{{stage=\"{}\",le=\"+Inf\"}} {}\n",
+            stage.stage.name(),
+            cumulative
+        ));
+        out.push_str(&format!(
+            "snids_stage_latency_hist_nanos_sum{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            stage.sum_nanos
+        ));
+        out.push_str(&format!(
+            "snids_stage_latency_hist_nanos_count{{stage=\"{}\"}} {}\n",
+            stage.stage.name(),
+            cumulative
+        ));
+    }
     for (name, value) in &snap.named {
         out.push_str(&format!("{name} {value}\n"));
     }
@@ -171,6 +207,49 @@ mod tests {
         assert!(page.contains("snids_pool_tasks_total{worker=\"0\"} 7"));
         assert!(page.contains("drop.truncated_segment 2"));
         assert!(page.contains("snids_flight_recorder_capacity 8"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let obs = Obs::new(8);
+        // Values spanning several log2 buckets, some sharing a bucket.
+        for v in [0u64, 1, 3, 90, 120, 5000, 5001] {
+            obs.record_stage(Stage::Capture, v, 0);
+        }
+        let page = render_text(&obs.snapshot());
+        let prefix = "snids_stage_latency_hist_nanos_bucket{stage=\"capture\",le=\"";
+        let mut bounds: Vec<u64> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        let mut inf_count = None;
+        for line in page.lines().filter(|l| l.starts_with(prefix)) {
+            let rest = &line[prefix.len()..];
+            let (le, tail) = rest.split_once('"').expect("le label closes");
+            let value: u64 = tail
+                .rsplit(' ')
+                .next()
+                .expect("sample value")
+                .parse()
+                .expect("integer count");
+            if le == "+Inf" {
+                inf_count = Some(value);
+            } else {
+                bounds.push(le.parse().expect("numeric bound"));
+                counts.push(value);
+            }
+        }
+        assert!(counts.len() >= 3, "too few buckets in:\n{page}");
+        // `le` bounds strictly ascend and cumulative counts never drop.
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        // The last finite bucket and +Inf both hold every observation,
+        // and agree with the _count sample.
+        assert_eq!(counts.last(), Some(&7));
+        assert_eq!(inf_count, Some(7));
+        assert!(page.contains("snids_stage_latency_hist_nanos_count{stage=\"capture\"} 7"));
+        assert!(page.contains("snids_stage_latency_hist_nanos_sum{stage=\"capture\"} 10215"));
+        // Untouched stages still expose an empty, well-formed histogram.
+        assert!(page
+            .contains("snids_stage_latency_hist_nanos_bucket{stage=\"dataflow\",le=\"+Inf\"} 0"));
     }
 
     #[test]

@@ -24,11 +24,14 @@ pub enum Stage {
     IrLift = 6,
     /// Template unification over the IR trace.
     TemplateMatch = 7,
+    /// Dataflow second pass: def-use/register-state analysis and
+    /// slice-based matching on near-miss frames.
+    Dataflow = 8,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Capture,
         Stage::Classify,
         Stage::Defrag,
@@ -37,6 +40,7 @@ impl Stage {
         Stage::Decode,
         Stage::IrLift,
         Stage::TemplateMatch,
+        Stage::Dataflow,
     ];
 
     /// Stable snake_case name (metric label / JSON key).
@@ -50,6 +54,7 @@ impl Stage {
             Stage::Decode => "decode",
             Stage::IrLift => "ir_lift",
             Stage::TemplateMatch => "template_match",
+            Stage::Dataflow => "dataflow",
         }
     }
 

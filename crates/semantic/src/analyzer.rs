@@ -4,10 +4,49 @@
 
 use crate::matcher::{match_template, MatchInfo, DEFAULT_BUDGET};
 use crate::pattern::{Severity, Template};
+use crate::slice::{compile_slice, match_slice, SliceRule};
 use crate::templates::default_templates;
 use serde::{Deserialize, Serialize};
+use snids_ir::dataflow::DataflowBudget;
 use snids_ir::{default_starts, default_starts_budgeted, trace_from, Trace};
 use snids_x86::SweepBudget;
+
+/// When the dataflow/slice pass runs relative to the instruction-run
+/// matcher (the `--dataflow` pipeline knob).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataflowMode {
+    /// Never: seed behaviour, instruction-run matching only.
+    Off,
+    /// Only on *near-miss* frames — the fast pass found nothing but the
+    /// flow showed reassembly conflicts, so the view may be corrupted.
+    /// This keeps the benign hot path flat (benign flows have no
+    /// conflicts) and is the default.
+    #[default]
+    NearMiss,
+    /// On every frame the fast pass leaves unmatched.
+    On,
+}
+
+impl DataflowMode {
+    /// Stable CLI/metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataflowMode::Off => "off",
+            DataflowMode::NearMiss => "near-miss",
+            DataflowMode::On => "on",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<DataflowMode> {
+        match s {
+            "off" => Some(DataflowMode::Off),
+            "near-miss" | "nearmiss" => Some(DataflowMode::NearMiss),
+            "on" => Some(DataflowMode::On),
+            _ => None,
+        }
+    }
+}
 
 /// A reported template match on a binary frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +134,10 @@ pub struct AnalyzerConfig {
     /// runs out, [`Analyzer::analyze_frame`] flags the frame as
     /// `sweep_exhausted` so the pipeline can account a decoder bailout.
     pub sweep_budget: SweepBudget,
+    /// Work bound for the dataflow/slice pass over one trace. When it
+    /// runs out, [`Analyzer::analyze_frame_slices`] flags the frame as
+    /// `dataflow_exhausted` so the pipeline can account the truncation.
+    pub dataflow_budget: DataflowBudget,
 }
 
 impl Default for AnalyzerConfig {
@@ -103,6 +146,7 @@ impl Default for AnalyzerConfig {
             budget_per_trace: DEFAULT_BUDGET,
             max_trace_ops: snids_ir::trace::MAX_TRACE_OPS,
             sweep_budget: SweepBudget::default(),
+            dataflow_budget: DataflowBudget::default(),
         }
     }
 }
@@ -130,6 +174,18 @@ pub struct FrameAnalysis {
     pub sweep_exhausted: bool,
 }
 
+/// Everything the dataflow/slice pass learned about one frame.
+#[derive(Debug, Clone)]
+pub struct SliceAnalysis {
+    /// Deduplicated slice matches (same shape as fast-pass matches).
+    pub matches: Vec<TemplateMatch>,
+    /// True when start discovery was budget-truncated.
+    pub sweep_exhausted: bool,
+    /// True when some trace's [`DataflowBudget`] expired — slice evidence
+    /// over this frame is partial and the pipeline should account it.
+    pub dataflow_exhausted: bool,
+}
+
 /// The pruned analyzer: traces start only at offset 0, resynchronisation
 /// points and branch targets ([`snids_ir::default_starts`]). This is the
 /// efficiency improvement over `[5]`'s exhaustive scanning that the paper
@@ -137,6 +193,9 @@ pub struct FrameAnalysis {
 #[derive(Debug, Clone)]
 pub struct Analyzer {
     templates: Vec<Template>,
+    /// Decoder templates compiled to dataflow predicates, as
+    /// `(template index, rule)` pairs (see [`crate::slice`]).
+    slice_rules: Vec<(usize, SliceRule)>,
     config: AnalyzerConfig,
 }
 
@@ -149,8 +208,14 @@ impl Default for Analyzer {
 impl Analyzer {
     /// Analyzer over a custom template set.
     pub fn new(templates: Vec<Template>) -> Self {
+        let slice_rules = templates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| compile_slice(t).map(|r| (i, r)))
+            .collect();
         Analyzer {
             templates,
+            slice_rules,
             config: AnalyzerConfig::default(),
         }
     }
@@ -180,6 +245,45 @@ impl Analyzer {
         FrameAnalysis {
             matches: self.analyze_starts(frame, &outcome.starts),
             sweep_exhausted: outcome.exhausted,
+        }
+    }
+
+    /// Run the dataflow/slice pass over one frame: build the dataflow
+    /// summary of every candidate trace and match the compiled slice rules
+    /// against it (see [`crate::slice`]). This is the second-chance pass
+    /// the pipeline runs on near-miss frames — frames where the
+    /// instruction-run matcher found nothing but the view may be corrupted
+    /// by reassembly conflicts.
+    pub fn analyze_frame_slices(&self, frame: &[u8]) -> SliceAnalysis {
+        let outcome = default_starts_budgeted(frame, &self.config.sweep_budget);
+        let mut matches: Vec<TemplateMatch> = Vec::new();
+        let mut dataflow_exhausted = false;
+        if self.slice_rules.is_empty() {
+            return SliceAnalysis {
+                matches,
+                sweep_exhausted: outcome.exhausted,
+                dataflow_exhausted,
+            };
+        }
+        for &start in &outcome.starts {
+            let trace = trace_from(frame, start, self.config.max_trace_ops);
+            let df = snids_ir::dataflow::analyze(&trace.ops, &self.config.dataflow_budget);
+            dataflow_exhausted |= df.exhausted;
+            for (ti, rule) in &self.slice_rules {
+                if let Some(m) = match_slice(&self.templates[*ti], rule, &trace, &df) {
+                    if !matches
+                        .iter()
+                        .any(|x| x.template == m.template && x.start == m.start)
+                    {
+                        matches.push(m);
+                    }
+                }
+            }
+        }
+        SliceAnalysis {
+            matches,
+            sweep_exhausted: outcome.exhausted,
+            dataflow_exhausted,
         }
     }
 

@@ -28,12 +28,15 @@ pub mod analyzer;
 pub mod dsl;
 pub mod matcher;
 pub mod pattern;
+pub mod slice;
 pub mod templates;
 
 pub use analyzer::{
-    Analyzer, AnalyzerConfig, FrameAnalysis, NaiveAnalyzer, StageTiming, TemplateMatch,
+    Analyzer, AnalyzerConfig, DataflowMode, FrameAnalysis, NaiveAnalyzer, SliceAnalysis,
+    StageTiming, TemplateMatch,
 };
 pub use dsl::parse as parse_templates;
 pub use matcher::match_template;
 pub use pattern::{PatOp, PatValue, Severity, Template, VarId, XformOp};
+pub use slice::{compile_slice, match_slice, SliceRule};
 pub use templates::default_templates;

@@ -25,6 +25,10 @@
 //! # reassemble like the protected hosts' stacks
 //! snids analyze trace.pcap --overlap-policy linux-like
 //!
+//! # control the dataflow second pass (slice matching + alternative
+//! # stream views on desynced flows); near-miss is the default
+//! snids analyze trace.pcap --dataflow on
+//!
 //! # print per-stage metrics and flight-recorder dumps after the run
 //! snids analyze trace.pcap --metrics
 //!
@@ -45,7 +49,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync] [--flows N] [--seed N] [--repeats N] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync] [--flows N] [--seed N] [--repeats N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -138,6 +142,15 @@ fn analyze(args: &[String]) -> ExitCode {
                 eprintln!(
                     "bad --overlap-policy `{name}` (want first-wins, last-wins, bsd-like or linux-like)"
                 );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(name) = flag_values(args, "--dataflow").first() {
+        match snids::semantic::DataflowMode::parse(name) {
+            Some(mode) => config.dataflow = mode,
+            None => {
+                eprintln!("bad --dataflow `{name}` (want on, off or near-miss)");
                 return ExitCode::from(2);
             }
         }

@@ -15,7 +15,7 @@
 //! * packet/record ledgers stay balanced and nothing panics throughout.
 
 use snids::bench::desync::{build_capture, DesyncBenchConfig};
-use snids::core::{Nids, NidsConfig};
+use snids::core::{DataflowMode, Nids, NidsConfig};
 use snids::flow::OverlapPolicy;
 use snids::gen::traces::AddressPlan;
 use std::collections::BTreeSet;
@@ -30,13 +30,14 @@ fn e2e_config() -> DesyncBenchConfig {
     }
 }
 
-fn policy_nids(plan: &AddressPlan, policy: OverlapPolicy) -> Nids {
+fn policy_nids(plan: &AddressPlan, policy: OverlapPolicy, dataflow: DataflowMode) -> Nids {
     let mut config = NidsConfig {
         honeypots: plan.honeypots.clone(),
         dark_nets: vec![(plan.dark_net, 16)],
         ..NidsConfig::default()
     };
     config.flow_table.overlap_policy = policy;
+    config.dataflow = dataflow;
     Nids::new(config)
 }
 
@@ -50,7 +51,9 @@ fn desync_storm_degrades_monotonically_and_observably() {
         let mut prev_detected: Option<BTreeSet<Ipv4Addr>> = None;
         for &rate in &cfg.rates {
             let capture = build_capture(&cfg, rate);
-            let mut nids = policy_nids(&plan, policy);
+            // Default engine (near-miss dataflow pass): this suite's
+            // invariants must hold for the pipeline users actually run.
+            let mut nids = policy_nids(&plan, policy, DataflowMode::default());
             let alerts = nids.process_capture(&capture.packets);
             let stats = nids.stats();
 
@@ -137,16 +140,26 @@ fn desync_storm_actually_splits_the_policies() {
     assert_eq!(capture.faulted_sources.len(), capture.attack_sources.len());
     assert!(capture.divergent_overlap_bytes > 0);
 
+    // Policy separation is a property of the *reassembly* layer, so it
+    // is measured with the dataflow second pass off — the recovery pass
+    // exists precisely to erase this gap (and the assertions at the
+    // bottom hold it to that).
     let mut detected_per_policy = Vec::new();
+    let mut recovered_per_policy = Vec::new();
     for policy in OverlapPolicy::ALL {
-        let mut nids = policy_nids(&plan, policy);
-        let alerts = nids.process_capture(&capture.packets);
-        let detected = capture
-            .attack_sources
-            .iter()
-            .filter(|src| alerts.iter().any(|a| a.src == **src))
-            .count();
-        detected_per_policy.push(detected);
+        for (out, mode) in [
+            (&mut detected_per_policy, DataflowMode::Off),
+            (&mut recovered_per_policy, DataflowMode::NearMiss),
+        ] {
+            let mut nids = policy_nids(&plan, policy, mode);
+            let alerts = nids.process_capture(&capture.packets);
+            let detected = capture
+                .attack_sources
+                .iter()
+                .filter(|src| alerts.iter().any(|a| a.src == **src))
+                .count();
+            out.push(detected);
+        }
     }
     // The fault kinds have different per-policy blast radii, so a full
     // storm cannot look the same to every stack model...
@@ -162,5 +175,24 @@ fn desync_storm_actually_splits_the_policies() {
             .iter()
             .any(|d| *d < capture.attack_sources.len()),
         "full-rate desync storm evaded nothing: {detected_per_policy:?}"
+    );
+    // The default near-miss pass can only add detections on top of the
+    // seed engine, and must win back ground somewhere in the storm.
+    for (policy, (off, on)) in OverlapPolicy::ALL
+        .iter()
+        .zip(detected_per_policy.iter().zip(&recovered_per_policy))
+    {
+        assert!(
+            on >= off,
+            "{}: near-miss lost ground: {on} < {off}",
+            policy.name()
+        );
+    }
+    assert!(
+        recovered_per_policy
+            .iter()
+            .zip(&detected_per_policy)
+            .any(|(on, off)| on > off),
+        "dataflow pass recovered nothing: off {detected_per_policy:?} on {recovered_per_policy:?}"
     );
 }
