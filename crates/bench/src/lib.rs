@@ -11,6 +11,7 @@ pub mod ablation;
 pub mod desync;
 pub mod figures;
 pub mod fp;
+pub mod overload;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -66,6 +66,18 @@ pub struct NidsConfig {
     /// def-use slice matching and, when the reassembler retained a
     /// divergent losing copy, analyzes that alternative stream view too.
     pub dataflow: DataflowMode,
+    /// Global byte ceiling for buffered state (reassembly streams, shadow
+    /// copies, pending fragments), shared by the flow table and the
+    /// defragmenter. `0` (the default) disables the ceiling — accounting
+    /// still runs so `peak_tracked_bytes` is reported either way. With a
+    /// ceiling set, the governor degrades new flows at 70 % and sheds
+    /// coldest unprotected flows at 90 % (see `snids_flow::MemoryBudget`).
+    pub memory_budget: u64,
+    /// Route flows shed under pressure through the normal analysis path on
+    /// the way out (`DropReason::ShedAnalyzed`) instead of discarding
+    /// their buffered state unanalyzed (`ShedUnanalyzed`, the seed
+    /// behavior). On by default: eviction must not skip detection.
+    pub analyze_on_evict: bool,
 }
 
 /// Environment variable that defaults [`NidsConfig::observability`].
@@ -96,6 +108,8 @@ impl Default for NidsConfig {
             observability: obs_env_default(),
             flight_recorder_capacity: snids_obs::DEFAULT_RECORDER_CAPACITY,
             dataflow: DataflowMode::default(),
+            memory_budget: 0,
+            analyze_on_evict: true,
         }
     }
 }
@@ -119,6 +133,10 @@ mod tests {
         // Dataflow second pass fires only on near-miss flows by default:
         // identical output to the seed on conflict-free traffic.
         assert_eq!(c.dataflow, DataflowMode::NearMiss);
+        // No byte ceiling by default (identical behavior to the seed),
+        // but shed victims are analyzed on the way out when one is set.
+        assert_eq!(c.memory_budget, 0);
+        assert!(c.analyze_on_evict);
         // Conservative default: first copy wins, matching the seed
         // engine's behavior (and Snort's classic policy).
         assert_eq!(

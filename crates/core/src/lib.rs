@@ -36,11 +36,15 @@ pub use stats::{DropCounters, DropReason, PipelineStats};
 
 use snids_classify::{DarkSpaceMonitor, HoneypotRegistry, Subnet, TrafficClassifier};
 use snids_extract::BinaryExtractor;
-use snids_flow::{DefragDrop, DefragOutcome, Defragmenter, Flow, FlowKey, FlowTable};
+use snids_flow::{
+    DefragDrop, DefragOutcome, Defragmenter, Flow, FlowKey, FlowTable, MemoryBudget, PressureLevel,
+    ShedCause, ShedFlow,
+};
 use snids_obs::{Event, EventKind, Obs, Stage};
 use snids_packet::{Ipv4Header, Packet, TcpHeader, ETHERNET_HEADER_LEN};
 use snids_semantic::{Analyzer, TemplateMatch};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Batching floor for the parallel flow-analysis stage: consecutive flows
@@ -73,6 +77,22 @@ pub struct Nids {
     /// Flight-recorder dumps captured when alerts fired or flows were
     /// dropped mid-analysis (bounded; see [`MAX_FLIGHT_DUMPS`]).
     flight_dumps: Vec<String>,
+    /// The resource governor's shared byte accounting: the flow table and
+    /// the defragmenter charge their buffered bytes here.
+    budget: Arc<MemoryBudget>,
+    /// Mirror of `NidsConfig::analyze_on_evict`: shed victims are routed
+    /// through the analysis path instead of being discarded.
+    analyze_on_evict: bool,
+    /// Victims analyzed on the way out (total, and the subset shed by the
+    /// byte budget rather than the count cap) — the core's share of the
+    /// shed ledger split.
+    shed_analyzed: u64,
+    shed_analyzed_budget: u64,
+    /// Alerts raised by mid-run analyze-on-evict, merged (and totally
+    /// ordered) with the end-of-run alerts at the next poll/finish.
+    pending_alerts: Vec<Alert>,
+    /// Last pressure level observed, for watermark-transition events.
+    last_pressure: PressureLevel,
 }
 
 /// Cap on retained flight-recorder dumps: enough to debug a burst, small
@@ -215,12 +235,20 @@ impl Nids {
         } else {
             TrafficClassifier::disabled()
         };
+        let budget = Arc::new(MemoryBudget::limited(config.memory_budget));
+        let mut flow_config = config.flow_table.clone();
+        // The pipeline owns the analyze-on-evict decision: the table hands
+        // victims back exactly when the governor will analyze them.
+        flow_config.hand_off_shed = config.analyze_on_evict;
         Nids {
             classifier,
             extractor: BinaryExtractor::new(config.extractor.clone()),
             analyzer: Analyzer::new(config.templates.clone()),
-            flows: FlowTable::new(config.flow_table.clone()),
-            defrag: Defragmenter::default(),
+            flows: FlowTable::with_budget(flow_config, Arc::clone(&budget)),
+            defrag: Defragmenter::with_budget(
+                snids_flow::DefragConfig::default(),
+                Arc::clone(&budget),
+            ),
             stats: PipelineStats::default(),
             parallel: config.parallel,
             exec: (config.threads > 0).then(|| snids_exec::ThreadPool::new(config.threads)),
@@ -234,7 +262,19 @@ impl Nids {
                 Obs::disabled()
             },
             flight_dumps: Vec::new(),
+            budget,
+            analyze_on_evict: config.analyze_on_evict,
+            shed_analyzed: 0,
+            shed_analyzed_budget: 0,
+            pending_alerts: Vec::new(),
+            last_pressure: PressureLevel::Normal,
         }
+    }
+
+    /// The resource governor's byte accounting (shared by the flow table
+    /// and the defragmenter).
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
     }
 
     /// The pipeline's observability registry (the shared disabled handle
@@ -276,6 +316,20 @@ impl Nids {
         self.obs
             .set_named("snids_flows_analyzed_total", self.stats.flows_analyzed);
         self.obs.set_named("snids_alerts_total", self.stats.alerts);
+        self.obs
+            .set_named("snids_budget_limit_bytes", self.budget.limit());
+        self.obs
+            .set_named("snids_budget_tracked_bytes", self.budget.tracked());
+        self.obs
+            .set_named("snids_budget_peak_bytes", self.budget.peak());
+        self.obs
+            .set_named("snids_budget_pressure_level", self.budget.level().code());
+        self.obs
+            .set_named("snids_flows_protected", self.flows.protected_len() as u64);
+        self.obs
+            .set_named("snids_flows_degraded_total", self.flows.degraded_flows());
+        self.obs
+            .set_named("snids_flows_shed_total", self.flows.evicted());
         let pool = self.pool_stats();
         self.obs
             .set_named("snids_pool_threads", pool.threads as u64);
@@ -412,13 +466,90 @@ impl Nids {
         self.stats
             .drops
             .set(DropReason::DefragIncomplete, ds.incomplete);
+        // Shed attribution: victims analyzed on the way out land under
+        // `shed_analyzed` (the detection opportunity survived); discarded
+        // victims keep the seed's `flow_evicted` name for count-cap
+        // evictions and `shed_unanalyzed` for byte-budget sheds.
+        let evicted = self.flows.evicted();
+        let by_budget = self.flows.evicted_by_budget();
+        let analyzed_count_cap = self.shed_analyzed.saturating_sub(self.shed_analyzed_budget);
         self.stats
             .drops
-            .set(DropReason::FlowEvicted, self.flows.evicted());
+            .set(DropReason::ShedAnalyzed, self.shed_analyzed);
+        self.stats.drops.set(
+            DropReason::ShedUnanalyzed,
+            by_budget.saturating_sub(self.shed_analyzed_budget),
+        );
+        self.stats.drops.set(
+            DropReason::FlowEvicted,
+            evicted
+                .saturating_sub(by_budget)
+                .saturating_sub(analyzed_count_cap),
+        );
         self.stats
             .drops
             .set(DropReason::StreamTruncated, self.flows.truncated_flows());
         self.stats.overlap_conflict_bytes = self.flows.overlap_conflict_bytes();
+        self.stats.memory_limit_bytes = self.budget.limit();
+        self.stats.peak_tracked_bytes = self.budget.peak();
+        self.stats.degraded_flows = self.flows.degraded_flows();
+    }
+
+    /// Record a watermark-transition flight event when the pressure level
+    /// changed since the last check.
+    fn note_pressure(&mut self) {
+        let level = self.budget.level();
+        if level == self.last_pressure {
+            return;
+        }
+        self.last_pressure = level;
+        if self.obs.enabled() {
+            self.obs.counter("snids_watermark_transitions_total").add(1);
+            self.obs.recorder().record(Event {
+                seq: 0,
+                stage: Stage::Reassembly,
+                kind: EventKind::Watermark,
+                src: 0,
+                dst: 0,
+                src_port: 0,
+                dst_port: 0,
+                bytes: self.budget.tracked(),
+                reason: level.code() as u16,
+            });
+        }
+    }
+
+    /// Analyze-on-evict: run victims the table shed under pressure through
+    /// the normal analysis path, buffer their alerts for the next
+    /// poll/finish, and feed alerting sources back into the protection
+    /// tier so the governor never evicts a source it has seen attack.
+    fn handle_shed(&mut self, shed: Vec<ShedFlow>) {
+        if shed.is_empty() {
+            return;
+        }
+        let observing = self.obs.enabled();
+        let mut flows = Vec::with_capacity(shed.len());
+        for s in shed {
+            self.shed_analyzed += 1;
+            if s.cause == ShedCause::ByteBudget {
+                self.shed_analyzed_budget += 1;
+            }
+            if observing {
+                self.obs_event(
+                    Stage::Reassembly,
+                    EventKind::Drop,
+                    Some(&s.flow.key),
+                    s.flow.mem_bytes() as u64,
+                    Some(DropReason::ShedAnalyzed),
+                );
+            }
+            flows.push(s.flow);
+        }
+        let alerts = self.analyze_flows(flows);
+        for a in &alerts {
+            self.flows.protect_source(a.src);
+        }
+        self.pending_alerts.extend(alerts);
     }
 
     /// True when the packet fails an enabled checksum check. IPv4 header
@@ -522,6 +653,7 @@ impl Nids {
                     // Buffered fragments are credited when their datagram
                     // resolves.
                     self.sync_drop_counters();
+                    self.note_pressure();
                     return;
                 }
                 DefragOutcome::Dropped(drop) => {
@@ -542,6 +674,7 @@ impl Nids {
                         );
                     }
                     self.sync_drop_counters();
+                    self.note_pressure();
                     return;
                 }
             }
@@ -563,6 +696,7 @@ impl Nids {
             );
         }
         if !verdict.is_suspicious() {
+            self.note_pressure();
             return;
         }
         self.stats.suspicious_packets += 1;
@@ -587,7 +721,9 @@ impl Nids {
                 outcome.segment_bytes as u64,
                 None,
             );
-            if let Some(evicted) = outcome.evicted {
+            // With analyze-on-evict the victim's events come from
+            // handle_shed under the shed_analyzed reason instead.
+            if let Some(evicted) = outcome.evicted.filter(|_| !self.analyze_on_evict) {
                 self.obs_event(
                     Stage::Reassembly,
                     EventKind::Drop,
@@ -617,6 +753,12 @@ impl Nids {
                 );
             }
         }
+        // Victims the table shed under pressure (count cap or critical
+        // watermark) are drained through the analysis path right away —
+        // eviction must not skip detection.
+        let shed = self.flows.take_shed();
+        self.handle_shed(shed);
+        self.note_pressure();
     }
 
     /// Stages 3–5 for one application payload: extraction, disassembly,
@@ -662,9 +804,22 @@ impl Nids {
     /// packet ledger balances exactly.
     pub fn finish(&mut self) -> Vec<Alert> {
         self.defrag.drain_incomplete();
+        let shed = self.flows.take_shed();
+        self.handle_shed(shed);
         let flows = self.flows.drain();
-        let alerts = self.analyze_flows(flows);
+        let mut alerts = std::mem::take(&mut self.pending_alerts);
+        alerts.extend(self.analyze_flows(flows));
+        let alerts = self.finalize_alerts(alerts);
         self.sync_drop_counters();
+        self.note_pressure();
+        // Satellite invariant: every byte charged to the budget by the
+        // flow table and the defragmenter was released on drain —
+        // accounting cannot drift across runs.
+        debug_assert_eq!(
+            self.budget.tracked(),
+            0,
+            "memory budget must return to zero after finish"
+        );
         alerts
     }
 
@@ -675,10 +830,12 @@ impl Nids {
     /// in progress, then [`Nids::finish`] once at teardown.
     pub fn poll(&mut self, now: u64) -> Vec<Alert> {
         let expired = self.flows.expire(now);
-        if expired.is_empty() {
+        if expired.is_empty() && self.pending_alerts.is_empty() {
             return Vec::new();
         }
-        let alerts = self.analyze_flows(expired);
+        let mut alerts = std::mem::take(&mut self.pending_alerts);
+        alerts.extend(self.analyze_flows(expired));
+        let alerts = self.finalize_alerts(alerts);
         self.sync_drop_counters();
         alerts
     }
@@ -856,7 +1013,7 @@ impl Nids {
         for outcome in outcomes {
             total.absorb(outcome);
         }
-        let mut alerts = total.alerts;
+        let alerts = total.alerts;
 
         self.stats.analysis_nanos += t0.elapsed().as_nanos() as u64;
         self.stats.frames_extracted += total.frames;
@@ -884,23 +1041,9 @@ impl Nids {
                 .counter("snids_dataflow_alt_views_total")
                 .add(total.alt_views);
         }
-        // Total order over every rendered field: two flows can share a
-        // source (NATs, repeat attackers), and the flow table drains in
-        // hash order, so anything short of a total key would leak drain
-        // order into the output and break byte-identical replays.
-        alerts.sort_by_key(|a| (a.src, a.template, a.start, a.dst, a.dst_port));
-        alerts.dedup_by(|a, b| {
-            a.src == b.src
-                && a.template == b.template
-                && a.start == b.start
-                && a.dst == b.dst
-                && a.dst_port == b.dst_port
-        });
-        self.stats.alerts += alerts.len() as u64;
         if observing {
-            // A panicked flow is a lost detection opportunity and an alert
-            // is a confirmed one — both trigger an automatic dump of the
-            // flow's recorded trail.
+            // A panicked flow is a lost detection opportunity — dump the
+            // flow's recorded trail while it is still in the ring.
             for key in &total.panicked_keys {
                 self.obs_event(
                     Stage::Extract,
@@ -913,6 +1056,35 @@ impl Nids {
             for key in total.panicked_keys.clone() {
                 self.dump_flight("analysis_panicked", key.src, key.dst, key.dst_port);
             }
+        }
+        alerts
+    }
+
+    /// Order, dedup and publish a merged batch of raw alerts (end-of-run
+    /// plus any buffered by mid-run analyze-on-evict).
+    ///
+    /// Total order over every rendered field: two flows can share a
+    /// source (NATs, repeat attackers), and the flow table drains in
+    /// hash order, so anything short of a total key would leak drain
+    /// order — or shed timing — into the output and break byte-identical
+    /// replays. Alerting sources also feed the protection tier here, so a
+    /// source the sensor has seen attack is pinned against future sheds.
+    fn finalize_alerts(&mut self, mut alerts: Vec<Alert>) -> Vec<Alert> {
+        alerts.sort_by_key(|a| (a.src, a.template, a.start, a.dst, a.dst_port));
+        alerts.dedup_by(|a, b| {
+            a.src == b.src
+                && a.template == b.template
+                && a.start == b.start
+                && a.dst == b.dst
+                && a.dst_port == b.dst_port
+        });
+        self.stats.alerts += alerts.len() as u64;
+        for alert in &alerts {
+            self.flows.protect_source(alert.src);
+        }
+        if self.obs.enabled() {
+            // An alert is a confirmed detection — record it and dump the
+            // flow's recorded trail.
             let mut dumped: Vec<(std::net::Ipv4Addr, std::net::Ipv4Addr, u16)> = Vec::new();
             for alert in &alerts {
                 // Alerts carry no source port, so the event's src_port is
@@ -1503,6 +1675,107 @@ mod tests {
             recovered.iter().any(|a| a.src == attacker),
             "near-miss pass must recover the losing copy: {recovered:?}"
         );
+    }
+
+    /// A tight memory budget sheds cold suspicious flows under a flood,
+    /// victims are analyzed on the way out (a planted exploit that was
+    /// shed mid-run still alerts), the peak stays under the ceiling, and
+    /// the budget drains back to zero after finish.
+    #[test]
+    fn governor_sheds_analyzes_victims_and_balances_budget() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let attacker = Ipv4Addr::new(198, 18, 7, 7);
+        let exploit = SCENARIOS[0].build_payload(&mut rng);
+        let mut config = plan_config(&plan);
+        config.memory_budget = 48 * 1024;
+        config.flow_table.max_flows = 4096;
+        let mut nids = Nids::new(config);
+
+        // The planted exploit completes first, cold, before the flood.
+        let mut capture = vec![
+            snids_packet::PacketBuilder::new(attacker, plan.honeypots[0])
+                .at(50)
+                .tcp_syn(3999, 21, 1)
+                .unwrap(),
+        ];
+        capture.extend(tcp_flow_packets(
+            attacker,
+            plan.web_server,
+            4000,
+            21,
+            &exploit,
+            100,
+            0x42,
+        ));
+        // Then a flood of suspicious sources each parks ~1 KiB of benign
+        // stream state, overrunning the 48 KiB ceiling many times over.
+        let filler: Vec<u8> = b"GET /overload HTTP/1.0\r\n\r\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(1024)
+            .collect();
+        for i in 0..256u32 {
+            let src = Ipv4Addr::new(198, 19, (i >> 8) as u8, (i & 0xff) as u8);
+            let t = 10_000 + u64::from(i) * 100;
+            capture.push(
+                snids_packet::PacketBuilder::new(src, plan.honeypots[0])
+                    .at(t)
+                    .tcp_syn(5000, 21, 1)
+                    .unwrap(),
+            );
+            capture.extend(tcp_flow_packets(
+                src,
+                plan.web_server,
+                5001,
+                80,
+                &filler,
+                t + 1,
+                i,
+            ));
+        }
+        let alerts = nids.process_capture(&capture);
+        let s = nids.stats();
+        assert!(
+            s.drops.get(DropReason::ShedAnalyzed) > 0,
+            "{}",
+            s.drop_report()
+        );
+        assert!(s.peak_tracked_bytes > 0);
+        assert!(
+            s.peak_tracked_bytes <= 48 * 1024,
+            "peak {} exceeded the 48 KiB ceiling",
+            s.peak_tracked_bytes
+        );
+        assert_eq!(nids.budget().tracked(), 0, "budget must drain to zero");
+        assert!(s.drop_report().contains("budget: peak_tracked="));
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.src == attacker && a.template == "linux-shell-spawn"),
+            "a shed victim must still be analyzed on the way out: {alerts:?}"
+        );
+    }
+
+    /// With the governor armed but never pressured, the output is
+    /// identical to an unlimited run — accounting alone must not perturb
+    /// detection.
+    #[test]
+    fn idle_governor_is_output_invisible() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(23);
+        let (packets, _) = codered_capture(&mut rng, &plan, 2000, 3);
+        let run = |budget: u64| {
+            let mut config = plan_config(&plan);
+            config.memory_budget = budget;
+            let mut nids = Nids::new(config);
+            let alerts = nids.process_capture(&packets);
+            assert_eq!(nids.stats().drops.get(DropReason::ShedAnalyzed), 0);
+            assert_eq!(nids.stats().drops.get(DropReason::ShedUnanalyzed), 0);
+            alerts
+        };
+        assert_eq!(run(0), run(1 << 30));
     }
 
     /// The direct payload path works for standalone binaries.

@@ -52,11 +52,19 @@ pub enum DropReason {
     /// The dataflow second pass hit its work budget on a frame and
     /// returned a truncated analysis; slice matching saw only a prefix.
     DataflowExhausted,
+    /// Flow shed under memory pressure but drained through the normal
+    /// analysis path on the way out (analyze-on-evict): the detection
+    /// opportunity was preserved, only future bytes of the flow are lost.
+    ShedAnalyzed,
+    /// Flow shed under memory pressure with its buffered state discarded
+    /// unanalyzed — a real detection gap (the seed behavior, and the
+    /// governor's last resort when hand-off is disabled).
+    ShedUnanalyzed,
 }
 
 impl DropReason {
     /// All reasons, in ledger order.
-    pub const ALL: [DropReason; 14] = [
+    pub const ALL: [DropReason; 16] = [
         DropReason::PcapRecordMalformed,
         DropReason::PcapRecordTruncated,
         DropReason::FrameUndecodable,
@@ -71,6 +79,8 @@ impl DropReason {
         DropReason::DecoderBailout,
         DropReason::AnalysisPanicked,
         DropReason::DataflowExhausted,
+        DropReason::ShedAnalyzed,
+        DropReason::ShedUnanalyzed,
     ];
 
     /// Stable snake_case name (JSON key / CLI label).
@@ -90,6 +100,8 @@ impl DropReason {
             DropReason::DecoderBailout => "decoder_bailout",
             DropReason::AnalysisPanicked => "analysis_panicked",
             DropReason::DataflowExhausted => "dataflow_exhausted",
+            DropReason::ShedAnalyzed => "shed_analyzed",
+            DropReason::ShedUnanalyzed => "shed_unanalyzed",
         }
     }
 
@@ -206,6 +218,15 @@ pub struct PipelineStats {
     pub overlap_conflict_bytes: u64,
     /// Per-reason drop accounting.
     pub drops: DropCounters,
+    /// Configured memory-budget ceiling in bytes (0 = unlimited).
+    pub memory_limit_bytes: u64,
+    /// Peak bytes tracked by the memory budget over the run (stream +
+    /// shadow reassembly + pending fragments). With a configured limit the
+    /// governor guarantees `peak_tracked_bytes <= memory_limit_bytes`.
+    pub peak_tracked_bytes: u64,
+    /// Flows created with degraded caps while the budget sat at or above
+    /// high water.
+    pub degraded_flows: u64,
     /// Time in the classifier stage.
     pub classify_nanos: u64,
     /// Time in flow tracking / reassembly.
@@ -246,6 +267,11 @@ impl PipelineStats {
         self.frame_bytes += other.frame_bytes;
         self.alerts += other.alerts;
         self.overlap_conflict_bytes += other.overlap_conflict_bytes;
+        // Budget figures do not sum across runs: the ceiling is a config,
+        // the peak a high-water mark.
+        self.memory_limit_bytes = self.memory_limit_bytes.max(other.memory_limit_bytes);
+        self.peak_tracked_bytes = self.peak_tracked_bytes.max(other.peak_tracked_bytes);
+        self.degraded_flows += other.degraded_flows;
         for (reason, n) in other.drops.iter() {
             self.drops.add(reason, n);
         }
@@ -308,6 +334,24 @@ impl PipelineStats {
                 self.overlap_conflict_bytes
             ));
         }
+        if self.memory_limit_bytes > 0 {
+            out.push_str(&format!(
+                "  budget: peak_tracked={} / limit={} bytes{}\n",
+                self.peak_tracked_bytes,
+                self.memory_limit_bytes,
+                if self.peak_tracked_bytes > self.memory_limit_bytes {
+                    " (EXCEEDED)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        if self.degraded_flows > 0 {
+            out.push_str(&format!(
+                "  budget.degraded_flows = {} (created with reduced caps under pressure)\n",
+                self.degraded_flows
+            ));
+        }
         out.push_str(&format!(
             "ledgers: records {} packets {}\n",
             if self.record_ledger_balanced() {
@@ -337,7 +381,7 @@ impl PipelineStats {
         }
         drops.push('}');
         format!(
-            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"overlap_conflict_bytes\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
+            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"overlap_conflict_bytes\":{},\"memory_limit_bytes\":{},\"peak_tracked_bytes\":{},\"degraded_flows\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
             self.records_in,
             self.packets,
             self.processed,
@@ -347,6 +391,9 @@ impl PipelineStats {
             self.frame_bytes,
             self.alerts,
             self.overlap_conflict_bytes,
+            self.memory_limit_bytes,
+            self.peak_tracked_bytes,
+            self.degraded_flows,
             drops,
             self.drops.total(),
             self.classify_nanos,
@@ -452,6 +499,38 @@ mod tests {
         };
         s.merge(&other);
         assert_eq!(s.overlap_conflict_bytes, 42);
+    }
+
+    #[test]
+    fn budget_figures_surface_and_merge_as_maxima() {
+        let mut s = PipelineStats::default();
+        assert!(!s.drop_report().contains("budget:"));
+        s.memory_limit_bytes = 1000;
+        s.peak_tracked_bytes = 800;
+        assert!(s
+            .drop_report()
+            .contains("budget: peak_tracked=800 / limit=1000"));
+        assert!(!s.drop_report().contains("EXCEEDED"));
+        s.peak_tracked_bytes = 1200;
+        assert!(s.drop_report().contains("EXCEEDED"));
+        assert!(s.to_json().contains("\"memory_limit_bytes\":1000"));
+        assert!(s.to_json().contains("\"peak_tracked_bytes\":1200"));
+        // Sheds are analysis-level: ledgers unaffected.
+        s.drops.inc(DropReason::ShedAnalyzed);
+        s.drops.inc(DropReason::ShedUnanalyzed);
+        assert!(s.record_ledger_balanced());
+        assert!(s.packet_ledger_balanced());
+
+        let other = PipelineStats {
+            memory_limit_bytes: 500,
+            peak_tracked_bytes: 2000,
+            degraded_flows: 3,
+            ..PipelineStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.memory_limit_bytes, 1000, "limit merges as max");
+        assert_eq!(s.peak_tracked_bytes, 2000, "peak merges as max");
+        assert_eq!(s.degraded_flows, 3);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The global memory budget the stateful pipeline stages report into.
+//!
+//! An attacker who cannot evade the analyzer can still try to make the
+//! sensor *forget*: flood it with state until buffered flows or fragments
+//! are discarded unanalyzed. The budget makes that pressure observable and
+//! bounded. Every byte buffered by the flow table (stream + shadow
+//! reassembly) and the defragmenter (pending fragment pieces) is charged
+//! here, and the consumers ask [`MemoryBudget::level`] before allocating
+//! more state:
+//!
+//! * **Normal** — below the high-water mark; full-fidelity buffering.
+//! * **High** — new flows get degraded stream caps and no shadow
+//!   retention; existing flows are untouched.
+//! * **Critical** — the flow table sheds coldest-first until tracked bytes
+//!   drop below critical again (victims are handed to the analyzer, not
+//!   discarded — see `FlowTable::take_shed`), and the defragmenter stops
+//!   opening new datagrams.
+//!
+//! The counters are atomics so one budget can be shared (via `Arc`)
+//! between stages and read concurrently by a live metrics exporter without
+//! any locking on the packet path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// High-water mark as a fraction of the limit: numerator / denominator.
+const HIGH_WATER_NUM: u64 = 7;
+/// Critical mark numerator (same denominator).
+const CRITICAL_NUM: u64 = 9;
+/// Shared denominator for the watermark fractions.
+const WATERMARK_DEN: u64 = 10;
+
+/// Memory-pressure level derived from tracked bytes vs. the ceiling.
+///
+/// Ordered: `Normal < High < Critical`, so consumers can ask
+/// `level >= PressureLevel::High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Below the high-water mark (or no limit configured).
+    Normal,
+    /// At or above high water: degrade new state, keep existing state.
+    High,
+    /// At or above critical: shed state until below critical again.
+    Critical,
+}
+
+impl PressureLevel {
+    /// Stable snake_case name (gauge label / flight-event rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::High => "high",
+            PressureLevel::Critical => "critical",
+        }
+    }
+
+    /// Stable numeric code for gauges (0 / 1 / 2).
+    pub fn code(self) -> u64 {
+        match self {
+            PressureLevel::Normal => 0,
+            PressureLevel::High => 1,
+            PressureLevel::Critical => 2,
+        }
+    }
+}
+
+/// Shared byte accounting with watermark levels. See the module docs.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    /// Configured ceiling in bytes; 0 means unlimited (accounting still
+    /// runs, so `peak` is meaningful either way).
+    limit: u64,
+    /// Precomputed high-water threshold in bytes.
+    high_water: u64,
+    /// Precomputed critical threshold in bytes.
+    critical: u64,
+    tracked: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        MemoryBudget::unlimited()
+    }
+}
+
+impl MemoryBudget {
+    /// A budget with a byte ceiling (`0` = unlimited). Watermarks sit at
+    /// 70 % (high) and 90 % (critical) of the ceiling.
+    pub fn limited(limit: u64) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            high_water: limit.saturating_mul(HIGH_WATER_NUM) / WATERMARK_DEN,
+            critical: limit.saturating_mul(CRITICAL_NUM) / WATERMARK_DEN,
+            tracked: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Accounting without a ceiling: `level()` is always `Normal`.
+    pub fn unlimited() -> MemoryBudget {
+        MemoryBudget::limited(0)
+    }
+
+    /// The configured ceiling in bytes (0 = unlimited).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// True when a ceiling is configured.
+    pub fn is_limited(&self) -> bool {
+        self.limit > 0
+    }
+
+    /// Charge `n` freshly buffered bytes.
+    pub fn charge(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let now = self.tracked.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `n` bytes (saturating: accounting drift cannot underflow —
+    /// the debug assertion at pipeline teardown catches drift instead).
+    pub fn release(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let _ = self
+            .tracked
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Bytes currently tracked across every reporting stage.
+    pub fn tracked(&self) -> u64 {
+        self.tracked.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark of `tracked` over the budget's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The current pressure level. Always `Normal` when unlimited.
+    pub fn level(&self) -> PressureLevel {
+        if self.limit == 0 {
+            return PressureLevel::Normal;
+        }
+        let tracked = self.tracked();
+        if tracked >= self.critical {
+            PressureLevel::Critical
+        } else if tracked >= self.high_water {
+            PressureLevel::High
+        } else {
+            PressureLevel::Normal
+        }
+    }
+
+    /// True while tracked bytes sit at or above the critical mark (the
+    /// flow table's shed loop runs until this clears).
+    pub fn over_critical(&self) -> bool {
+        self.limit > 0 && self.tracked() >= self.critical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_pressures() {
+        let b = MemoryBudget::unlimited();
+        b.charge(u64::MAX / 2);
+        assert_eq!(b.level(), PressureLevel::Normal);
+        assert!(!b.over_critical());
+        assert_eq!(b.limit(), 0);
+        assert!(!b.is_limited());
+    }
+
+    #[test]
+    fn watermark_ladder() {
+        let b = MemoryBudget::limited(1000);
+        assert_eq!(b.level(), PressureLevel::Normal);
+        b.charge(699);
+        assert_eq!(b.level(), PressureLevel::Normal);
+        b.charge(1); // 700 = high water
+        assert_eq!(b.level(), PressureLevel::High);
+        b.charge(199); // 899
+        assert_eq!(b.level(), PressureLevel::High);
+        b.charge(1); // 900 = critical
+        assert_eq!(b.level(), PressureLevel::Critical);
+        assert!(b.over_critical());
+        b.release(500);
+        assert_eq!(b.level(), PressureLevel::Normal);
+        assert_eq!(b.peak(), 900, "peak survives release");
+        assert_eq!(b.tracked(), 400);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let b = MemoryBudget::limited(100);
+        b.charge(10);
+        b.release(50);
+        assert_eq!(b.tracked(), 0);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(PressureLevel::Normal < PressureLevel::High);
+        assert!(PressureLevel::High < PressureLevel::Critical);
+        for l in [
+            PressureLevel::Normal,
+            PressureLevel::High,
+            PressureLevel::Critical,
+        ] {
+            assert!(!l.name().is_empty());
+        }
+        assert_eq!(PressureLevel::Critical.code(), 2);
+    }
+
+    #[test]
+    fn concurrent_charges_balance() {
+        use std::sync::Arc;
+        let b = Arc::new(MemoryBudget::limited(1 << 30));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    b.charge(3);
+                    b.release(3);
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        assert_eq!(b.tracked(), 0);
+        assert!(b.peak() >= 3);
+    }
+}

@@ -6,9 +6,11 @@
 //! the datagram is complete, rebuilds a whole packet the rest of the
 //! pipeline can dissect normally.
 
+use crate::budget::MemoryBudget;
 use snids_packet::{Ipv4Header, Packet, ETHERNET_HEADER_LEN};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Reassembly key per RFC 791.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +27,8 @@ struct Datagram {
     pieces: Vec<(usize, Vec<u8>)>,
     /// Total length once the final fragment arrives.
     total_len: Option<usize>,
+    /// Payload bytes buffered across `pieces` (budget accounting).
+    bytes: usize,
     first_ts: u64,
 }
 
@@ -135,6 +139,9 @@ pub struct Defragmenter {
     pending: HashMap<FragKey, Datagram>,
     config: DefragConfig,
     stats: DefragStats,
+    /// Shared byte accounting; buffered fragment payloads are charged here
+    /// and released when their datagram completes, expires, or is dropped.
+    budget: Arc<MemoryBudget>,
 }
 
 impl Default for Defragmenter {
@@ -145,8 +152,16 @@ impl Default for Defragmenter {
 }
 
 impl Defragmenter {
-    /// With custom caps.
-    pub fn new(mut config: DefragConfig) -> Self {
+    /// With custom caps and a private unlimited budget.
+    pub fn new(config: DefragConfig) -> Self {
+        Defragmenter::with_budget(config, Arc::new(MemoryBudget::unlimited()))
+    }
+
+    /// With custom caps, charging buffered fragment bytes to a shared
+    /// budget. At `Critical` pressure the defragmenter refuses to open
+    /// *new* datagrams (counted as `cap_exceeded`); in-progress datagrams
+    /// may still complete, since their remaining cost is bounded.
+    pub fn with_budget(mut config: DefragConfig, budget: Arc<MemoryBudget>) -> Self {
         // A datagram larger than MAX_DATAGRAM cannot be expressed as a
         // rebuilt IPv4 packet; clamping here keeps rebuild total.
         config.max_datagram = config.max_datagram.min(MAX_DATAGRAM);
@@ -154,6 +169,7 @@ impl Defragmenter {
             pending: HashMap::new(),
             config,
             stats: DefragStats::default(),
+            budget,
         }
     }
 
@@ -189,18 +205,22 @@ impl Defragmenter {
             return DefragOutcome::Passthrough(packet);
         }
 
-        // Expire stale datagrams opportunistically, accounting their pieces.
+        // Expire stale datagrams opportunistically, accounting their pieces
+        // and releasing their buffered bytes from the budget.
         let horizon = packet.ts_micros.saturating_sub(self.config.timeout_micros);
         let mut expired = 0u64;
+        let mut expired_bytes = 0u64;
         self.pending.retain(|_, d| {
             if d.first_ts >= horizon {
                 true
             } else {
                 expired += d.pieces.len() as u64;
+                expired_bytes += d.bytes as u64;
                 false
             }
         });
         self.stats.timeout += expired;
+        self.budget.release(expired_bytes);
 
         let key = FragKey {
             src: ip.src,
@@ -208,18 +228,23 @@ impl Defragmenter {
             id: ip.identification,
             proto: ip.protocol.value(),
         };
-        if !self.pending.contains_key(&key) && self.pending.len() >= self.config.max_pending {
-            self.stats.cap_exceeded += 1; // flood cap: drop rather than balloon
+        let is_new = !self.pending.contains_key(&key);
+        if is_new && (self.pending.len() >= self.config.max_pending || self.budget.over_critical())
+        {
+            // Flood cap or critical memory pressure: refuse to open new
+            // datagram state rather than balloon.
+            self.stats.cap_exceeded += 1;
             return DefragOutcome::Dropped(DefragDrop::CapExceeded);
         }
         let offset = usize::from(ip.fragment_offset) * 8;
         let payload = packet.payload();
         if offset + payload.len() > self.config.max_datagram {
-            let buffered = self
+            let (buffered, bytes) = self
                 .pending
                 .remove(&key)
-                .map_or(0, |d| d.pieces.len() as u64);
+                .map_or((0, 0), |d| (d.pieces.len() as u64, d.bytes as u64));
             self.stats.oversize += buffered + 1;
+            self.budget.release(bytes);
             return DefragOutcome::Dropped(DefragDrop::Oversize);
         }
 
@@ -228,6 +253,8 @@ impl Defragmenter {
             ..Datagram::default()
         });
         entry.pieces.push((offset, payload.to_vec()));
+        entry.bytes += payload.len();
+        self.budget.charge(payload.len() as u64);
         if !ip.more_fragments {
             entry.total_len = Some(offset + payload.len());
         }
@@ -236,7 +263,9 @@ impl Defragmenter {
             return DefragOutcome::Buffered;
         };
         let pieces = entry.pieces.len() as u64;
+        let bytes = entry.bytes as u64;
         self.pending.remove(&key);
+        self.budget.release(bytes);
         match rebuild(&packet, &ip, &done) {
             Some(packet) => DefragOutcome::Reassembled { packet, pieces },
             None => {
@@ -247,11 +276,14 @@ impl Defragmenter {
     }
 
     /// Discard everything still buffered (end of capture), accounting the
-    /// fragments as incomplete. Returns how many were discarded.
+    /// fragments as incomplete and releasing their bytes from the budget.
+    /// Returns how many fragments were discarded.
     pub fn drain_incomplete(&mut self) -> u64 {
         let n: u64 = self.pending.values().map(|d| d.pieces.len() as u64).sum();
+        let bytes: u64 = self.pending.values().map(|d| d.bytes as u64).sum();
         self.pending.clear();
         self.stats.incomplete += n;
+        self.budget.release(bytes);
         n
     }
 }
@@ -482,6 +514,56 @@ mod tests {
         assert_eq!(d.drain_incomplete(), 4);
         assert_eq!(d.stats().total(), 16);
         assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn budget_tracks_buffered_fragment_bytes() {
+        use crate::budget::MemoryBudget;
+        let budget = Arc::new(MemoryBudget::unlimited());
+        let mut d = Defragmenter::with_budget(DefragConfig::default(), Arc::clone(&budget));
+        let p = sample(2400);
+        let frags = fragment_packet(&p, 800);
+        let mut completed = false;
+        for f in frags {
+            if d.process(f).is_some() {
+                completed = true;
+            } else {
+                assert!(budget.tracked() > 0, "pending pieces are charged");
+            }
+        }
+        assert!(completed);
+        assert_eq!(budget.tracked(), 0, "completion releases every byte");
+        assert!(budget.peak() >= 1600, "both buffered pieces counted");
+
+        // Incomplete datagrams release on drain.
+        let q = sample(2400);
+        let frags = fragment_packet(&q, 800);
+        d.process(frags[0].clone());
+        assert!(budget.tracked() > 0);
+        d.drain_incomplete();
+        assert_eq!(budget.tracked(), 0, "drain releases every byte");
+    }
+
+    #[test]
+    fn critical_pressure_refuses_new_datagrams() {
+        use crate::budget::MemoryBudget;
+        let budget = Arc::new(MemoryBudget::limited(1000));
+        budget.charge(950); // someone else pushed us past critical (900)
+        let mut d = Defragmenter::with_budget(DefragConfig::default(), Arc::clone(&budget));
+        let p = sample(2400);
+        let frags = fragment_packet(&p, 800);
+        assert!(matches!(
+            d.ingest(frags[0].clone()),
+            DefragOutcome::Dropped(DefragDrop::CapExceeded)
+        ));
+        assert_eq!(d.stats().cap_exceeded, 1);
+        assert_eq!(d.pending(), 0);
+        // Below critical again, the same fragment is accepted.
+        budget.release(500);
+        assert!(matches!(
+            d.ingest(frags[0].clone()),
+            DefragOutcome::Buffered
+        ));
     }
 
     #[test]

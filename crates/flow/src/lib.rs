@@ -10,14 +10,16 @@
 //! when an attacker tries to split them.
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod defrag;
 pub mod key;
 pub mod reassembly;
 pub mod table;
 
+pub use budget::{MemoryBudget, PressureLevel};
 pub use defrag::{
     DefragConfig, DefragDrop, DefragOutcome, DefragStats, Defragmenter, MAX_DATAGRAM,
 };
 pub use key::FlowKey;
 pub use reassembly::{OverlapPolicy, Reassembler};
-pub use table::{Flow, FlowTable, FlowTableConfig, ProcessOutcome};
+pub use table::{Flow, FlowTable, FlowTableConfig, ProcessOutcome, ShedCause, ShedFlow};

@@ -139,6 +139,9 @@ pub struct Reassembler {
     shadow_bytes: usize,
     /// Set when a losing copy was discarded because the shadow cap was hit.
     shadow_truncated: bool,
+    /// Per-stream shadow retention cap ([`MAX_SHADOW_BYTES`] normally; 0
+    /// for flows created under memory pressure — see `snids-flow::budget`).
+    max_shadow: usize,
 }
 
 impl Default for Reassembler {
@@ -155,6 +158,14 @@ impl Reassembler {
 
     /// A reassembler with a custom byte cap and overlap policy.
     pub fn with_policy(max_bytes: usize, policy: OverlapPolicy) -> Self {
+        Reassembler::with_limits(max_bytes, policy, MAX_SHADOW_BYTES)
+    }
+
+    /// A reassembler with explicit stream and shadow byte caps. A
+    /// `max_shadow` of 0 disables divergent-overlap shadow retention
+    /// entirely (the degraded mode flows get under memory pressure);
+    /// conflicts are still *counted*, only the losing copies go unkept.
+    pub fn with_limits(max_bytes: usize, policy: OverlapPolicy, max_shadow: usize) -> Self {
         Reassembler {
             isn: None,
             chunks: BTreeMap::new(),
@@ -166,7 +177,15 @@ impl Reassembler {
             shadows: BTreeMap::new(),
             shadow_bytes: 0,
             shadow_truncated: false,
+            max_shadow,
         }
+    }
+
+    /// Bytes this stream holds in memory: buffered coverage plus retained
+    /// shadow copies — the quantity charged to the shared
+    /// [`MemoryBudget`](crate::MemoryBudget).
+    pub fn mem_bytes(&self) -> usize {
+        self.buffered + self.shadow_bytes
     }
 
     /// The overlap-resolution policy this stream runs under.
@@ -353,7 +372,7 @@ impl Reassembler {
         if self.shadows.contains_key(&at) {
             return;
         }
-        if self.shadow_bytes + loser.len() > MAX_SHADOW_BYTES {
+        if self.shadow_bytes + loser.len() > self.max_shadow {
             self.shadow_truncated = true;
             return;
         }
@@ -667,6 +686,32 @@ mod tests {
         }
         assert!(r.shadow_bytes() <= MAX_SHADOW_BYTES);
         assert!(r.shadow_truncated());
+    }
+
+    /// A zero shadow cap (degraded mode) keeps counting conflicts but
+    /// retains no losing copies — memory pressure trades the alternative
+    /// view away, never the desync signal.
+    #[test]
+    fn zero_shadow_cap_disables_retention_but_counts_conflicts() {
+        let mut r = Reassembler::with_limits(1024, OverlapPolicy::LastWins, 0);
+        r.on_data(0, b"REALDATA");
+        r.on_data(0, b"GARBAGE!");
+        assert_eq!(r.assembled(), b"GARBAGE!");
+        assert_eq!(r.overlap_conflict_bytes(), 8);
+        assert_eq!(r.shadow_bytes(), 0);
+        assert!(r.alternate_assembled().is_none());
+        assert!(r.shadow_truncated());
+        assert_eq!(r.mem_bytes(), 8);
+    }
+
+    #[test]
+    fn mem_bytes_counts_stream_plus_shadow() {
+        let mut r = Reassembler::with_policy(1024, OverlapPolicy::LastWins);
+        r.on_data(0, b"AAAABBBB");
+        r.on_data(4, b"XXXX");
+        assert_eq!(r.buffered(), 8);
+        assert_eq!(r.shadow_bytes(), 4);
+        assert_eq!(r.mem_bytes(), 12);
     }
 
     #[test]

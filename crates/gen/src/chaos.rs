@@ -83,6 +83,20 @@ pub struct ChaosLog {
     /// detection survives for these depends on the reassembly policy;
     /// sources outside this set must always still be detected.
     pub divergent_sources: HashSet<Ipv4Addr>,
+    /// Packets appended by [`exhaustion_flood`]'s flow flood (honeypot
+    /// probes, SYNs and data segments).
+    pub exhaustion_flood_packets: u64,
+    /// Fragment packets appended by [`exhaustion_flood`]'s incomplete
+    /// datagrams.
+    pub exhaustion_frag_packets: u64,
+    /// Payload bytes the exhaustion flood parks in sensor state
+    /// (reassembly streams plus pending fragments). Sizing a memory
+    /// budget well below this guarantees the governor is pressured.
+    pub exhaustion_bytes: u64,
+    /// Sources invented by [`exhaustion_flood`]. Detection assertions
+    /// must not credit alerts from these, and a governor should be
+    /// willing to shed them.
+    pub flood_sources: HashSet<Ipv4Addr>,
 }
 
 impl ChaosLog {
@@ -501,6 +515,164 @@ pub fn chaos_pcap<G: RngCore>(
     (buf, log)
 }
 
+/// State-exhaustion flood intensity for [`exhaustion_flood`].
+///
+/// Unlike the throwaway SYN flood in [`ChaosConfig`], every source here
+/// first probes a honeypot so the classifier marks it suspicious — the
+/// flood targets the *semantic* pipeline's buffered state (reassembly
+/// streams, shadow copies, pending fragments), not just the flow count.
+#[derive(Debug, Clone)]
+pub struct ExhaustionConfig {
+    /// Suspicious flood flows, each parking [`flood_payload`] stream
+    /// bytes in the reassembler.
+    ///
+    /// [`flood_payload`]: ExhaustionConfig::flood_payload
+    pub flood_flows: usize,
+    /// Stream payload bytes parked per flood flow.
+    pub flood_payload: usize,
+    /// Never-completing fragmented datagrams parking bytes in the
+    /// defragmenter (the last fragment is withheld).
+    pub frag_datagrams: usize,
+}
+
+impl Default for ExhaustionConfig {
+    fn default() -> Self {
+        ExhaustionConfig {
+            flood_flows: 512,
+            flood_payload: 1024,
+            frag_datagrams: 64,
+        }
+    }
+}
+
+/// Printable filler for flood streams: buffers state without ever
+/// resembling executable content, so flood flows can never alert.
+fn flood_filler(salt: usize, len: usize) -> Vec<u8> {
+    const TEXT: &[u8] = b"GET /state-exhaustion-flood HTTP/1.0\r\nHost: overload\r\n\r\n";
+    (0..len).map(|j| TEXT[(salt + j) % TEXT.len()]).collect()
+}
+
+/// Append a state-exhaustion flood after a capture: the eviction-evasion
+/// adversary shape. Attacks planted in `packets` go cold behind an idle
+/// gap; then a horde of fresh suspicious sources (each probes `honeypot`
+/// once, so classification tracks them) parks stream bytes and
+/// incomplete fragments, trying to push the planted flows out of the
+/// sensor's bounded state before end-of-run analysis. A sensor that
+/// discards evicted state unanalyzed loses the planted detections; one
+/// that analyzes victims on the way out does not.
+///
+/// Returns the composed capture; flood accounting lands in `log`
+/// (`exhaustion_*` fields and [`ChaosLog::flood_sources`]).
+pub fn exhaustion_flood<G: RngCore>(
+    rng: &mut G,
+    packets: &[Packet],
+    honeypot: Ipv4Addr,
+    cfg: &ExhaustionConfig,
+    log: &mut ChaosLog,
+) -> Vec<Packet> {
+    let mut out = packets.to_vec();
+    // Flood destinations: reuse the capture's own non-honeypot targets so
+    // the traffic blends in; fall back to the honeypot itself.
+    let mut dsts: Vec<Ipv4Addr> = packets
+        .iter()
+        .filter_map(|p| p.ip().map(|h| h.dst))
+        .filter(|d| *d != honeypot)
+        .collect();
+    dsts.sort_unstable();
+    dsts.dedup();
+    if dsts.is_empty() {
+        dsts.push(honeypot);
+    }
+    // Idle gap: every planted flow is colder than every flood flow, so a
+    // pure-LRU victim policy evicts the planted state first.
+    let mut ts = packets.last().map_or(0, |p| p.ts_micros) + 1_000_000;
+
+    for i in 0..cfg.flood_flows {
+        // CGNAT space (100.64.0.0/10): ~4M unique sources, disjoint from
+        // the address plans and the SYN-flood's 203.0.113.0/24.
+        let src = Ipv4Addr::new(
+            100,
+            64 + ((i >> 16) & 0x3f) as u8,
+            ((i >> 8) & 0xff) as u8,
+            (i & 0xff) as u8,
+        );
+        log.flood_sources.insert(src);
+        let sport = 1024 + (i % 60_000) as u16;
+        let isn: u32 = rng.gen();
+        let probe = PacketBuilder::new(src, honeypot)
+            .at(ts)
+            .identification(rng.gen())
+            .tcp_syn(sport, 80, isn);
+        let dst = dsts[i % dsts.len()];
+        let b = PacketBuilder::new(src, dst);
+        let syn = b
+            .clone()
+            .at(ts + 1)
+            .identification(rng.gen())
+            .tcp_syn(sport, 80, isn);
+        let data = b.at(ts + 2).identification(rng.gen()).tcp(
+            sport,
+            80,
+            isn.wrapping_add(1),
+            1,
+            snids_packet::TcpFlags::ACK | snids_packet::TcpFlags::PSH,
+            &flood_filler(i, cfg.flood_payload),
+        );
+        if let (Ok(probe), Ok(syn), Ok(data)) = (probe, syn, data) {
+            out.push(probe);
+            out.push(syn);
+            out.push(data);
+            log.exhaustion_flood_packets += 3;
+            log.exhaustion_bytes += cfg.flood_payload as u64;
+        }
+        ts += 10;
+    }
+
+    for j in 0..cfg.frag_datagrams {
+        let src = Ipv4Addr::new(
+            100,
+            104 + ((j >> 16) & 0x17) as u8,
+            ((j >> 8) & 0xff) as u8,
+            (j & 0xff) as u8,
+        );
+        log.flood_sources.insert(src);
+        let sport = 1024 + (j % 60_000) as u16;
+        let probe = PacketBuilder::new(src, honeypot)
+            .at(ts)
+            .identification(rng.gen())
+            .tcp_syn(sport, 80, rng.gen());
+        let Ok(probe) = probe else { continue };
+        let whole = PacketBuilder::new(src, dsts[j % dsts.len()])
+            .at(ts + 1)
+            .identification(rng.gen())
+            .tcp(
+                sport,
+                80,
+                rng.gen(),
+                0,
+                snids_packet::TcpFlags::ACK,
+                &flood_filler(j.wrapping_mul(7), 1536),
+            );
+        let Ok(whole) = whole else { continue };
+        let mut frags = fragment_packet(&whole, 512);
+        if frags.len() < 2 {
+            continue;
+        }
+        // Withhold the final fragment: the datagram can never complete
+        // and its pieces sit in the defragmenter until expiry or shed.
+        frags.pop();
+        out.push(probe);
+        log.exhaustion_flood_packets += 1;
+        for f in frags {
+            log.exhaustion_bytes += f.payload().len() as u64;
+            log.exhaustion_frag_packets += 1;
+            out.push(f);
+        }
+        ts += 10;
+    }
+    out
+}
+
 fn write_record_header(buf: &mut Vec<u8>, ts_micros: u64, incl_len: u32) {
     buf.extend_from_slice(&((ts_micros / 1_000_000) as u32).to_le_bytes());
     buf.extend_from_slice(&((ts_micros % 1_000_000) as u32).to_le_bytes());
@@ -693,6 +865,87 @@ mod tests {
             "all policies reassembled identically — no desync achieved"
         );
         assert!(streams.iter().any(|s| s != &payload));
+    }
+
+    #[test]
+    fn exhaustion_same_seed_same_packets() {
+        let pkts = capture();
+        let cfg = ExhaustionConfig {
+            flood_flows: 64,
+            flood_payload: 512,
+            frag_datagrams: 16,
+        };
+        let hp = AddressPlan::default().honeypots[0];
+        let run = |seed| {
+            let mut log = ChaosLog::default();
+            let out = exhaustion_flood(&mut StdRng::seed_from_u64(seed), &pkts, hp, &cfg, &mut log);
+            (out, log)
+        };
+        let (a, la) = run(31);
+        let (b, lb) = run(31);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.raw(), y.raw());
+        }
+        assert_eq!(la.exhaustion_bytes, lb.exhaustion_bytes);
+        assert_eq!(la.flood_sources, lb.flood_sources);
+        let (c, _) = run(32);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.raw() != y.raw()),
+            "different seed must produce a different flood"
+        );
+    }
+
+    #[test]
+    fn exhaustion_flood_shape() {
+        let pkts = capture();
+        let cfg = ExhaustionConfig {
+            flood_flows: 48,
+            flood_payload: 700,
+            frag_datagrams: 12,
+        };
+        let hp = AddressPlan::default().honeypots[0];
+        let mut log = ChaosLog::default();
+        let out = exhaustion_flood(&mut StdRng::seed_from_u64(41), &pkts, hp, &cfg, &mut log);
+
+        // The original capture passes through untouched, in order.
+        for (a, b) in out.iter().zip(&pkts) {
+            assert_eq!(a.raw(), b.raw());
+        }
+        assert_eq!(log.flood_sources.len(), 48 + 12, "unique sources");
+        assert!(log.exhaustion_bytes >= 48 * 700, "{}", log.exhaustion_bytes);
+        assert!(log.exhaustion_frag_packets > 0);
+        // Every flood source's first packet probes the honeypot — the
+        // classifier must see it before any state-parking traffic.
+        for src in &log.flood_sources {
+            let first = out
+                .iter()
+                .find(|p| p.ip().map(|h| h.src) == Some(*src))
+                .expect("source appears in the capture");
+            assert_eq!(first.ip().map(|h| h.dst), Some(hp), "probe first: {src}");
+        }
+        // The flood arrives strictly after the planted capture goes cold.
+        let last_planted = pkts.last().map_or(0, |p| p.ts_micros);
+        for p in &out[pkts.len()..] {
+            assert!(p.ts_micros >= last_planted + 1_000_000);
+        }
+
+        // Zero-intensity config is the identity.
+        let mut quiet = ChaosLog::default();
+        let same = exhaustion_flood(
+            &mut StdRng::seed_from_u64(41),
+            &pkts,
+            hp,
+            &ExhaustionConfig {
+                flood_flows: 0,
+                flood_payload: 0,
+                frag_datagrams: 0,
+            },
+            &mut quiet,
+        );
+        assert_eq!(same.len(), pkts.len());
+        assert_eq!(quiet.exhaustion_bytes, 0);
+        assert!(quiet.flood_sources.is_empty());
     }
 
     #[test]

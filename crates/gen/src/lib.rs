@@ -25,7 +25,10 @@ pub mod traces;
 
 pub use admmutate::{AdmMutate, DecoderFamily};
 pub use asm::Asm;
-pub use chaos::{chaos_packets, chaos_pcap, ChaosConfig, ChaosLog};
+pub use chaos::{
+    chaos_packets, chaos_pcap, exhaustion_flood, ChaosConfig, ChaosLog, DesyncConfig,
+    ExhaustionConfig,
+};
 pub use clet::Clet;
 pub use exploit::{ExploitLayout, OverflowExploit};
 pub use exploits::{ExploitScenario, SCENARIOS};

@@ -41,6 +41,10 @@ pub enum EventKind {
     Conflict = 2,
     /// A template match alerted on this flow.
     Alert = 3,
+    /// The shared memory budget crossed a watermark; `bytes` is the
+    /// tracked total at the transition and `reason` the new
+    /// pressure-level code (0 normal / 1 high / 2 critical).
+    Watermark = 4,
 }
 
 impl EventKind {
@@ -51,6 +55,7 @@ impl EventKind {
             EventKind::Drop => "drop",
             EventKind::Conflict => "conflict",
             EventKind::Alert => "alert",
+            EventKind::Watermark => "watermark",
         }
     }
 
@@ -60,6 +65,7 @@ impl EventKind {
             1 => Some(EventKind::Drop),
             2 => Some(EventKind::Conflict),
             3 => Some(EventKind::Alert),
+            4 => Some(EventKind::Watermark),
             _ => None,
         }
     }

@@ -22,6 +22,12 @@
 //! # sweep TCP desync fault rates across overlap policies
 //! snids bench --desync --flows 64
 //!
+//! # sweep state-exhaustion flood sizes: governor vs the seed engine
+//! snids bench --overload --budget 256k
+//!
+//! # cap buffered stream/fragment state at a global byte budget
+//! snids analyze trace.pcap --memory-budget 64m
+//!
 //! # reassemble like the protected hosts' stacks
 //! snids analyze trace.pcap --overlap-policy linux-like
 //!
@@ -32,7 +38,7 @@
 //! # print per-stage metrics and flight-recorder dumps after the run
 //! snids analyze trace.pcap --metrics
 //!
-//! # keep serving the final metrics over HTTP for a scraper
+//! # serve metrics over HTTP for a scraper, live from replay start
 //! snids analyze trace.pcap --metrics-listen 127.0.0.1:9100
 //! ```
 
@@ -49,7 +55,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync] [--flows N] [--seed N] [--repeats N] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--memory-budget BYTES[k|m|g]] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload] [--flows N] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -87,6 +93,22 @@ fn flag_value_f64(args: &[String], name: &str, default: f64) -> f64 {
         .first()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parse a byte count with an optional binary suffix: `65536`, `512k`,
+/// `64M`, `1g` (case-insensitive).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_shl(shift).filter(|v| v >> shift == n))
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -155,6 +177,15 @@ fn analyze(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(spec) = flag_values(args, "--memory-budget").first() {
+        match parse_bytes(spec) {
+            Some(bytes) => config.memory_budget = bytes,
+            None => {
+                eprintln!("bad --memory-budget `{spec}` (want BYTES with optional k/m/g suffix)");
+                return ExitCode::from(2);
+            }
+        }
+    }
     for dn in flag_values(args, "--dark") {
         let parsed = dn.split_once('/').and_then(|(net, prefix)| {
             Some((net.parse::<Ipv4Addr>().ok()?, prefix.parse::<u8>().ok()?))
@@ -180,6 +211,49 @@ fn analyze(args: &[String]) -> ExitCode {
     let packets = reader.decode_all().unwrap_or_default();
 
     let mut nids = Nids::new(config);
+
+    // Live exposition: bind and serve *before* the replay starts, from a
+    // cloned (Arc-backed) registry handle, so a scraper watches counters,
+    // watermark transitions and budget gauges move mid-run. The thread
+    // keeps serving the final numbers after the run until ctrl-c.
+    let server_thread = match metrics_listen {
+        Some(addr) => {
+            let server = match snids::obs::MetricsServer::bind(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot bind --metrics-listen {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Ok(local) = server.local_addr() {
+                eprintln!(
+                    "serving live metrics on http://{local}/metrics (and /json); ctrl-c to stop"
+                );
+            }
+            let obs = nids.obs().clone();
+            Some(std::thread::spawn(move || {
+                let _ = server.serve(
+                    |path| {
+                        let snap = obs.snapshot();
+                        if path.ends_with("json") {
+                            (
+                                "application/json".to_string(),
+                                snids::obs::expo::render_json(&snap),
+                            )
+                        } else {
+                            (
+                                "text/plain; version=0.0.4".to_string(),
+                                snids::obs::expo::render_text(&snap),
+                            )
+                        }
+                    },
+                    None,
+                );
+            }))
+        }
+        None => None,
+    };
+
     let alerts = nids.process_capture(&packets);
     nids.absorb_read_stats(&reader.read_stats());
 
@@ -212,33 +286,11 @@ fn analyze(args: &[String]) -> ExitCode {
             eprintln!("{dump}");
         }
     }
-    if let Some(addr) = metrics_listen {
-        let server = match snids::obs::MetricsServer::bind(addr) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot bind --metrics-listen {addr}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Ok(local) = server.local_addr() {
-            eprintln!("serving metrics on http://{local}/metrics (and /json); ctrl-c to stop");
-        }
-        let text = nids.metrics_page();
-        let json = nids.metrics_json();
-        let served = server.serve(
-            |path| {
-                if path.ends_with("json") {
-                    ("application/json".to_string(), json.clone())
-                } else {
-                    ("text/plain; version=0.0.4".to_string(), text.clone())
-                }
-            },
-            None,
-        );
-        if let Err(e) = served {
-            eprintln!("metrics listener stopped: {e}");
-            return ExitCode::FAILURE;
-        }
+    if let Some(handle) = server_thread {
+        // Mirror the final ledger totals into the registry so post-run
+        // scrapes see them, then keep serving until interrupted.
+        let _ = nids.obs_snapshot();
+        let _ = handle.join();
     }
     if alerts.is_empty() {
         ExitCode::SUCCESS
@@ -326,6 +378,9 @@ fn bench(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--desync") {
         return bench_desync(args);
     }
+    if args.iter().any(|a| a == "--overload") {
+        return bench_overload(args);
+    }
     let flows = flag_value_u64(args, "--flows", 144) as usize;
     let cfg = snids::bench::throughput::BenchConfig {
         seed: flag_value_u64(args, "--seed", 2006),
@@ -394,6 +449,60 @@ fn bench_desync(args: &[String]) -> ExitCode {
     if !report.zero_rate_identical {
         eprintln!("ALERT STREAMS DIVERGED ACROSS POLICIES AT FAULT RATE 0");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_overload(args: &[String]) -> ExitCode {
+    use snids::bench::overload;
+    let mut cfg = overload::OverloadBenchConfig {
+        seed: flag_value_u64(args, "--seed", 2006),
+        repeats: flag_value_u64(args, "--repeats", 3) as usize,
+        ..overload::OverloadBenchConfig::default()
+    };
+    if let Some(flows) = flag_values(args, "--flows")
+        .first()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        cfg.planted_attacks = flows.max(1);
+    }
+    if let Some(spec) = flag_values(args, "--budget").first() {
+        match parse_bytes(spec) {
+            Some(bytes) if bytes > 0 => cfg.memory_budget = bytes,
+            _ => {
+                eprintln!("bad --budget `{spec}` (want BYTES > 0 with optional k/m/g suffix)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!(
+        "overload sweep: {} planted attacks, flood sizes {:?}, budget {} bytes, {} flow slots",
+        cfg.planted_attacks, cfg.flood_sizes, cfg.memory_budget, cfg.max_flows,
+    );
+    let report = overload::run(&cfg);
+    print!("{}", overload::render(&report));
+    let out = flag_values(args, "--out")
+        .first()
+        .copied()
+        .unwrap_or("BENCH_overload.json");
+    if let Err(e) = std::fs::write(out, overload::to_json(&report)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if !report.zero_flood_identical {
+        eprintln!("ALERT STREAMS DIVERGED BETWEEN GOVERNOR AND BASELINE AT FLOOD 0");
+        return ExitCode::FAILURE;
+    }
+    if !report.detection_gate_holds() {
+        eprintln!("GOVERNOR DID NOT STRICTLY BEAT THE SEED BASELINE UNDER FLOOD");
+        return ExitCode::FAILURE;
+    }
+    if report.storm.ratio < 0.95 {
+        eprintln!(
+            "warning: storm throughput ratio {:.3} below the 0.95 target",
+            report.storm.ratio
+        );
     }
     ExitCode::SUCCESS
 }

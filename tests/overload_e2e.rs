@@ -1,0 +1,135 @@
+//! End-to-end overload harness: an eviction-evasion capture — planted
+//! Code Red II instances, an idle gap, then a state-exhaustion flood of
+//! suspicious sources — is pushed through the whole pipeline under a
+//! tight memory budget. The governor must keep its byte ceiling, attribute
+//! every packet, analyze shed victims on the way out so the planted
+//! sources still alert, and stay byte-invisible when the flood is absent.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids::core::{DropReason, Nids, NidsConfig};
+use snids::gen::chaos::{exhaustion_flood, ChaosLog, ExhaustionConfig};
+use snids::gen::traces::{codered_capture, AddressPlan};
+
+const BUDGET: u64 = 128 * 1024;
+
+fn build(
+    flood: usize,
+) -> (
+    Vec<snids::packet::Packet>,
+    Vec<std::net::Ipv4Addr>,
+    ChaosLog,
+) {
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(77);
+    let (packets, truth) = codered_capture(&mut rng, &plan, 800, 3);
+    let mut log = ChaosLog::default();
+    let flooded = exhaustion_flood(
+        &mut rng,
+        &packets,
+        plan.honeypots[0],
+        &ExhaustionConfig {
+            flood_flows: flood,
+            flood_payload: 1024,
+            frag_datagrams: flood / 16,
+        },
+        &mut log,
+    );
+    (flooded, truth.crii_sources, log)
+}
+
+fn overload_nids(governed: bool) -> Nids {
+    let plan = AddressPlan::default();
+    let mut config = NidsConfig {
+        honeypots: plan.honeypots.clone(),
+        dark_nets: vec![(plan.dark_net, 16)],
+        ..NidsConfig::default()
+    };
+    config.flow_table.max_flows = 128;
+    if governed {
+        config.memory_budget = BUDGET;
+    } else {
+        config.analyze_on_evict = false;
+        config.flow_table.protect_suspicious = false;
+    }
+    Nids::new(config)
+}
+
+/// The flood storm: budget held, ledger balanced, planted attacks still
+/// detected through analyze-on-evict, flood sources silent.
+#[test]
+fn governed_pipeline_survives_eviction_evasion() {
+    let (packets, crii_sources, log) = build(768);
+    let mut nids = overload_nids(true);
+    let alerts = nids.process_capture(&packets);
+    let stats = nids.stats();
+
+    assert!(
+        stats.packet_ledger_balanced(),
+        "packet ledger unbalanced:\n{}",
+        stats.drop_report()
+    );
+    assert!(
+        stats.peak_tracked_bytes <= BUDGET,
+        "peak {} exceeded budget {}",
+        stats.peak_tracked_bytes,
+        BUDGET
+    );
+    assert!(
+        stats.drops.get(DropReason::ShedAnalyzed) > 0,
+        "the flood never pressured the governor:\n{}",
+        stats.drop_report()
+    );
+    for src in &crii_sources {
+        assert!(
+            alerts.iter().any(|a| a.src == *src),
+            "planted source {src} lost under flood: {alerts:?}"
+        );
+    }
+    for a in &alerts {
+        assert!(
+            !log.flood_sources.contains(&a.src),
+            "flood source {} raised an alert",
+            a.src
+        );
+    }
+}
+
+/// The same storm through the seed configuration loses planted
+/// detections — the degradation the governor exists to prevent.
+#[test]
+fn seed_configuration_loses_detections_under_the_same_flood() {
+    let (packets, crii_sources, _) = build(768);
+    let mut nids = overload_nids(false);
+    let alerts = nids.process_capture(&packets);
+    let stats = nids.stats();
+    assert!(stats.packet_ledger_balanced());
+    assert!(stats.drops.get(DropReason::FlowEvicted) > 0);
+    let detected = crii_sources
+        .iter()
+        .filter(|src| alerts.iter().any(|a| a.src == **src))
+        .count();
+    assert!(
+        detected < crii_sources.len(),
+        "seed engine unexpectedly survived the flood"
+    );
+}
+
+/// Without a flood, the governed pipeline renders byte-identical alerts
+/// to the seed default: the governor is invisible until pressured.
+#[test]
+fn governor_is_invisible_without_pressure() {
+    let (packets, _, log) = build(0);
+    assert!(log.flood_sources.is_empty());
+    let render = |governed: bool| {
+        let mut nids = overload_nids(governed);
+        let alerts = nids.process_capture(&packets);
+        assert_eq!(nids.stats().drops.get(DropReason::ShedAnalyzed), 0);
+        alerts
+            .iter()
+            .map(|a| a.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(true), render(false));
+}
