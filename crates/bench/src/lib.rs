@@ -12,6 +12,7 @@ pub mod desync;
 pub mod figures;
 pub mod fp;
 pub mod overload;
+pub mod prefilter;
 pub mod table1;
 pub mod table2;
 pub mod table3;

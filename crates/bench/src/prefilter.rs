@@ -1,0 +1,341 @@
+//! Pre-filter fast-path benchmark — lane throughput plus detection parity.
+//!
+//! Three questions, answered on one deterministic workload (the
+//! polymorphic storm of [`throughput`](crate::throughput) woven together
+//! with tainted-benign background traffic — sources the classifier
+//! distrusts that send only ordinary text, i.e. exactly the packets the
+//! gate exists to reject):
+//!
+//! 1. **How fast is the header lane?** The batched structure-of-arrays
+//!    match loop over the whole capture, repeated until the measurement is
+//!    stable. The acceptance floor is 1 M pkts/s; flat lookup tables land
+//!    far above it.
+//! 2. **How fast is the whole gate?** [`Prefilter::decide`] per packet —
+//!    header tables, signature automaton and n-gram score together.
+//! 3. **Does the gate change detection?** The same capture replayed
+//!    through the full pipeline gated and ungated. The report records the
+//!    wall-time ratio, the reject ratio, and the **FP/FN delta**: alerts
+//!    present only in the gated stream (false positives added — must be
+//!    zero by construction, rejection can only remove work) and alerts
+//!    present only in the ungated stream (false negatives introduced by
+//!    rejection). At chaos rate 0 the streams must be byte-identical.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snids_core::{Nids, NidsConfig};
+use snids_gen::traces::{tainted_benign_flows, AddressPlan};
+use snids_packet::Packet;
+use snids_prefilter::{HeaderBatch, HeaderLane, Prefilter, PrefilterConfig};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Deterministic workload seed.
+    pub seed: u64,
+    /// Polymorphic attack flows in the storm component.
+    pub attack_flows: usize,
+    /// Benign flows inside the storm (from never-suspicious clients).
+    pub background_flows: usize,
+    /// Tainted-benign sources (classifier-suspicious, text-only traffic).
+    pub tainted_sources: usize,
+    /// Benign flows each tainted source sends after its one decoy probe.
+    pub flows_per_source: usize,
+    /// Timed repetitions; the best run is reported.
+    pub repeats: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            seed: crate::DEFAULT_SEED,
+            attack_flows: 48,
+            background_flows: 96,
+            tainted_sources: 64,
+            flows_per_source: 6,
+            repeats: 3,
+        }
+    }
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workload seed.
+    pub seed: u64,
+    /// Packets in the mixed capture.
+    pub packets: usize,
+    /// Attack flows woven in.
+    pub attack_flows: usize,
+    /// Tainted-benign sources woven in.
+    pub tainted_sources: usize,
+    /// Timed repetitions per measurement.
+    pub repeats: usize,
+    /// Header-lane batched match throughput (packets/second).
+    pub header_lane_pps: f64,
+    /// Full three-lane gate throughput (packets/second).
+    pub gate_pps: f64,
+    /// End-to-end wall time with the gate on (seconds, best run).
+    pub gated_secs: f64,
+    /// End-to-end wall time with the gate off (seconds, best run).
+    pub ungated_secs: f64,
+    /// `ungated_secs / gated_secs` (>1 = the gate pays for itself).
+    pub speedup: f64,
+    /// Suspicious packets rejected / gated (from the gated run).
+    pub reject_ratio: f64,
+    /// Alerts in the gated run.
+    pub gated_alerts: usize,
+    /// Alerts in the ungated run.
+    pub ungated_alerts: usize,
+    /// Alerts present only in the gated stream (spurious additions —
+    /// structurally impossible, recorded to prove it).
+    pub fp_delta: usize,
+    /// Alerts present only in the ungated stream (detections the gate
+    /// cost — the number the acceptance gate pins at zero).
+    pub fn_delta: usize,
+    /// Rendered gated and ungated alert streams are byte-identical.
+    pub identical: bool,
+}
+
+/// The mixed workload: the polymorphic storm plus tainted-benign
+/// background, merged into one capture ordered by timestamp.
+pub fn mixed_workload(cfg: &BenchConfig) -> Vec<Packet> {
+    let storm = crate::throughput::storm_workload(&crate::throughput::BenchConfig {
+        seed: cfg.seed,
+        attack_flows: cfg.attack_flows,
+        background_flows: cfg.background_flows,
+        threads: vec![1],
+        repeats: 1,
+    });
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7eff);
+    let tainted = tainted_benign_flows(
+        &mut rng,
+        &plan,
+        cfg.tainted_sources,
+        cfg.flows_per_source,
+        1_000_000,
+    );
+    let mut packets = storm.packets;
+    packets.extend(tainted);
+    packets.sort_by_key(|p| p.ts_micros);
+    packets
+}
+
+fn bench_nids(plan: &AddressPlan, prefilter: bool) -> Nids {
+    Nids::new(NidsConfig {
+        honeypots: plan.honeypots.clone(),
+        dark_nets: vec![(plan.dark_net, 16)],
+        prefilter,
+        ..NidsConfig::default()
+    })
+}
+
+/// Time `f` for `repeats` runs of `iters` calls; return best packets/sec.
+fn best_pps(packets: usize, iters: usize, repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (packets * iters) as f64 / best.max(1e-9)
+}
+
+/// Run the benchmark.
+pub fn run(cfg: &BenchConfig) -> Report {
+    let plan = AddressPlan::default();
+    let packets = mixed_workload(cfg);
+    let n = packets.len();
+
+    // 1. Header lane, batched: swizzle once, then measure the pure match
+    // loop (the compile + swizzle cost is a startup cost, not per-packet).
+    let pf_config = PrefilterConfig::deployment_rules(&plan.honeypots, &[(plan.dark_net, 16)]);
+    let lane = HeaderLane::compile(&pf_config.header_rules);
+    let batch = HeaderBatch::from_packets(&packets);
+    let mut masks = vec![0u32; batch.len()];
+    let iters = (4_000_000 / n.max(1)).max(8);
+    let header_lane_pps = best_pps(n, iters, cfg.repeats, || {
+        lane.match_batch(&batch, &mut masks);
+        std::hint::black_box(&masks);
+    });
+
+    // 2. The whole gate, per packet. A fresh Prefilter per repetition so
+    // sticky state doesn't accumulate across runs.
+    let gate_iters = (400_000 / n.max(1)).max(2);
+    let mut gate_best = f64::INFINITY;
+    for _ in 0..cfg.repeats.max(1) {
+        let mut pf = Prefilter::new(pf_config.clone());
+        let t0 = Instant::now();
+        for _ in 0..gate_iters {
+            for p in &packets {
+                std::hint::black_box(pf.decide(p, false));
+            }
+        }
+        gate_best = gate_best.min(t0.elapsed().as_secs_f64());
+    }
+    let gate_pps = (n * gate_iters) as f64 / gate_best.max(1e-9);
+
+    // 3. End-to-end parity: gated vs ungated through the full pipeline.
+    let mut gated_secs = f64::INFINITY;
+    let mut ungated_secs = f64::INFINITY;
+    let mut gated_render = String::new();
+    let mut ungated_render = String::new();
+    let mut gated_alerts = 0usize;
+    let mut ungated_alerts = 0usize;
+    let mut reject_ratio = 0.0f64;
+    for _ in 0..cfg.repeats.max(1) {
+        let mut nids = bench_nids(&plan, true);
+        let t0 = Instant::now();
+        let alerts = nids.process_capture(&packets);
+        gated_secs = gated_secs.min(t0.elapsed().as_secs_f64());
+        gated_alerts = alerts.len();
+        reject_ratio = nids.stats().prefilter_reject_ratio();
+        gated_render = alerts
+            .iter()
+            .map(|a| a.render())
+            .collect::<Vec<_>>()
+            .join("\n");
+    }
+    for _ in 0..cfg.repeats.max(1) {
+        let mut nids = bench_nids(&plan, false);
+        let t0 = Instant::now();
+        let alerts = nids.process_capture(&packets);
+        ungated_secs = ungated_secs.min(t0.elapsed().as_secs_f64());
+        ungated_alerts = alerts.len();
+        ungated_render = alerts
+            .iter()
+            .map(|a| a.render())
+            .collect::<Vec<_>>()
+            .join("\n");
+    }
+    let gated_set: BTreeSet<&str> = gated_render.lines().filter(|l| !l.is_empty()).collect();
+    let ungated_set: BTreeSet<&str> = ungated_render.lines().filter(|l| !l.is_empty()).collect();
+    let fp_delta = gated_set.difference(&ungated_set).count();
+    let fn_delta = ungated_set.difference(&gated_set).count();
+
+    Report {
+        seed: cfg.seed,
+        packets: n,
+        attack_flows: cfg.attack_flows,
+        tainted_sources: cfg.tainted_sources,
+        repeats: cfg.repeats,
+        header_lane_pps,
+        gate_pps,
+        gated_secs,
+        ungated_secs,
+        speedup: ungated_secs / gated_secs.max(1e-9),
+        reject_ratio,
+        gated_alerts,
+        ungated_alerts,
+        fp_delta,
+        fn_delta,
+        identical: gated_render == ungated_render,
+    }
+}
+
+/// Render as a human-readable summary.
+pub fn render(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "workload: {} packets, {} attack flows, {} tainted-benign sources, seed {}, best of {} run(s)",
+        report.packets, report.attack_flows, report.tainted_sources, report.seed, report.repeats,
+    );
+    let _ = writeln!(
+        s,
+        "\nheader lane (batched): {:>12.0} pkts/s  (floor: 1,000,000)",
+        report.header_lane_pps
+    );
+    let _ = writeln!(s, "full gate (3 lanes):   {:>12.0} pkts/s", report.gate_pps);
+    let _ = writeln!(
+        s,
+        "\nend-to-end: gated {:.3}s vs ungated {:.3}s ({:.2}x), reject ratio {:.1}%",
+        report.gated_secs,
+        report.ungated_secs,
+        report.speedup,
+        report.reject_ratio * 100.0,
+    );
+    let _ = writeln!(
+        s,
+        "detection:  gated {} vs ungated {} alerts, FP delta {}, FN delta {}, byte-identical: {}",
+        report.gated_alerts,
+        report.ungated_alerts,
+        report.fp_delta,
+        report.fn_delta,
+        if report.identical { "yes" } else { "NO" },
+    );
+    s
+}
+
+/// Hand-rolled JSON for `BENCH_prefilter.json`.
+pub fn to_json(report: &Report) -> String {
+    format!(
+        "{{\n  \"bench\": \"prefilter\",\n  \"workload\": {{\"seed\": {}, \"packets\": {}, \"attack_flows\": {}, \"tainted_sources\": {}, \"repeats\": {}}},\n  \"header_lane_pps\": {:.0},\n  \"gate_pps\": {:.0},\n  \"gated_secs\": {:.6},\n  \"ungated_secs\": {:.6},\n  \"speedup\": {:.3},\n  \"reject_ratio\": {:.4},\n  \"gated_alerts\": {},\n  \"ungated_alerts\": {},\n  \"fp_delta\": {},\n  \"fn_delta\": {},\n  \"alerts_identical\": {}\n}}\n",
+        report.seed,
+        report.packets,
+        report.attack_flows,
+        report.tainted_sources,
+        report.repeats,
+        report.header_lane_pps,
+        report.gate_pps,
+        report.gated_secs,
+        report.ungated_secs,
+        report.speedup,
+        report.reject_ratio,
+        report.gated_alerts,
+        report.ungated_alerts,
+        report.fp_delta,
+        report.fn_delta,
+        report.identical,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> BenchConfig {
+        BenchConfig {
+            seed: 42,
+            attack_flows: 6,
+            background_flows: 10,
+            tainted_sources: 8,
+            flows_per_source: 3,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic_and_time_ordered() {
+        let cfg = small_config();
+        let a = mixed_workload(&cfg);
+        let b = mixed_workload(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+    }
+
+    #[test]
+    fn gate_preserves_detection_and_rejects_tainted_background() {
+        let report = run(&small_config());
+        assert!(report.gated_alerts > 0, "the storm must alert: {report:?}");
+        assert_eq!(report.fp_delta, 0, "gating cannot add alerts: {report:?}");
+        assert_eq!(report.fn_delta, 0, "gating lost detections: {report:?}");
+        assert!(report.identical, "alert streams diverged: {report:?}");
+        assert!(
+            report.reject_ratio > 0.3,
+            "tainted background must be rejected: {report:?}"
+        );
+        assert!(report.header_lane_pps > 0.0 && report.gate_pps > 0.0);
+        let json = to_json(&report);
+        assert!(json.contains("\"bench\": \"prefilter\""));
+        assert!(json.contains("\"alerts_identical\": true"));
+        let table = render(&report);
+        assert!(table.contains("header lane"));
+        assert!(table.contains("byte-identical: yes"));
+    }
+}

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Traffic classification (paper §4.1).
 //!
 //! "Traffic classification is necessary to determine which packets are

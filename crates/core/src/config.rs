@@ -78,6 +78,13 @@ pub struct NidsConfig {
     /// their buffered state unanalyzed (`ShedUnanalyzed`, the seed
     /// behavior). On by default: eviction must not skip detection.
     pub analyze_on_evict: bool,
+    /// Run the three-lane pre-filter fast path between classification and
+    /// the flow table (`snids-prefilter`): suspicious-classified packets
+    /// that no lane escalates skip reassembly and deep analysis entirely,
+    /// accounted as `prefilter_rejected`. The header lane is seeded from
+    /// `honeypots` and `dark_nets`. On by default; disable for the
+    /// everything-is-analyzed baseline (`--prefilter off`).
+    pub prefilter: bool,
 }
 
 /// Environment variable that defaults [`NidsConfig::observability`].
@@ -110,6 +117,7 @@ impl Default for NidsConfig {
             dataflow: DataflowMode::default(),
             memory_budget: 0,
             analyze_on_evict: true,
+            prefilter: true,
         }
     }
 }
@@ -137,6 +145,9 @@ mod tests {
         // but shed victims are analyzed on the way out when one is set.
         assert_eq!(c.memory_budget, 0);
         assert!(c.analyze_on_evict);
+        // The fast path is on by default: rejected packets are cheap, and
+        // the e2e suite pins that attack alerts are unchanged by the gate.
+        assert!(c.prefilter);
         // Conservative default: first copy wins, matching the seed
         // engine's behavior (and Snort's classic policy).
         assert_eq!(

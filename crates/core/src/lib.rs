@@ -42,6 +42,7 @@ use snids_flow::{
 };
 use snids_obs::{Event, EventKind, Obs, Stage};
 use snids_packet::{Ipv4Header, Packet, TcpHeader, ETHERNET_HEADER_LEN};
+use snids_prefilter::{Decision, Lane, Prefilter, PrefilterConfig};
 use snids_semantic::{Analyzer, TemplateMatch};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -66,6 +67,10 @@ pub struct Nids {
     /// shared `snids_exec::global()` pool is used.
     exec: Option<snids_exec::ThreadPool>,
     chaos_panic_marker: Option<Vec<u8>>,
+    /// The three-lane pre-filter fast path between classification and the
+    /// flow table (`None` when `NidsConfig::prefilter` is off: every
+    /// suspicious packet reaches deep analysis, the seed behavior).
+    prefilter: Option<Prefilter>,
     verify_checksums: bool,
     max_frame_bytes: usize,
     /// When the dataflow second pass (slice matching + alternative stream
@@ -253,6 +258,12 @@ impl Nids {
             parallel: config.parallel,
             exec: (config.threads > 0).then(|| snids_exec::ThreadPool::new(config.threads)),
             chaos_panic_marker: config.chaos_analysis_panic_marker.clone(),
+            prefilter: config.prefilter.then(|| {
+                Prefilter::new(PrefilterConfig::deployment_rules(
+                    &config.honeypots,
+                    &config.dark_nets,
+                ))
+            }),
             verify_checksums: config.verify_checksums,
             max_frame_bytes: config.max_frame_bytes.max(1),
             dataflow: config.dataflow,
@@ -316,6 +327,16 @@ impl Nids {
         self.obs
             .set_named("snids_flows_analyzed_total", self.stats.flows_analyzed);
         self.obs.set_named("snids_alerts_total", self.stats.alerts);
+        self.obs
+            .set_named("snids_prefilter_passed_total", self.stats.prefilter_passed);
+        self.obs.set_named(
+            "snids_prefilter_escalated_total",
+            self.stats.prefilter_escalated,
+        );
+        self.obs.set_named(
+            "snids_prefilter_rejected_total",
+            self.stats.prefilter_rejected,
+        );
         self.obs
             .set_named("snids_budget_limit_bytes", self.budget.limit());
         self.obs
@@ -700,6 +721,50 @@ impl Nids {
             return;
         }
         self.stats.suspicious_packets += 1;
+        // Pre-filter fast path: suspicious packets no lane escalates skip
+        // reassembly and the analysis tail entirely. Flows already holding
+        // payload stay open-ended (a mid-analysis flow must see its tail).
+        if self.prefilter.is_some() {
+            let t_pf = Instant::now();
+            let key = FlowKey::of(packet);
+            let flow_buffered = key
+                .as_ref()
+                .and_then(|k| self.flows.get(k))
+                .map(|f| f.payload_bytes > 0)
+                .unwrap_or(false);
+            let decision = match self.prefilter.as_mut() {
+                Some(pf) => pf.decide(packet, flow_buffered),
+                None => Decision::Escalate(Lane::Control),
+            };
+            let prefilter_nanos = t_pf.elapsed().as_nanos() as u64;
+            self.stats.prefilter_nanos += prefilter_nanos;
+            if observing {
+                self.obs.record_stage(
+                    Stage::Prefilter,
+                    prefilter_nanos,
+                    packet.payload().len() as u64,
+                );
+            }
+            match decision {
+                Decision::Escalate(Lane::Sticky) => self.stats.prefilter_escalated += 1,
+                Decision::Escalate(_) => self.stats.prefilter_passed += 1,
+                Decision::Reject => {
+                    self.stats.prefilter_rejected += 1;
+                    self.stats.drops.inc(DropReason::PrefilterRejected);
+                    if observing {
+                        self.obs_event(
+                            Stage::Prefilter,
+                            EventKind::Drop,
+                            key.as_ref(),
+                            packet.payload().len() as u64,
+                            Some(DropReason::PrefilterRejected),
+                        );
+                    }
+                    self.note_pressure();
+                    return;
+                }
+            }
+        }
         let t1 = Instant::now();
         let outcome = self.flows.process_tracked(packet);
         let reassembly_nanos = t1.elapsed().as_nanos() as u64;
@@ -1690,6 +1755,10 @@ mod tests {
         let mut config = plan_config(&plan);
         config.memory_budget = 48 * 1024;
         config.flow_table.max_flows = 4096;
+        // The flood is benign text from suspicious sources — exactly what
+        // the pre-filter rejects. This test exercises the governor's
+        // shedding, so the gate must stay out of the way.
+        config.prefilter = false;
         let mut nids = Nids::new(config);
 
         // The planted exploit completes first, cold, before the flood.

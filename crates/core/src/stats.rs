@@ -60,11 +60,16 @@ pub enum DropReason {
     /// unanalyzed — a real detection gap (the seed behavior, and the
     /// governor's last resort when hand-off is disabled).
     ShedUnanalyzed,
+    /// Suspicious-classified packet rejected by the pre-filter fast path
+    /// (no lane escalated it): deep analysis was skipped by design.
+    /// Analysis-level — the packet was processed and counted; only the
+    /// expensive tail was elided.
+    PrefilterRejected,
 }
 
 impl DropReason {
     /// All reasons, in ledger order.
-    pub const ALL: [DropReason; 16] = [
+    pub const ALL: [DropReason; 17] = [
         DropReason::PcapRecordMalformed,
         DropReason::PcapRecordTruncated,
         DropReason::FrameUndecodable,
@@ -81,6 +86,7 @@ impl DropReason {
         DropReason::DataflowExhausted,
         DropReason::ShedAnalyzed,
         DropReason::ShedUnanalyzed,
+        DropReason::PrefilterRejected,
     ];
 
     /// Stable snake_case name (JSON key / CLI label).
@@ -102,6 +108,7 @@ impl DropReason {
             DropReason::DataflowExhausted => "dataflow_exhausted",
             DropReason::ShedAnalyzed => "shed_analyzed",
             DropReason::ShedUnanalyzed => "shed_unanalyzed",
+            DropReason::PrefilterRejected => "prefilter_rejected",
         }
     }
 
@@ -201,6 +208,20 @@ pub struct PipelineStats {
     pub processed: u64,
     /// Packets classified suspicious.
     pub suspicious_packets: u64,
+    /// Suspicious packets the pre-filter passed to deep analysis on their
+    /// own merits (a lane fired on *this* packet: header, signature or
+    /// n-gram — also counts payload-free control packets).
+    pub prefilter_passed: u64,
+    /// Suspicious packets escalated by stickiness: their source or flow
+    /// had already looked interesting, so the gate waved them through.
+    pub prefilter_escalated: u64,
+    /// Suspicious packets the pre-filter rejected (mirrors
+    /// `drop.prefilter_rejected`). With the gate enabled,
+    /// `suspicious_packets = prefilter_passed + prefilter_escalated +
+    /// prefilter_rejected`.
+    pub prefilter_rejected: u64,
+    /// Time in the pre-filter gate.
+    pub prefilter_nanos: u64,
     /// Flows handed to the analysis tail.
     pub flows_analyzed: u64,
     /// Binary frames extracted.
@@ -245,6 +266,17 @@ impl PipelineStats {
         }
     }
 
+    /// Fraction of suspicious packets the pre-filter rejected (0 when the
+    /// gate is off or nothing was suspicious).
+    pub fn prefilter_reject_ratio(&self) -> f64 {
+        let total = self.prefilter_passed + self.prefilter_escalated + self.prefilter_rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefilter_rejected as f64 / total as f64
+        }
+    }
+
     /// Fold a pcap reader's accounting into the record ledger.
     pub fn absorb_read_stats(&mut self, rs: &ReadStats) {
         self.records_in += rs.attempted();
@@ -262,6 +294,10 @@ impl PipelineStats {
         self.packets += other.packets;
         self.processed += other.processed;
         self.suspicious_packets += other.suspicious_packets;
+        self.prefilter_passed += other.prefilter_passed;
+        self.prefilter_escalated += other.prefilter_escalated;
+        self.prefilter_rejected += other.prefilter_rejected;
+        self.prefilter_nanos += other.prefilter_nanos;
         self.flows_analyzed += other.flows_analyzed;
         self.frames_extracted += other.frames_extracted;
         self.frame_bytes += other.frame_bytes;
@@ -352,6 +388,15 @@ impl PipelineStats {
                 self.degraded_flows
             ));
         }
+        if self.prefilter_passed + self.prefilter_escalated + self.prefilter_rejected > 0 {
+            out.push_str(&format!(
+                "  prefilter: passed={} escalated={} rejected={} (reject ratio {:.1}%)\n",
+                self.prefilter_passed,
+                self.prefilter_escalated,
+                self.prefilter_rejected,
+                self.prefilter_reject_ratio() * 100.0
+            ));
+        }
         out.push_str(&format!(
             "ledgers: records {} packets {}\n",
             if self.record_ledger_balanced() {
@@ -368,9 +413,8 @@ impl PipelineStats {
         out
     }
 
-    /// Serialize to a JSON object (hand-rolled; every value is an
-    /// unsigned integer or a nested object of them, so no escaping is
-    /// needed).
+    /// Serialize to a JSON object (hand-rolled; every value is a number
+    /// or a nested object of them, so no escaping is needed).
     pub fn to_json(&self) -> String {
         let mut drops = String::from("{");
         for (i, (reason, n)) in self.drops.iter().enumerate() {
@@ -380,8 +424,16 @@ impl PipelineStats {
             drops.push_str(&format!("\"{}\":{}", reason.name(), n));
         }
         drops.push('}');
+        let prefilter = format!(
+            "{{\"passed\":{},\"escalated\":{},\"rejected\":{},\"reject_ratio\":{:.4},\"nanos\":{}}}",
+            self.prefilter_passed,
+            self.prefilter_escalated,
+            self.prefilter_rejected,
+            self.prefilter_reject_ratio(),
+            self.prefilter_nanos,
+        );
         format!(
-            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"overlap_conflict_bytes\":{},\"memory_limit_bytes\":{},\"peak_tracked_bytes\":{},\"degraded_flows\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
+            "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"overlap_conflict_bytes\":{},\"memory_limit_bytes\":{},\"peak_tracked_bytes\":{},\"degraded_flows\":{},\"prefilter\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
             self.records_in,
             self.packets,
             self.processed,
@@ -394,6 +446,7 @@ impl PipelineStats {
             self.memory_limit_bytes,
             self.peak_tracked_bytes,
             self.degraded_flows,
+            prefilter,
             drops,
             self.drops.total(),
             self.classify_nanos,
@@ -531,6 +584,40 @@ mod tests {
         assert_eq!(s.memory_limit_bytes, 1000, "limit merges as max");
         assert_eq!(s.peak_tracked_bytes, 2000, "peak merges as max");
         assert_eq!(s.degraded_flows, 3);
+    }
+
+    #[test]
+    fn prefilter_counters_surface_everywhere_and_stay_off_the_ledgers() {
+        let mut s = PipelineStats::default();
+        assert_eq!(s.prefilter_reject_ratio(), 0.0);
+        assert!(!s.drop_report().contains("prefilter:"));
+        s.suspicious_packets = 10;
+        s.prefilter_passed = 4;
+        s.prefilter_escalated = 2;
+        s.prefilter_rejected = 4;
+        s.drops.add(DropReason::PrefilterRejected, 4);
+        assert!((s.prefilter_reject_ratio() - 0.4).abs() < 1e-12);
+        assert!(s.drop_report().contains("passed=4 escalated=2 rejected=4"));
+        assert!(s.drop_report().contains("reject ratio 40.0%"));
+        let j = s.to_json();
+        assert!(j.contains(
+            "\"prefilter\":{\"passed\":4,\"escalated\":2,\"rejected\":4,\"reject_ratio\":0.4000"
+        ));
+        // Rejection is analysis-level: ledgers unaffected.
+        assert!(!DropReason::PrefilterRejected.is_record_drop());
+        assert!(!DropReason::PrefilterRejected.is_packet_drop());
+        assert!(s.record_ledger_balanced());
+
+        let other = PipelineStats {
+            prefilter_passed: 1,
+            prefilter_escalated: 1,
+            prefilter_rejected: 8,
+            prefilter_nanos: 5,
+            ..PipelineStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.prefilter_rejected, 12);
+        assert_eq!(s.prefilter_nanos, 5);
     }
 
     #[test]

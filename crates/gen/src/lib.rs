@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Workload generation for the snids evaluation.
 //!
 //! Everything the paper's experiments consumed but we cannot download —

@@ -236,6 +236,59 @@ pub fn codered_capture<G: Rng>(
     (packets, truth)
 }
 
+/// Background traffic from *tainted-benign* sources: hosts that trip the
+/// suspicion classifier once (a stray SYN to a honeypot decoy — think a
+/// misconfigured scanner or a NATed office) and then carry on with
+/// perfectly ordinary text traffic to the real servers.
+///
+/// This is the population the pre-filter fast path exists for: the
+/// classifier keeps flagging every later packet from these sources as
+/// suspicious, yet none of it deserves reassembly or semantic analysis.
+/// All payloads are plain HTTP/SMTP text, so a correctly tuned gate
+/// rejects every data segment while the classifier alone would analyze
+/// them all. Flow counts and sizes are deterministic in `rng`.
+pub fn tainted_benign_flows<G: Rng>(
+    rng: &mut G,
+    plan: &AddressPlan,
+    sources: usize,
+    flows_per_source: usize,
+    start_ts: u64,
+) -> Vec<Packet> {
+    let mut out = Vec::new();
+    let mut ts = start_ts;
+    for _ in 0..sources {
+        let src = plan.external(rng);
+        // The one bad look: a probe to a decoy. From here on the
+        // classifier distrusts this source.
+        let hp = plan.honeypots[rng.gen_range(0..plan.honeypots.len())];
+        out.push(
+            PacketBuilder::new(src, hp)
+                .at(ts)
+                .tcp_syn(rng.gen_range(1025..65000), 80, rng.gen())
+                .expect("probe syn"),
+        );
+        ts += 700;
+        for _ in 0..flows_per_source {
+            let (dst, dport, payload) = match rng.gen_range(0..4) {
+                0..=2 => (plan.web_server, 80, benign::http_get(rng)),
+                _ => (plan.mail_server, 25, benign::smtp_session(rng)),
+            };
+            let train = tcp_flow_packets(
+                src,
+                dst,
+                rng.gen_range(1025..65000),
+                dport,
+                &payload,
+                ts,
+                rng.gen(),
+            );
+            ts += 250 * train.len() as u64;
+            out.extend(train);
+        }
+    }
+    out
+}
+
 /// The §5.4 benign corpus: application payloads totalling about
 /// `target_bytes`, mixed like a month of Class-C traffic (mostly web,
 /// some mail, some high-entropy downloads).
@@ -332,6 +385,31 @@ mod tests {
         assert!(total >= 256 * 1024);
         let http = corpus.iter().filter(|p| p.starts_with(b"GET ")).count();
         assert!(http > corpus.len() / 4, "mostly web traffic");
+    }
+
+    #[test]
+    fn tainted_benign_sources_probe_once_then_send_text() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = AddressPlan::default();
+        let pkts = tainted_benign_flows(&mut rng, &plan, 5, 3, 1000);
+        // One decoy probe per source.
+        let probes = pkts
+            .iter()
+            .filter(|p| {
+                p.dst_ip()
+                    .map(|d| plan.honeypots.contains(&d))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(probes, 5);
+        // Every data payload is printable application text.
+        for p in &pkts {
+            assert!(p
+                .payload()
+                .iter()
+                .all(|&b| (0x20..0x7f).contains(&b) || b == b'\r' || b == b'\n' || b == b'\t'));
+        }
+        assert!(pkts.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Dataflow static analysis over execution-order IR traces.
 //!
-//! The instruction-run matcher ([`snids-semantic`]'s unification engine)
+//! The instruction-run matcher (`snids-semantic`'s unification engine)
 //! needs every template step present and decodable. When a desync fault or
 //! overlap garbage corrupts part of a frame, the *instructions* break but
 //! the surviving prefix often still carries the decoder's *dataflow*: a

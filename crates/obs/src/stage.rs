@@ -27,11 +27,15 @@ pub enum Stage {
     /// Dataflow second pass: def-use/register-state analysis and
     /// slice-based matching on near-miss frames.
     Dataflow = 8,
+    /// Pre-filter fast path: three-lane escalate/reject gate between
+    /// classification and the flow table.
+    Prefilter = 9,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 9] = [
+    /// Every stage, in discriminant order (the pre-filter is a late
+    /// addition, so its code sits past the stages it runs between).
+    pub const ALL: [Stage; 10] = [
         Stage::Capture,
         Stage::Classify,
         Stage::Defrag,
@@ -41,6 +45,7 @@ impl Stage {
         Stage::IrLift,
         Stage::TemplateMatch,
         Stage::Dataflow,
+        Stage::Prefilter,
     ];
 
     /// Stable snake_case name (metric label / JSON key).
@@ -55,6 +60,7 @@ impl Stage {
             Stage::IrLift => "ir_lift",
             Stage::TemplateMatch => "template_match",
             Stage::Dataflow => "dataflow",
+            Stage::Prefilter => "prefilter",
         }
     }
 

@@ -1,0 +1,246 @@
+//! SIMD-friendly batched header matching.
+//!
+//! The header lane's per-packet cost is already four loads and three
+//! `AND`s; what keeps a scalar loop off ~1 M pkts/s is pointer-chasing
+//! through [`Packet`](snids_packet::Packet) structs. [`HeaderBatch`]
+//! swizzles the matchable fields into structure-of-arrays form — five
+//! parallel fixed-width vectors — so the match loop streams over dense
+//! `u32`/`u16`/`u8` lanes the compiler can unroll and vectorize, and the
+//! lookup tables stay hot in cache across the whole chunk.
+//!
+//! ```
+//! use snids_prefilter::{HeaderBatch, HeaderLane, HeaderRule};
+//! use std::net::Ipv4Addr;
+//!
+//! let lane = HeaderLane::compile(&[HeaderRule::to_host(
+//!     "decoy",
+//!     Ipv4Addr::new(192, 168, 1, 200),
+//! )]);
+//! let mut batch = HeaderBatch::with_capacity(64);
+//! // ... batch.push_packet(&pkt) for each packet in the chunk ...
+//! let mut masks = vec![0u32; batch.len()];
+//! lane.match_batch(&batch, &mut masks);
+//! ```
+
+use crate::header::{HeaderFields, HeaderLane};
+use snids_packet::Packet;
+
+/// Preferred chunk size: big enough to amortize loop overhead, small
+/// enough that all five lanes of one chunk fit in L1.
+pub const BATCH_CHUNK: usize = 256;
+
+/// A structure-of-arrays batch of header fields. All five vectors always
+/// have the same length; index `i` across them is packet `i`.
+#[derive(Debug, Default, Clone)]
+pub struct HeaderBatch {
+    /// Source addresses, big-endian integers.
+    pub src: Vec<u32>,
+    /// Destination addresses, big-endian integers.
+    pub dst: Vec<u32>,
+    /// Destination ports (0 when not TCP/UDP).
+    pub dst_port: Vec<u16>,
+    /// IP protocol numbers (255 for non-IPv4 frames).
+    pub proto: Vec<u8>,
+    /// TCP flag bytes (0 when not TCP).
+    pub flags: Vec<u8>,
+}
+
+impl HeaderBatch {
+    /// An empty batch with room for `cap` packets in every lane.
+    pub fn with_capacity(cap: usize) -> HeaderBatch {
+        HeaderBatch {
+            src: Vec::with_capacity(cap),
+            dst: Vec::with_capacity(cap),
+            dst_port: Vec::with_capacity(cap),
+            proto: Vec::with_capacity(cap),
+            flags: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Drop all packets, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.src.clear();
+        self.dst.clear();
+        self.dst_port.clear();
+        self.proto.clear();
+        self.flags.clear();
+    }
+
+    /// Append one packet's pre-extracted fields.
+    pub fn push(&mut self, f: HeaderFields) {
+        self.src.push(f.src);
+        self.dst.push(f.dst);
+        self.dst_port.push(f.dst_port);
+        self.proto.push(f.proto);
+        self.flags.push(f.flags);
+    }
+
+    /// Extract and append the fields of a decoded packet.
+    pub fn push_packet(&mut self, packet: &Packet) {
+        self.push(HeaderFields::of(packet));
+    }
+
+    /// Swizzle a slice of packets into a fresh batch.
+    pub fn from_packets(packets: &[Packet]) -> HeaderBatch {
+        let mut b = HeaderBatch::with_capacity(packets.len());
+        for p in packets {
+            b.push_packet(p);
+        }
+        b
+    }
+
+    /// The fields of packet `i` re-assembled (for diagnostics and tests).
+    pub fn fields(&self, i: usize) -> HeaderFields {
+        HeaderFields {
+            src: self.src[i],
+            dst: self.dst[i],
+            dst_port: self.dst_port[i],
+            proto: self.proto[i],
+            flags: self.flags[i],
+        }
+    }
+}
+
+impl HeaderLane {
+    /// Match every packet in the batch, writing rule bitmasks into `out`
+    /// (`out[i]` = [`match_mask`](HeaderLane::match_mask) of packet `i`).
+    ///
+    /// `out` must be at least `batch.len()` long; excess entries are left
+    /// untouched. The loop is written over dense parallel slices in
+    /// [`BATCH_CHUNK`]-sized strides so the compiler can keep the table
+    /// bases in registers and vectorize the flag/proto gathers.
+    pub fn match_batch(&self, batch: &HeaderBatch, out: &mut [u32]) {
+        let n = batch.len();
+        assert!(out.len() >= n, "output buffer shorter than batch");
+        let mut i = 0;
+        while i < n {
+            let end = (i + BATCH_CHUNK).min(n);
+            let (src, dst) = (&batch.src[i..end], &batch.dst[i..end]);
+            let (port, proto) = (&batch.dst_port[i..end], &batch.proto[i..end]);
+            let flags = &batch.flags[i..end];
+            for (k, o) in out[i..end].iter_mut().enumerate() {
+                *o = self.match_fields(src[k], dst[k], port[k], proto[k], flags[k]);
+            }
+            i = end;
+        }
+    }
+
+    /// Count of batch packets matching any rule (convenience over
+    /// [`match_batch`](HeaderLane::match_batch) when only totals matter —
+    /// the bench's hot loop).
+    pub fn count_batch(&self, batch: &HeaderBatch) -> usize {
+        let n = batch.len();
+        let mut hits = 0usize;
+        for j in 0..n {
+            let m = self.match_fields(
+                batch.src[j],
+                batch.dst[j],
+                batch.dst_port[j],
+                batch.proto[j],
+                batch.flags[j],
+            );
+            hits += (m != 0) as usize;
+        }
+        hits
+    }
+
+    /// Scalar kernel shared by the batch loops: identical arithmetic to
+    /// [`match_mask`](HeaderLane::match_mask) but over unpacked lanes.
+    #[inline(always)]
+    fn match_fields(&self, src: u32, dst: u32, dst_port: u16, proto: u8, flags: u8) -> u32 {
+        self.match_mask(&HeaderFields {
+            src,
+            dst,
+            dst_port,
+            proto,
+            flags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::HeaderRule;
+    use std::net::Ipv4Addr;
+
+    fn fields(dst: [u8; 4], dst_port: u16) -> HeaderFields {
+        HeaderFields {
+            src: u32::from(Ipv4Addr::new(198, 18, 0, 1)),
+            dst: u32::from(Ipv4Addr::from(dst)),
+            dst_port,
+            proto: 6,
+            flags: 0x18,
+        }
+    }
+
+    #[test]
+    fn batch_masks_agree_with_scalar_path() {
+        let lane = HeaderLane::compile(&[
+            HeaderRule::to_host("decoy", Ipv4Addr::new(192, 168, 1, 200)),
+            HeaderRule::to_net("dark", Ipv4Addr::new(10, 99, 0, 0), 16),
+        ]);
+        let mut batch = HeaderBatch::default();
+        let inputs = [
+            fields([192, 168, 1, 200], 80),
+            fields([192, 168, 1, 10], 80),
+            fields([10, 99, 7, 7], 23),
+            fields([8, 8, 8, 8], 53),
+        ];
+        for f in inputs {
+            batch.push(f);
+        }
+        let mut masks = vec![0u32; batch.len()];
+        lane.match_batch(&batch, &mut masks);
+        for (i, f) in inputs.iter().enumerate() {
+            assert_eq!(masks[i], lane.match_mask(f), "packet {i}");
+            assert_eq!(batch.fields(i), *f);
+        }
+        assert_eq!(lane.count_batch(&batch), 2);
+    }
+
+    #[test]
+    fn batch_spanning_multiple_chunks_is_fully_matched() {
+        let lane = HeaderLane::compile(&[HeaderRule::to_host(
+            "decoy",
+            Ipv4Addr::new(192, 168, 1, 200),
+        )]);
+        let mut batch = HeaderBatch::with_capacity(3 * BATCH_CHUNK + 17);
+        for i in 0..(3 * BATCH_CHUNK + 17) {
+            // Every third packet hits the decoy.
+            let dst = if i % 3 == 0 {
+                [192, 168, 1, 200]
+            } else {
+                [192, 168, 1, 10]
+            };
+            batch.push(fields(dst, 80));
+        }
+        let mut masks = vec![0u32; batch.len()];
+        lane.match_batch(&batch, &mut masks);
+        let hits = masks.iter().filter(|&&m| m != 0).count();
+        assert_eq!(hits, lane.count_batch(&batch));
+        assert_eq!(hits, (3 * BATCH_CHUNK + 17).div_ceil(3));
+    }
+
+    #[test]
+    fn clear_keeps_lanes_in_lockstep() {
+        let mut b = HeaderBatch::default();
+        b.push(fields([1, 2, 3, 4], 80));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dst_port.len(), 0);
+        assert_eq!(b.flags.len(), 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! The branch-free packed header-match lane.
+//!
+//! Predicates over the five-tuple and TCP flags are compiled into flat
+//! per-field lookup tables, one bit per rule ("Novel Header Matching
+//! Algorithm": the root of the predicate trie collapses into a direct
+//! lookup). Matching one packet is then four table loads and three `AND`s
+//! — no branches, no per-rule iteration — and a packet matches rule `r`
+//! exactly when bit `r` survives every field's mask:
+//!
+//! ```text
+//! match_mask = port_bits[dst_port] & proto_bits[proto]
+//!            & flag_bits[tcp_flags] & ip_bits(src, dst)
+//! ```
+//!
+//! The lane is intentionally tiny (at most [`MAX_RULES`] rules): it is not
+//! a general rule engine but the *escalation* half of the pre-filter —
+//! "traffic shaped like this always deserves deep analysis" — so rules
+//! name honeypot decoys, dark ranges and similar always-interesting
+//! destinations. [`HeaderRule::matches_naive`] is the reference semantics
+//! the compiled tables are property-tested against byte-for-byte.
+
+use snids_packet::Packet;
+use std::net::Ipv4Addr;
+
+/// Hard cap on compiled rules: one bit per rule in a `u32` match mask.
+pub const MAX_RULES: usize = 32;
+
+/// One header predicate. Every field is optional; a rule matches a packet
+/// when **all** of its set fields match (`None` = wildcard). An empty rule
+/// matches everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderRule {
+    /// Diagnostic name (shows up in lane statistics, not in alerts).
+    pub name: &'static str,
+    /// Destination-port range, inclusive.
+    pub dst_ports: Option<(u16, u16)>,
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub proto: Option<u8>,
+    /// TCP-flag mask: matches when `flags & mask != 0`. A packet with no
+    /// TCP header carries flags `0`, so flag rules never match non-TCP.
+    pub tcp_flags_any: Option<u8>,
+    /// Source network as `(network, prefix_len)`.
+    pub src_net: Option<(Ipv4Addr, u8)>,
+    /// Destination network as `(network, prefix_len)`.
+    pub dst_net: Option<(Ipv4Addr, u8)>,
+}
+
+impl HeaderRule {
+    /// A rule matching everything (fill in fields from here).
+    pub fn any(name: &'static str) -> Self {
+        HeaderRule {
+            name,
+            dst_ports: None,
+            proto: None,
+            tcp_flags_any: None,
+            src_net: None,
+            dst_net: None,
+        }
+    }
+
+    /// A rule matching all traffic **to** one host (the honeypot-decoy
+    /// shape: anything sent there is interesting by definition).
+    pub fn to_host(name: &'static str, dst: Ipv4Addr) -> Self {
+        HeaderRule {
+            dst_net: Some((dst, 32)),
+            ..HeaderRule::any(name)
+        }
+    }
+
+    /// A rule matching all traffic into a destination network.
+    pub fn to_net(name: &'static str, net: Ipv4Addr, prefix: u8) -> Self {
+        HeaderRule {
+            dst_net: Some((net, prefix)),
+            ..HeaderRule::any(name)
+        }
+    }
+
+    /// Reference semantics: evaluate every predicate directly, one field
+    /// at a time. The compiled [`HeaderLane`] must agree with this for
+    /// every possible input — the differential property test's oracle.
+    pub fn matches_naive(&self, f: &HeaderFields) -> bool {
+        if let Some((lo, hi)) = self.dst_ports {
+            if f.dst_port < lo || f.dst_port > hi {
+                return false;
+            }
+        }
+        if let Some(p) = self.proto {
+            if f.proto != p {
+                return false;
+            }
+        }
+        if let Some(mask) = self.tcp_flags_any {
+            // The packet parser keeps 6 flag bits; the lane tables match.
+            if (f.flags & 0x3f) & mask == 0 {
+                return false;
+            }
+        }
+        if let Some((net, prefix)) = self.src_net {
+            if !net_contains(net, prefix, f.src) {
+                return false;
+            }
+        }
+        if let Some((net, prefix)) = self.dst_net {
+            if !net_contains(net, prefix, f.dst) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn prefix_mask(prefix: u8) -> u32 {
+    match prefix {
+        0 => 0,
+        p if p >= 32 => u32::MAX,
+        p => u32::MAX << (32 - p),
+    }
+}
+
+fn net_contains(net: Ipv4Addr, prefix: u8, addr: u32) -> bool {
+    let mask = prefix_mask(prefix);
+    addr & mask == u32::from(net) & mask
+}
+
+/// The header fields the lane matches on, pre-extracted from a packet so
+/// batches can be swizzled into structure-of-arrays form (see
+/// [`HeaderBatch`](crate::HeaderBatch)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeaderFields {
+    /// Source address as a big-endian integer.
+    pub src: u32,
+    /// Destination address as a big-endian integer.
+    pub dst: u32,
+    /// Destination transport port (0 when not TCP/UDP).
+    pub dst_port: u16,
+    /// IP protocol number (255 when the frame carries no IPv4).
+    pub proto: u8,
+    /// TCP flag byte (0 when not TCP).
+    pub flags: u8,
+}
+
+impl HeaderFields {
+    /// Extract the matchable fields from a decoded packet.
+    pub fn of(packet: &Packet) -> HeaderFields {
+        let (src, dst, proto) = match packet.ip() {
+            Some(ip) => (u32::from(ip.src), u32::from(ip.dst), ip.protocol.value()),
+            None => (0, 0, 0xff),
+        };
+        HeaderFields {
+            src,
+            dst,
+            dst_port: packet.dst_port().unwrap_or(0),
+            proto,
+            flags: packet.tcp().map(|t| t.flags.0).unwrap_or(0),
+        }
+    }
+}
+
+/// One compiled subnet predicate, evaluated branch-free: the rule's bit
+/// survives only when both masked compares come out equal.
+#[derive(Debug, Clone, Copy)]
+struct NetPred {
+    src_mask: u32,
+    src_val: u32,
+    dst_mask: u32,
+    dst_val: u32,
+    bit: u32,
+}
+
+/// The compiled header-match lane: flat per-field lookup tables ANDed
+/// into a per-packet rule bitmask.
+#[derive(Debug, Clone)]
+pub struct HeaderLane {
+    /// `port_bits[p]`: rules whose destination-port predicate accepts `p`.
+    port_bits: Box<[u32; 65536]>,
+    /// `proto_bits[p]`: rules whose protocol predicate accepts number `p`.
+    proto_bits: [u32; 256],
+    /// `flag_bits[f]`: rules whose TCP-flag predicate accepts flag byte
+    /// `f` (the parser keeps 6 flag bits, so 64 entries suffice).
+    flag_bits: [u32; 64],
+    /// Rules with at least one subnet predicate, evaluated arithmetically.
+    nets: Vec<NetPred>,
+    /// Rules with no subnet predicate (always survive the IP stage).
+    ip_any: u32,
+    /// The source rules, in bit order (for naming / statistics).
+    rules: Vec<HeaderRule>,
+}
+
+impl HeaderLane {
+    /// Compile a rule list into the flat tables. At most [`MAX_RULES`]
+    /// rules are compiled; any beyond that are ignored (the lane is an
+    /// escalation filter, not a full rule engine — [`Self::truncated`]
+    /// reports whether that happened).
+    pub fn compile(rules: &[HeaderRule]) -> HeaderLane {
+        let kept: Vec<HeaderRule> = rules.iter().take(MAX_RULES).cloned().collect();
+        let mut port_bits = vec![0u32; 65536].into_boxed_slice();
+        let mut proto_bits = [0u32; 256];
+        let mut flag_bits = [0u32; 64];
+        let mut nets = Vec::new();
+        let mut ip_any = 0u32;
+
+        for (r, rule) in kept.iter().enumerate() {
+            let bit = 1u32 << r;
+            let (lo, hi) = rule.dst_ports.unwrap_or((0, u16::MAX));
+            for p in lo..=hi {
+                port_bits[p as usize] |= bit;
+            }
+            match rule.proto {
+                Some(p) => proto_bits[p as usize] |= bit,
+                None => {
+                    for slot in proto_bits.iter_mut() {
+                        *slot |= bit;
+                    }
+                }
+            }
+            for (f, slot) in flag_bits.iter_mut().enumerate() {
+                let ok = match rule.tcp_flags_any {
+                    Some(mask) => (f as u8) & mask != 0,
+                    None => true,
+                };
+                if ok {
+                    *slot |= bit;
+                }
+            }
+            if rule.src_net.is_none() && rule.dst_net.is_none() {
+                ip_any |= bit;
+            } else {
+                let (src_mask, src_val) = match rule.src_net {
+                    Some((net, prefix)) => {
+                        let m = prefix_mask(prefix);
+                        (m, u32::from(net) & m)
+                    }
+                    None => (0, 0),
+                };
+                let (dst_mask, dst_val) = match rule.dst_net {
+                    Some((net, prefix)) => {
+                        let m = prefix_mask(prefix);
+                        (m, u32::from(net) & m)
+                    }
+                    None => (0, 0),
+                };
+                nets.push(NetPred {
+                    src_mask,
+                    src_val,
+                    dst_mask,
+                    dst_val,
+                    bit,
+                });
+            }
+        }
+
+        // The boxed-array conversion cannot fail: the Vec has exactly
+        // 65536 elements by construction.
+        let port_bits: Box<[u32; 65536]> = match port_bits.try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("port table is 65536 entries"),
+        };
+        HeaderLane {
+            port_bits,
+            proto_bits,
+            flag_bits,
+            nets,
+            ip_any,
+            rules: kept,
+        }
+    }
+
+    /// The compiled rules, in bit order.
+    pub fn rules(&self) -> &[HeaderRule] {
+        &self.rules
+    }
+
+    /// True when `compile` was handed more than [`MAX_RULES`] rules and
+    /// dropped the excess.
+    pub fn truncated(&self, source_len: usize) -> bool {
+        source_len > self.rules.len()
+    }
+
+    /// Rules whose subnet predicates accept `(src, dst)`, evaluated with
+    /// masked compares turned into arithmetic (no data-dependent branch).
+    #[inline]
+    fn ip_bits(&self, src: u32, dst: u32) -> u32 {
+        let mut bits = self.ip_any;
+        for n in &self.nets {
+            let src_ok = (src & n.src_mask == n.src_val) as u32;
+            let dst_ok = (dst & n.dst_mask == n.dst_val) as u32;
+            bits |= n.bit * (src_ok & dst_ok);
+        }
+        bits
+    }
+
+    /// Bitmask of rules matching these fields (bit `r` = rule `r`); `0`
+    /// means no rule matched. Four table loads and three ANDs.
+    #[inline]
+    pub fn match_mask(&self, f: &HeaderFields) -> u32 {
+        self.port_bits[f.dst_port as usize]
+            & self.proto_bits[f.proto as usize]
+            & self.flag_bits[(f.flags & 0x3f) as usize]
+            & self.ip_bits(f.src, f.dst)
+    }
+
+    /// Does any rule match?
+    #[inline]
+    pub fn matches(&self, f: &HeaderFields) -> bool {
+        self.match_mask(f) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snids_packet::PacketBuilder;
+
+    fn fields(src: [u8; 4], dst: [u8; 4], dst_port: u16, proto: u8, flags: u8) -> HeaderFields {
+        HeaderFields {
+            src: u32::from(Ipv4Addr::from(src)),
+            dst: u32::from(Ipv4Addr::from(dst)),
+            dst_port,
+            proto,
+            flags,
+        }
+    }
+
+    #[test]
+    fn decoy_rule_matches_only_that_destination() {
+        let decoy = Ipv4Addr::new(192, 168, 1, 200);
+        let lane = HeaderLane::compile(&[HeaderRule::to_host("decoy", decoy)]);
+        assert_eq!(
+            lane.match_mask(&fields([1, 2, 3, 4], [192, 168, 1, 200], 80, 6, 0x18)),
+            1
+        );
+        assert_eq!(
+            lane.match_mask(&fields([1, 2, 3, 4], [192, 168, 1, 10], 80, 6, 0x18)),
+            0
+        );
+    }
+
+    #[test]
+    fn port_range_proto_and_flags_compose_as_and() {
+        let rule = HeaderRule {
+            dst_ports: Some((100, 200)),
+            proto: Some(6),
+            tcp_flags_any: Some(0x02), // SYN
+            ..HeaderRule::any("syn-to-low-ports")
+        };
+        let lane = HeaderLane::compile(std::slice::from_ref(&rule));
+        let hit = fields([9, 9, 9, 9], [10, 0, 0, 1], 150, 6, 0x02);
+        assert!(lane.matches(&hit));
+        assert!(rule.matches_naive(&hit));
+        for miss in [
+            fields([9, 9, 9, 9], [10, 0, 0, 1], 99, 6, 0x02), // port low
+            fields([9, 9, 9, 9], [10, 0, 0, 1], 201, 6, 0x02), // port high
+            fields([9, 9, 9, 9], [10, 0, 0, 1], 150, 17, 0x02), // not tcp
+            fields([9, 9, 9, 9], [10, 0, 0, 1], 150, 6, 0x10), // no syn
+        ] {
+            assert!(!lane.matches(&miss));
+            assert!(!rule.matches_naive(&miss));
+        }
+    }
+
+    #[test]
+    fn subnet_rules_honor_prefixes_including_zero() {
+        let lane = HeaderLane::compile(&[
+            HeaderRule::to_net("dark", Ipv4Addr::new(10, 99, 0, 0), 16),
+            HeaderRule {
+                src_net: Some((Ipv4Addr::new(0, 0, 0, 0), 0)),
+                ..HeaderRule::any("everything")
+            },
+        ]);
+        // Dark destination: both rules (prefix 0 matches all sources).
+        assert_eq!(
+            lane.match_mask(&fields([1, 1, 1, 1], [10, 99, 55, 2], 80, 6, 0)),
+            0b11
+        );
+        // Elsewhere: only the catch-all.
+        assert_eq!(
+            lane.match_mask(&fields([1, 1, 1, 1], [10, 98, 55, 2], 80, 6, 0)),
+            0b10
+        );
+    }
+
+    #[test]
+    fn rules_past_the_cap_are_ignored_and_reported() {
+        let rules: Vec<HeaderRule> = (0..40)
+            .map(|i| HeaderRule::to_host("h", Ipv4Addr::new(10, 0, 0, i)))
+            .collect();
+        let lane = HeaderLane::compile(&rules);
+        assert_eq!(lane.rules().len(), MAX_RULES);
+        assert!(lane.truncated(rules.len()));
+        assert!(!lane.truncated(MAX_RULES));
+    }
+
+    #[test]
+    fn fields_extraction_matches_packet_headers() {
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let p = b
+            .tcp(
+                1234,
+                80,
+                7,
+                0,
+                snids_packet::TcpFlags::PSH | snids_packet::TcpFlags::ACK,
+                b"x",
+            )
+            .unwrap();
+        let f = HeaderFields::of(&p);
+        assert_eq!(f.dst_port, 80);
+        assert_eq!(f.proto, 6);
+        assert_eq!(f.flags, 0x18);
+        assert_eq!(f.dst, u32::from(Ipv4Addr::new(10, 0, 0, 2)));
+        let u = b.udp(999, 53, b"q").unwrap();
+        let fu = HeaderFields::of(&u);
+        assert_eq!(fu.proto, 17);
+        assert_eq!(fu.flags, 0, "udp carries no tcp flags");
+    }
+}

@@ -1,0 +1,204 @@
+//! The position-aware n-gram suspicion score.
+//!
+//! "Exploiting n-gram location" observation: *where* a byte pattern sits
+//! in a payload carries signal. Injected-code payloads front-load a sled
+//! (runs of single-byte no-op-class instructions) and tail-load a return
+//! address repeated with period 4, while legitimate application traffic on
+//! the same ports is overwhelmingly printable text everywhere. The scorer
+//! folds both observations into one integer pass:
+//!
+//! * a 256-entry **byte-class weight table** (non-printable and high
+//!   bytes score, printable text scores zero), with a separate *early*
+//!   table that boosts sled-class opcodes inside the leading window;
+//! * a **period-4 repeat bonus** over the trailing window (a `0xdeadbeef`
+//!   retaddr array is exactly a period-4 byte sequence).
+//!
+//! The total is normalized per byte (×1000, integer arithmetic only) and
+//! compared against a threshold. Benign text lands near 0; encoded or
+//! polymorphic payloads land 4–10× above the default threshold — the gate
+//! errs toward escalation, because a false *escalation* costs only time
+//! while a false *rejection* costs a detection.
+
+/// Scorer parameters.
+#[derive(Debug, Clone)]
+pub struct NgramConfig {
+    /// Escalation threshold in milli-points per payload byte.
+    pub threshold_milli: u32,
+    /// Leading bytes treated as the sled zone (early-table weights).
+    pub early_window: usize,
+    /// Trailing bytes scanned for period-4 repeats (the retaddr zone).
+    pub tail_window: usize,
+}
+
+impl Default for NgramConfig {
+    fn default() -> Self {
+        NgramConfig {
+            threshold_milli: 250,
+            early_window: 256,
+            tail_window: 256,
+        }
+    }
+}
+
+/// Weight added per byte of period-4 repetition in the tail window.
+const REPEAT_WEIGHT: u32 = 2;
+
+/// The compiled scorer: two flat weight tables plus the repeat scan.
+#[derive(Debug, Clone)]
+pub struct NgramScorer {
+    config: NgramConfig,
+    /// Base per-byte weights (position-independent).
+    weights: [u8; 256],
+    /// Weights applied inside the leading `early_window` bytes.
+    weights_early: [u8; 256],
+}
+
+/// Single-byte opcodes that dominate classic and polymorphic sleds (NOP,
+/// `xchg`, one-byte arithmetic flag ops) — all outside printable ASCII, so
+/// boosting them cannot tax text.
+const SLED_OPS: [u8; 22] = [
+    0x90, 0x91, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, // nop / xchg r32,eax
+    0x98, 0x99, // cwde / cdq
+    0x9b, 0x9c, 0x9e, 0x9f, // wait / pushf / sahf / lahf
+    0xf5, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd, // cmc clc stc cli sti cld std
+    0xd6, // salc
+];
+
+impl NgramScorer {
+    /// Build the scorer's weight tables for a configuration.
+    pub fn new(config: NgramConfig) -> Self {
+        let mut weights = [0u8; 256];
+        for (b, w) in weights.iter_mut().enumerate() {
+            let b = b as u8;
+            let printable = (0x20..=0x7e).contains(&b) || b == b'\t' || b == b'\n' || b == b'\r';
+            if !printable {
+                *w = 2;
+            }
+        }
+        let mut weights_early = weights;
+        for op in SLED_OPS {
+            weights_early[op as usize] = 5;
+        }
+        NgramScorer {
+            config,
+            weights,
+            weights_early,
+        }
+    }
+
+    /// The configuration the scorer was built with.
+    pub fn config(&self) -> &NgramConfig {
+        &self.config
+    }
+
+    /// Per-byte suspicion in milli-points: `(Σ weight) * 1000 / len`.
+    /// Empty payloads score 0.
+    pub fn score_milli(&self, payload: &[u8]) -> u32 {
+        if payload.is_empty() {
+            return 0;
+        }
+        let early = self.config.early_window.min(payload.len());
+        let mut total: u32 = 0;
+        for &b in &payload[..early] {
+            total += u32::from(self.weights_early[b as usize]);
+        }
+        for &b in &payload[early..] {
+            total += u32::from(self.weights[b as usize]);
+        }
+        // Period-4 repeats in the tail: retaddr arrays. Gated to
+        // suspicious-class bytes — addresses are binary, while long runs
+        // of printable padding ('AAAA…') are everyday benign filler and
+        // must stay at zero.
+        if payload.len() > 4 {
+            let tail_start = payload.len().saturating_sub(self.config.tail_window).max(4);
+            for i in tail_start..payload.len() {
+                let repeat = payload[i] == payload[i - 4];
+                let binary = self.weights[payload[i] as usize] > 0;
+                total += REPEAT_WEIGHT * u32::from(repeat && binary);
+            }
+        }
+        ((total as u64) * 1000 / payload.len() as u64) as u32
+    }
+
+    /// Does the payload clear the escalation threshold?
+    pub fn is_suspicious(&self, payload: &[u8]) -> bool {
+        self.score_milli(payload) >= self.config.threshold_milli
+    }
+}
+
+impl Default for NgramScorer {
+    fn default() -> Self {
+        NgramScorer::new(NgramConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn benign_text_scores_near_zero() {
+        let s = NgramScorer::default();
+        let req = b"GET /index.html HTTP/1.1\r\nHost: www.example.com\r\nUser-Agent: \
+                    Mozilla/4.0 (compatible; MSIE 6.0)\r\nAccept: */*\r\n\r\n";
+        assert_eq!(s.score_milli(req), 0);
+        assert!(!s.is_suspicious(req));
+    }
+
+    #[test]
+    fn nop_sled_payload_clears_the_threshold_by_a_wide_margin() {
+        let s = NgramScorer::default();
+        let mut payload = vec![0x90u8; 200];
+        payload.extend_from_slice(&[0x31, 0xc0, 0x50, 0xb0, 0x0b, 0xcd, 0x80]);
+        let score = s.score_milli(&payload);
+        assert!(
+            score >= 4 * s.config().threshold_milli,
+            "sled scored only {score}"
+        );
+    }
+
+    #[test]
+    fn retaddr_tail_is_position_aware() {
+        let s = NgramScorer::default();
+        // Mostly text, but a period-4 return-address array at the end —
+        // the classic stack-smash layout.
+        let mut payload = vec![b'A'; 900];
+        for _ in 0..100 {
+            payload.extend_from_slice(&[0xbf, 0xff, 0xf1, 0x04]);
+        }
+        assert!(s.is_suspicious(&payload), "{}", s.score_milli(&payload));
+        // The same length of pure printable padding is clean.
+        let text = vec![b'A'; 1300];
+        assert!(!s.is_suspicious(&text));
+    }
+
+    #[test]
+    fn high_entropy_binary_escalates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = NgramScorer::default();
+        let blob: Vec<u8> = (0..2048).map(|_| rng.gen()).collect();
+        assert!(s.is_suspicious(&blob), "{}", s.score_milli(&blob));
+    }
+
+    #[test]
+    fn empty_and_tiny_payloads_do_not_panic() {
+        let s = NgramScorer::default();
+        assert_eq!(s.score_milli(&[]), 0);
+        for n in 1..8 {
+            let _ = s.score_milli(&vec![0x90u8; n]);
+            let _ = s.score_milli(&vec![b'a'; n]);
+        }
+    }
+
+    #[test]
+    fn printable_padding_runs_never_escalate() {
+        // "XXXX..." padding is period-4-repetitive but printable; the
+        // repeat bonus is gated to binary bytes so overflow-style text
+        // padding alone (common in benign uploads too) scores zero.
+        let s = NgramScorer::default();
+        let payload = vec![b'X'; 1400];
+        assert_eq!(s.score_milli(&payload), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Differential property tests: the compiled, branch-free header lane
+//! must agree **byte-for-byte** with the naive per-predicate oracle
+//! ([`HeaderRule::matches_naive`]) over arbitrary rules and arbitrary
+//! packets — every rule bit, not just the any-match boolean — and the
+//! batched SoA path must agree with the scalar path.
+
+use proptest::prelude::*;
+use snids_prefilter::{HeaderBatch, HeaderFields, HeaderLane, HeaderRule, MAX_RULES};
+use std::net::Ipv4Addr;
+
+/// Interned rule names: `HeaderRule.name` is `&'static str` (rules are
+/// compiled once at startup in production), so test rules share a pool.
+const NAMES: [&str; 4] = ["alpha", "bravo", "charlie", "delta"];
+
+fn arb_rule() -> impl Strategy<Value = HeaderRule> {
+    (
+        0usize..NAMES.len(),
+        proptest::option::of((any::<u16>(), any::<u16>())),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of((any::<u32>(), 0u8..=40)),
+        proptest::option::of((any::<u32>(), 0u8..=40)),
+    )
+        .prop_map(|(name, ports, proto, flags, src, dst)| HeaderRule {
+            name: NAMES[name],
+            // Normalize the range so (lo, hi) is inclusive and ordered.
+            dst_ports: ports.map(|(a, b)| (a.min(b), a.max(b))),
+            proto,
+            tcp_flags_any: flags,
+            src_net: src.map(|(a, p)| (Ipv4Addr::from(a), p)),
+            dst_net: dst.map(|(a, p)| (Ipv4Addr::from(a), p)),
+        })
+}
+
+fn arb_fields() -> impl Strategy<Value = HeaderFields> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+    )
+        .prop_map(|(src, dst, dst_port, proto, flags)| HeaderFields {
+            src,
+            dst,
+            dst_port,
+            proto,
+            // The packet parser only ever surfaces the 6 real TCP flag
+            // bits; mirror that domain here (the oracle masks anyway).
+            flags: flags & 0x3f,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every bit of the compiled match mask equals the oracle's verdict
+    /// for the corresponding rule, for arbitrary rules × packets.
+    #[test]
+    fn compiled_mask_is_bit_exact_against_the_oracle(
+        rules in proptest::collection::vec(arb_rule(), 0..9),
+        packets in proptest::collection::vec(arb_fields(), 1..32),
+    ) {
+        let lane = HeaderLane::compile(&rules);
+        for f in &packets {
+            let mask = lane.match_mask(f);
+            for (r, rule) in rules.iter().enumerate() {
+                let compiled = mask & (1 << r) != 0;
+                let oracle = rule.matches_naive(f);
+                prop_assert_eq!(
+                    compiled, oracle,
+                    "rule {} ({:?}) disagrees on {:?}: compiled={} oracle={}",
+                    r, rule, f, compiled, oracle
+                );
+            }
+        }
+    }
+
+    /// The batched SoA path produces exactly the scalar masks, and the
+    /// count helper agrees with both.
+    #[test]
+    fn batch_path_equals_scalar_path(
+        rules in proptest::collection::vec(arb_rule(), 0..7),
+        packets in proptest::collection::vec(arb_fields(), 1..300),
+    ) {
+        let lane = HeaderLane::compile(&rules);
+        let mut batch = HeaderBatch::with_capacity(packets.len());
+        for f in &packets {
+            batch.push(*f);
+        }
+        let mut masks = vec![0u32; batch.len()];
+        lane.match_batch(&batch, &mut masks);
+        let mut scalar_hits = 0usize;
+        for (i, f) in packets.iter().enumerate() {
+            prop_assert_eq!(masks[i], lane.match_mask(f), "packet {}", i);
+            scalar_hits += lane.matches(f) as usize;
+        }
+        prop_assert_eq!(lane.count_batch(&batch), scalar_hits);
+    }
+
+    /// Compiling more than the cap keeps exactly the first MAX_RULES and
+    /// stays bit-exact for those.
+    #[test]
+    fn truncation_keeps_a_bit_exact_prefix(
+        rules in proptest::collection::vec(arb_rule(), (MAX_RULES + 1)..(MAX_RULES + 9)),
+        f in arb_fields(),
+    ) {
+        let lane = HeaderLane::compile(&rules);
+        prop_assert_eq!(lane.rules().len(), MAX_RULES);
+        prop_assert!(lane.truncated(rules.len()));
+        let mask = lane.match_mask(&f);
+        for (r, rule) in rules.iter().take(MAX_RULES).enumerate() {
+            prop_assert_eq!(mask & (1 << r) != 0, rule.matches_naive(&f));
+        }
+    }
+}

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Semantic template engine (paper §3 and §4.3).
 //!
 //! Implements the template-matching formulation of Christodorescu et al.

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! A Snort-style static-signature NIDS baseline.
 //!
 //! The paper's central argument is that syntactic matching ("static

@@ -25,6 +25,12 @@
 //! # sweep state-exhaustion flood sizes: governor vs the seed engine
 //! snids bench --overload --budget 256k
 //!
+//! # measure the pre-filter fast path: lane throughput + detection parity
+//! snids bench --prefilter
+//!
+//! # replay with the pre-filter gate disabled (analyze everything)
+//! snids analyze trace.pcap --prefilter off
+//!
 //! # cap buffered stream/fragment state at a global byte budget
 //! snids analyze trace.pcap --memory-budget 64m
 //!
@@ -55,7 +61,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--memory-budget BYTES[k|m|g]] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload] [--flows N] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--prefilter on|off] [--memory-budget BYTES[k|m|g]] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload|--prefilter] [--flows N] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -173,6 +179,16 @@ fn analyze(args: &[String]) -> ExitCode {
             Some(mode) => config.dataflow = mode,
             None => {
                 eprintln!("bad --dataflow `{name}` (want on, off or near-miss)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(mode) = flag_values(args, "--prefilter").first() {
+        match *mode {
+            "on" => config.prefilter = true,
+            "off" => config.prefilter = false,
+            other => {
+                eprintln!("bad --prefilter `{other}` (want on or off)");
                 return ExitCode::from(2);
             }
         }
@@ -381,6 +397,9 @@ fn bench(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--overload") {
         return bench_overload(args);
     }
+    if args.iter().any(|a| a == "--prefilter") {
+        return bench_prefilter(args);
+    }
     let flows = flag_value_u64(args, "--flows", 144) as usize;
     let cfg = snids::bench::throughput::BenchConfig {
         seed: flag_value_u64(args, "--seed", 2006),
@@ -407,6 +426,49 @@ fn bench(args: &[String]) -> ExitCode {
     if report.runs.iter().any(|r| !r.identical) {
         eprintln!("ALERT STREAMS DIVERGED ACROSS WORKER COUNTS");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_prefilter(args: &[String]) -> ExitCode {
+    use snids::bench::prefilter;
+    let mut cfg = prefilter::BenchConfig {
+        seed: flag_value_u64(args, "--seed", 2006),
+        repeats: flag_value_u64(args, "--repeats", 3) as usize,
+        ..prefilter::BenchConfig::default()
+    };
+    if let Some(flows) = flag_values(args, "--flows")
+        .first()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        let flows = flows.max(3);
+        cfg.attack_flows = flows / 3;
+        cfg.background_flows = flows - flows / 3;
+    }
+    eprintln!(
+        "prefilter bench: {} attack + {} benign flows in the storm, {} tainted-benign sources x {} flows",
+        cfg.attack_flows, cfg.background_flows, cfg.tainted_sources, cfg.flows_per_source,
+    );
+    let report = prefilter::run(&cfg);
+    print!("{}", prefilter::render(&report));
+    let out = flag_values(args, "--out")
+        .first()
+        .copied()
+        .unwrap_or("BENCH_prefilter.json");
+    if let Err(e) = std::fs::write(out, prefilter::to_json(&report)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if !report.identical || report.fn_delta > 0 {
+        eprintln!("PRE-FILTER GATE CHANGED THE ALERT STREAM");
+        return ExitCode::FAILURE;
+    }
+    if report.header_lane_pps < 1_000_000.0 {
+        eprintln!(
+            "warning: header lane {:.0} pkts/s below the 1M floor",
+            report.header_lane_pps
+        );
     }
     ExitCode::SUCCESS
 }

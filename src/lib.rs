@@ -51,11 +51,12 @@
 //! | [`ir`] | canonical IR, execution-order traces, constant folding |
 //! | [`semantic`] | templates and the matching engine (§3) |
 //! | [`sig`] | Snort-style signature baseline |
+//! | [`prefilter`] | three-lane vectorized pre-filter fast path |
 //! | [`gen`] | workload generation (engines, exploits, traces) |
 //! | [`core`] | the assembled five-stage pipeline (Figure 3) |
 //! | [`exec`] | the work-stealing thread pool the pipeline runs on |
 //! | [`obs`] | stage metrics, flight recorder, metrics exposition |
-//! | [`bench`] | experiment runners (paper tables/figures, throughput) |
+//! | [`mod@bench`] | experiment runners (paper tables/figures, throughput) |
 //!
 //! `ARCHITECTURE.md` at the workspace root walks one packet through all of
 //! these layers.
@@ -70,6 +71,7 @@ pub use snids_gen as gen;
 pub use snids_ir as ir;
 pub use snids_obs as obs;
 pub use snids_packet as packet;
+pub use snids_prefilter as prefilter;
 pub use snids_semantic as semantic;
 pub use snids_sig as sig;
 pub use snids_x86 as x86;

@@ -3,9 +3,9 @@
 //! The offline container cannot fetch the real crate, so this reimplements
 //! the subset this workspace's property tests use: the `proptest!` macro
 //! (with optional `#![proptest_config(...)]`), `any::<T>()`, integer-range
-//! and tuple strategies, `proptest::collection::vec`, a small
-//! character-class regex string strategy, and the `prop_assert*` /
-//! `prop_assume!` macros.
+//! and tuple strategies, `Strategy::prop_map`, `proptest::collection::vec`,
+//! `proptest::option::of`, a small character-class regex string strategy,
+//! and the `prop_assert*` / `prop_assume!` macros.
 //!
 //! Inputs are random but **deterministic**: each test derives its RNG seed
 //! from the test name, so failures reproduce exactly on re-run. Shrinking
@@ -23,6 +23,28 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with a pure function, mirroring
+        /// `proptest`'s combinator of the same name.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
     }
 
     /// Strategy yielding one fixed value.
@@ -243,6 +265,32 @@ pub mod collection {
                 rng.gen_range(self.size.clone())
             };
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>` values (see [`of`]).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`: `Some` roughly half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0..2usize) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
         }
     }
 }
