@@ -13,6 +13,7 @@ pub mod figures;
 pub mod fp;
 pub mod overload;
 pub mod prefilter;
+pub mod shard;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -27,10 +27,12 @@
 
 pub mod alert;
 pub mod config;
+pub mod shard;
 pub mod stats;
 
 pub use alert::Alert;
 pub use config::NidsConfig;
+pub use shard::ShardedNids;
 pub use snids_semantic::DataflowMode;
 pub use stats::{DropCounters, DropReason, PipelineStats};
 
@@ -225,6 +227,17 @@ fn batch_flows(flows: &[Flow]) -> Vec<&[Flow]> {
         batches.push(&flows[start..]);
     }
     batches
+}
+
+/// What the capture-ordered front half decided about one packet.
+enum FrontOutcome {
+    /// Dropped, buffered or benign: the front half consumed the packet
+    /// and nothing reaches flow tracking.
+    Consumed,
+    /// Classified suspicious. `Some` carries the reassembled datagram
+    /// when defragmentation produced a new packet; `None` means the
+    /// original packet itself is the suspicious one.
+    Suspicious(Option<Packet>),
 }
 
 impl Nids {
@@ -604,6 +617,22 @@ impl Nids {
     /// ends up in exactly one ledger slot: `processed` (possibly later,
     /// when its datagram completes) or a packet-level drop counter.
     pub fn process_packet(&mut self, packet: &Packet) {
+        match self.ingest_front(packet) {
+            FrontOutcome::Consumed => {}
+            FrontOutcome::Suspicious(whole) => {
+                let suspicious = whole.as_ref().unwrap_or(packet);
+                self.track_suspicious(suspicious);
+            }
+        }
+    }
+
+    /// The capture-ordered front of [`Nids::process_packet`]: ledger
+    /// entry, checksum verification, defragmentation and classification.
+    /// These stages carry cross-flow per-source state (honeypot taint,
+    /// dark-space counts, fragment reassembly), so the sharded driver
+    /// runs them sequentially on the capture thread and only dispatches
+    /// the suspicious survivors to the per-flow shards.
+    fn ingest_front(&mut self, packet: &Packet) -> FrontOutcome {
         let observing = self.obs.enabled();
         self.stats.packets += 1;
         let t_cap = if observing {
@@ -633,12 +662,12 @@ impl Nids {
                     Some(DropReason::ChecksumFailed),
                 );
             }
-            return;
+            return FrontOutcome::Consumed;
         }
         // Defragment before anything else; incomplete fragments buffer.
-        let whole;
+        let mut whole: Option<Packet> = None;
         let pieces;
-        let packet = if packet
+        if packet
             .ip()
             .map(|h| h.more_fragments || h.fragment_offset != 0)
             .unwrap_or(false)
@@ -661,21 +690,19 @@ impl Nids {
                     packet: p,
                     pieces: n,
                 } => {
-                    whole = p;
+                    whole = Some(p);
                     pieces = n;
-                    &whole
                 }
                 DefragOutcome::Passthrough(p) => {
-                    whole = p;
+                    whole = Some(p);
                     pieces = 1;
-                    &whole
                 }
                 DefragOutcome::Buffered => {
                     // Buffered fragments are credited when their datagram
                     // resolves.
                     self.sync_drop_counters();
                     self.note_pressure();
-                    return;
+                    return FrontOutcome::Consumed;
                 }
                 DefragOutcome::Dropped(drop) => {
                     // The drop was tallied by the defragmenter; mirror it
@@ -696,13 +723,13 @@ impl Nids {
                     }
                     self.sync_drop_counters();
                     self.note_pressure();
-                    return;
+                    return FrontOutcome::Consumed;
                 }
             }
         } else {
             pieces = 1;
-            packet
-        };
+        }
+        let packet = whole.as_ref().unwrap_or(packet);
         self.stats.processed += pieces;
         self.sync_drop_counters();
         let t0 = Instant::now();
@@ -718,9 +745,18 @@ impl Nids {
         }
         if !verdict.is_suspicious() {
             self.note_pressure();
-            return;
+            return FrontOutcome::Consumed;
         }
         self.stats.suspicious_packets += 1;
+        FrontOutcome::Suspicious(whole)
+    }
+
+    /// The per-flow back of [`Nids::process_packet`]: the pre-filter
+    /// gate, flow tracking/reassembly, and shed hand-off. All of this
+    /// state is keyed by the packet's flow, which is what lets the
+    /// sharded front half give every shard a private copy.
+    fn track_suspicious(&mut self, packet: &Packet) {
+        let observing = self.obs.enabled();
         // Pre-filter fast path: suspicious packets no lane escalates skip
         // reassembly and the analysis tail entirely. Flows already holding
         // payload stay open-ended (a mid-analysis flow must see its tail).
@@ -913,6 +949,9 @@ impl Nids {
     /// line of defence, a panic escaping a whole batch is contained by
     /// the pool's per-task isolation. Batch results come back in input
     /// order, so the alert stream is identical at any worker count.
+    // The chaos fault-injection marker is the one intentional panic site
+    // in this crate (the suite exercises the pool's containment with it).
+    #[allow(clippy::panic)]
     fn analyze_flows(&mut self, flows: Vec<Flow>) -> Vec<Alert> {
         self.stats.flows_analyzed += flows.len() as u64;
 

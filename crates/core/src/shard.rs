@@ -1,0 +1,921 @@
+//! The sharded streaming front half.
+//!
+//! [`ShardedNids`] splits the per-flow portion of the pipeline —
+//! pre-filter gate, flow tracking, TCP reassembly, shed hand-off — into
+//! N shards keyed by the canonical flow hash
+//! ([`snids_flow::shard::canonical_flow_hash`]), each running on its own
+//! thread and owning its slice of the flow table and its own pre-filter
+//! sticky state, so the hot path takes no locks. The capture thread
+//! stays a sequential *driver* for the stages that carry cross-flow
+//! per-source state: checksum verification, defragmentation and
+//! classification (honeypot taint and dark-space counts for source S
+//! are updated by packets from every address pair S talks to, so they
+//! cannot live on a single pair-keyed shard without reordering the
+//! scheme's decisions). Classified-suspicious packets are dispatched to
+//! their shard through a bounded mailbox
+//! ([`snids_exec::mailbox`]): a full mailbox blocks the driver —
+//! backpressure, with the stall time recorded under the `dispatch`
+//! stage — instead of queueing unboundedly outside the memory
+//! governor's sight.
+//!
+//! ```text
+//!            driver (capture order)          shards (flow order)
+//!  packets ─▶ checksum ▶ defrag ▶ classify ─┬▶ [mailbox]▶ prefilter ▶ reassembly
+//!                                           ├▶ [mailbox]▶ prefilter ▶ reassembly
+//!                                           └▶ [mailbox]▶ prefilter ▶ reassembly
+//!                 ▲                                │ shed / polled / finished
+//!                 └──────── alerts ◀ analysis ◀────┘ (completed flows)
+//! ```
+//!
+//! Every shard charges the **same** [`snids_flow::MemoryBudget`] through its own
+//! `Arc` clone, so the watermark ladder and suspicion-aware shedding
+//! governor stay global: the sum of all shards' buffered bytes obeys one
+//! ceiling, and `peak_tracked_bytes <= limit` holds at every shard
+//! count. Completed flows (shed victims mid-run, expired flows at
+//! `poll`, the drain at `finish`) are handed back to the driver, which
+//! runs the existing `snids-exec` analysis back half — so the alert
+//! stream goes through the same total order + dedup as the sequential
+//! pipeline and is **byte-identical at any shard count** (pinned by
+//! `tests/shard_equivalence.rs`).
+//!
+//! With `shards <= 1` the type is a zero-cost wrapper around the
+//! sequential [`Nids`]: identical code path, identical output.
+
+use crate::stats::{DropReason, PipelineStats};
+use crate::{record_event, Alert, FrontOutcome, Nids, NidsConfig};
+use snids_exec::mailbox::{self, MailboxStats};
+use snids_flow::shard::shard_of_packet;
+use snids_flow::{Flow, FlowKey, FlowTable, ShedFlow};
+use snids_obs::{EventKind, Obs, Stage};
+use snids_packet::Packet;
+use snids_prefilter::{Decision, Lane, Prefilter, PrefilterConfig};
+use std::net::Ipv4Addr;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A message from the driver to one front-half shard.
+enum ShardMsg {
+    /// A classified-suspicious, fully defragmented packet to track.
+    Packet(Packet),
+    /// An alerting source: pin its flows in the protection tier.
+    Protect(Ipv4Addr),
+    /// Expire flows idle since before `now` minus the table's timeout and
+    /// reply with them ([`ShardReply::Polled`]).
+    Poll(u64),
+    /// Drain everything and reply with it ([`ShardReply::Finished`]),
+    /// then exit.
+    Finish,
+}
+
+/// A message from a shard back to the driver. Replies travel over an
+/// unbounded channel so a shard can never block on the driver — the
+/// one-way bound (driver → shard) is what makes backpressure safe.
+enum ShardReply {
+    /// Victims the governor shed under pressure, streams intact, for
+    /// analyze-on-evict.
+    Shed(Vec<ShedFlow>),
+    /// Response to [`ShardMsg::Poll`].
+    Polled {
+        shard: usize,
+        expired: Vec<Flow>,
+        ledger: ShardLedger,
+    },
+    /// Response to [`ShardMsg::Finish`]; the shard exits after sending.
+    Finished {
+        shard: usize,
+        flows: Vec<Flow>,
+        ledger: ShardLedger,
+    },
+}
+
+/// One shard's cumulative contribution to the pipeline ledger, shipped
+/// with every barrier reply. All fields are running totals, so the
+/// driver keeps only the latest snapshot per shard.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardLedger {
+    /// Suspicious packets this shard tracked.
+    packets: u64,
+    prefilter_passed: u64,
+    prefilter_escalated: u64,
+    prefilter_rejected: u64,
+    prefilter_nanos: u64,
+    reassembly_nanos: u64,
+    /// Flow-table counters (cumulative, mirroring `FlowTable`'s own).
+    evicted: u64,
+    evicted_by_budget: u64,
+    truncated_flows: u64,
+    overlap_conflict_bytes: u64,
+    degraded_flows: u64,
+    protected_len: u64,
+    flows_live: u64,
+}
+
+/// The state one shard thread owns: its pre-filter (lanes + sticky
+/// sources), its slice of the flow table, and its share of the ledger.
+struct FrontShard {
+    index: usize,
+    prefilter: Option<Prefilter>,
+    flows: FlowTable,
+    obs: Obs,
+    analyze_on_evict: bool,
+    ledger: ShardLedger,
+    replies: mpsc::Sender<ShardReply>,
+}
+
+impl FrontShard {
+    fn run(mut self, rx: mailbox::Receiver<ShardMsg>) {
+        while let Some(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Packet(p) => self.track(&p),
+                ShardMsg::Protect(src) => self.flows.protect_source(src),
+                ShardMsg::Poll(now) => {
+                    let expired = self.flows.expire(now);
+                    self.flush_shed();
+                    self.snapshot();
+                    let _ = self.replies.send(ShardReply::Polled {
+                        shard: self.index,
+                        expired,
+                        ledger: self.ledger,
+                    });
+                }
+                ShardMsg::Finish => {
+                    self.flush_shed();
+                    let flows = self.flows.drain();
+                    self.snapshot();
+                    let _ = self.replies.send(ShardReply::Finished {
+                        shard: self.index,
+                        flows,
+                        ledger: self.ledger,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Shard-side mirror of the sequential pipeline's per-flow back half
+    /// (`Nids::track_suspicious`): pre-filter gate, then reassembly.
+    fn track(&mut self, packet: &Packet) {
+        self.ledger.packets += 1;
+        let observing = self.obs.enabled();
+        if self.prefilter.is_some() {
+            let t_pf = Instant::now();
+            let key = FlowKey::of(packet);
+            let flow_buffered = key
+                .as_ref()
+                .and_then(|k| self.flows.get(k))
+                .map(|f| f.payload_bytes > 0)
+                .unwrap_or(false);
+            let decision = match self.prefilter.as_mut() {
+                Some(pf) => pf.decide(packet, flow_buffered),
+                None => Decision::Escalate(Lane::Control),
+            };
+            let prefilter_nanos = t_pf.elapsed().as_nanos() as u64;
+            self.ledger.prefilter_nanos += prefilter_nanos;
+            if observing {
+                self.obs.record_stage(
+                    Stage::Prefilter,
+                    prefilter_nanos,
+                    packet.payload().len() as u64,
+                );
+            }
+            match decision {
+                Decision::Escalate(Lane::Sticky) => self.ledger.prefilter_escalated += 1,
+                Decision::Escalate(_) => self.ledger.prefilter_passed += 1,
+                Decision::Reject => {
+                    self.ledger.prefilter_rejected += 1;
+                    if observing {
+                        record_event(
+                            &self.obs,
+                            Stage::Prefilter,
+                            EventKind::Drop,
+                            key.as_ref(),
+                            packet.payload().len() as u64,
+                            Some(DropReason::PrefilterRejected),
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+        let t1 = Instant::now();
+        let outcome = self.flows.process_tracked(packet);
+        let reassembly_nanos = t1.elapsed().as_nanos() as u64;
+        self.ledger.reassembly_nanos += reassembly_nanos;
+        if observing {
+            self.obs.record_stage(
+                Stage::Reassembly,
+                reassembly_nanos,
+                outcome.segment_bytes as u64,
+            );
+            record_event(
+                &self.obs,
+                Stage::Capture,
+                EventKind::Ingest,
+                outcome.key.as_ref(),
+                outcome.segment_bytes as u64,
+                None,
+            );
+            if let Some(evicted) = outcome.evicted.filter(|_| !self.analyze_on_evict) {
+                record_event(
+                    &self.obs,
+                    Stage::Reassembly,
+                    EventKind::Drop,
+                    Some(&evicted),
+                    0,
+                    Some(DropReason::FlowEvicted),
+                );
+            }
+            if outcome.conflict_bytes > 0 {
+                record_event(
+                    &self.obs,
+                    Stage::Reassembly,
+                    EventKind::Conflict,
+                    outcome.key.as_ref(),
+                    outcome.conflict_bytes,
+                    None,
+                );
+            }
+            if outcome.truncated {
+                record_event(
+                    &self.obs,
+                    Stage::Reassembly,
+                    EventKind::Drop,
+                    outcome.key.as_ref(),
+                    outcome.segment_bytes as u64,
+                    Some(DropReason::StreamTruncated),
+                );
+            }
+        }
+        self.flush_shed();
+    }
+
+    /// Ship shed victims to the driver for analyze-on-evict (the driver
+    /// owns the analysis back half; shipping is a move, not a copy).
+    fn flush_shed(&mut self) {
+        let shed = self.flows.take_shed();
+        if !shed.is_empty() {
+            let _ = self.replies.send(ShardReply::Shed(shed));
+        }
+    }
+
+    /// Refresh the cumulative ledger from the flow table's counters.
+    fn snapshot(&mut self) {
+        self.ledger.evicted = self.flows.evicted();
+        self.ledger.evicted_by_budget = self.flows.evicted_by_budget();
+        self.ledger.truncated_flows = self.flows.truncated_flows();
+        self.ledger.overlap_conflict_bytes = self.flows.overlap_conflict_bytes();
+        self.ledger.degraded_flows = self.flows.degraded_flows();
+        self.ledger.protected_len = self.flows.protected_len() as u64;
+        self.ledger.flows_live = self.flows.len() as u64;
+    }
+}
+
+/// The driver's handle to one shard: its mailbox, its thread, and the
+/// latest ledger / mailbox-congestion snapshots.
+struct ShardHandle {
+    tx: Option<mailbox::Sender<ShardMsg>>,
+    thread: Option<JoinHandle<()>>,
+    ledger: ShardLedger,
+    mailbox: MailboxStats,
+}
+
+/// The pipeline with a sharded streaming front half. See the module
+/// docs; with `NidsConfig::shards <= 1` every method delegates to the
+/// sequential [`Nids`] it wraps, byte-identically.
+pub struct ShardedNids {
+    inner: Nids,
+    shards: Vec<ShardHandle>,
+    replies: Option<mpsc::Receiver<ShardReply>>,
+    /// Ledger merged across the driver and every shard; refreshed at
+    /// barriers (`poll`/`finish`) and by `absorb_read_stats`, so it is
+    /// authoritative whenever the sequential pipeline's would be.
+    merged: PipelineStats,
+    finished: bool,
+}
+
+impl ShardedNids {
+    /// Build the pipeline; `config.shards` front-half shards (`<= 1`
+    /// means the sequential seed pipeline).
+    pub fn new(config: NidsConfig) -> Self {
+        let n = config.shards.max(1);
+        if n == 1 {
+            return ShardedNids {
+                inner: Nids::new(config),
+                shards: Vec::new(),
+                replies: None,
+                merged: PipelineStats::default(),
+                finished: false,
+            };
+        }
+        // Per-shard state is derived from the same config the sequential
+        // pipeline would use; only the flow-slot cap is sliced so the
+        // total stays `max_flows`.
+        let honeypots = config.honeypots.clone();
+        let dark_nets = config.dark_nets.clone();
+        let run_prefilter = config.prefilter;
+        let analyze_on_evict = config.analyze_on_evict;
+        let mut flow_config = config.flow_table.clone();
+        flow_config.max_flows = config.flow_table.max_flows.div_ceil(n).max(1);
+        flow_config.hand_off_shed = analyze_on_evict;
+        let mailbox_cap = config.shard_mailbox.max(1);
+        let inner = Nids::new(config);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut shards = Vec::with_capacity(n);
+        for index in 0..n {
+            let (tx, rx) = mailbox::bounded::<ShardMsg>(mailbox_cap);
+            let shard = FrontShard {
+                index,
+                prefilter: run_prefilter.then(|| {
+                    Prefilter::new(PrefilterConfig::deployment_rules(&honeypots, &dark_nets))
+                }),
+                flows: FlowTable::with_budget(
+                    flow_config.clone(),
+                    std::sync::Arc::clone(&inner.budget),
+                ),
+                obs: inner.obs.clone(),
+                analyze_on_evict,
+                ledger: ShardLedger::default(),
+                replies: reply_tx.clone(),
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("snids-shard-{index}"))
+                .spawn(move || shard.run(rx))
+                .ok();
+            shards.push(ShardHandle {
+                tx: Some(tx),
+                thread,
+                ledger: ShardLedger::default(),
+                mailbox: MailboxStats {
+                    sent: 0,
+                    blocked_sends: 0,
+                    peak_depth: 0,
+                    capacity: mailbox_cap,
+                    depth: 0,
+                },
+            });
+        }
+        drop(reply_tx);
+        ShardedNids {
+            inner,
+            shards,
+            replies: Some(reply_rx),
+            merged: PipelineStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Default production configuration (one shard).
+    pub fn with_defaults() -> Self {
+        ShardedNids::new(NidsConfig::default())
+    }
+
+    /// The number of front-half shards (1 = sequential).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len().max(1)
+    }
+
+    /// The resource governor's shared byte accounting.
+    pub fn budget(&self) -> &snids_flow::MemoryBudget {
+        self.inner.budget()
+    }
+
+    /// The pipeline's observability registry.
+    pub fn obs(&self) -> &Obs {
+        self.inner.obs()
+    }
+
+    /// Flight-recorder dumps captured so far.
+    pub fn flight_dumps(&self) -> &[String] {
+        self.inner.flight_dumps()
+    }
+
+    /// Worker threads available to the flow-analysis back half.
+    pub fn analysis_threads(&self) -> usize {
+        self.inner.analysis_threads()
+    }
+
+    /// Pipeline statistics. In sharded mode the merged ledger is
+    /// refreshed at every `poll`/`finish` barrier (and by
+    /// [`ShardedNids::absorb_read_stats`]), exactly the points after
+    /// which the sequential pipeline's ledger is meaningful.
+    pub fn stats(&self) -> &PipelineStats {
+        if self.shards.is_empty() {
+            self.inner.stats()
+        } else {
+            &self.merged
+        }
+    }
+
+    /// Fold a pcap reader's accounting into the record ledger.
+    pub fn absorb_read_stats(&mut self, rs: &snids_packet::ReadStats) {
+        self.inner.absorb_read_stats(rs);
+        if !self.shards.is_empty() {
+            self.refresh_merged();
+        }
+    }
+
+    /// Feed one packet through the pipeline. In sharded mode the driver
+    /// runs checksum → defrag → classify in capture order, then routes
+    /// the suspicious survivor to its shard's mailbox (blocking when the
+    /// shard is saturated — the backpressure the `dispatch` stage
+    /// timing measures).
+    pub fn process_packet(&mut self, packet: &Packet) {
+        if self.shards.is_empty() {
+            self.inner.process_packet(packet);
+            return;
+        }
+        if self.finished {
+            // Misuse corner (packets after finish): fall back to the
+            // sequential path so nothing is silently lost.
+            self.inner.process_packet(packet);
+            return;
+        }
+        match self.inner.ingest_front(packet) {
+            FrontOutcome::Consumed => {}
+            FrontOutcome::Suspicious(whole) => {
+                let owned = match whole {
+                    Some(p) => p,
+                    None => packet.clone(),
+                };
+                self.dispatch(owned);
+            }
+        }
+        self.pump_replies();
+    }
+
+    /// Route one suspicious packet to its shard.
+    fn dispatch(&mut self, packet: Packet) {
+        let n = self.shards.len();
+        let idx = shard_of_packet(&packet, n).unwrap_or(0);
+        let observing = self.inner.obs.enabled();
+        let bytes = packet.payload().len() as u64;
+        let t0 = if observing {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let handle = &mut self.shards[idx];
+        if let Some(tx) = handle.tx.as_ref() {
+            // A send error means the shard thread is gone (it cannot
+            // happen short of a shard panic); the packet is dropped and
+            // the ledger imbalance will surface loudly in tests.
+            let _ = tx.send(ShardMsg::Packet(packet));
+            handle.mailbox = tx.stats();
+        }
+        if let Some(t0) = t0 {
+            // Dispatch time is dominated by the mailbox send: ~zero when
+            // the shard keeps up, the full stall under backpressure.
+            self.inner
+                .obs
+                .record_stage(Stage::Dispatch, t0.elapsed().as_nanos() as u64, bytes);
+        }
+        self.inner.note_pressure();
+    }
+
+    /// Handle any replies that have already arrived, without blocking —
+    /// shed victims must reach analyze-on-evict promptly, not at the
+    /// next barrier.
+    fn pump_replies(&mut self) {
+        loop {
+            let reply = match &self.replies {
+                Some(rx) => match rx.try_recv() {
+                    Ok(r) => r,
+                    Err(_) => return,
+                },
+                None => return,
+            };
+            self.on_reply(reply);
+        }
+    }
+
+    fn on_reply(&mut self, reply: ShardReply) -> Option<(usize, Vec<Flow>)> {
+        match reply {
+            ShardReply::Shed(shed) => {
+                // Analyze victims on the way out (the driver owns the
+                // back half), then feed alerting sources back into every
+                // shard's protection tier.
+                let before = self.inner.pending_alerts.len();
+                self.inner.handle_shed(shed);
+                let mut srcs: Vec<Ipv4Addr> = self.inner.pending_alerts[before..]
+                    .iter()
+                    .map(|a| a.src)
+                    .collect();
+                srcs.sort_unstable();
+                srcs.dedup();
+                for src in srcs {
+                    self.broadcast_protect(src);
+                }
+                None
+            }
+            ShardReply::Polled {
+                shard,
+                expired,
+                ledger,
+            } => {
+                self.shards[shard].ledger = ledger;
+                Some((shard, expired))
+            }
+            ShardReply::Finished {
+                shard,
+                flows,
+                ledger,
+            } => {
+                self.shards[shard].ledger = ledger;
+                Some((shard, flows))
+            }
+        }
+    }
+
+    /// Pin a source in every shard's protection tier (alerts must shield
+    /// their source's flows from shedding on whichever shards they live).
+    fn broadcast_protect(&mut self, src: Ipv4Addr) {
+        for handle in &self.shards {
+            if let Some(tx) = handle.tx.as_ref() {
+                let _ = tx.send(ShardMsg::Protect(src));
+            }
+        }
+    }
+
+    /// Broadcast a barrier message and collect per-shard flow batches in
+    /// shard-index order, handling shed replies as they interleave.
+    fn barrier(&mut self, msg: impl Fn() -> ShardMsg) -> Vec<Flow> {
+        for handle in &mut self.shards {
+            if let Some(tx) = handle.tx.as_ref() {
+                let _ = tx.send(msg());
+                handle.mailbox = tx.stats();
+            }
+        }
+        let mut batches: Vec<Option<Vec<Flow>>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut got = 0;
+        while got < self.shards.len() {
+            let reply = match &self.replies {
+                Some(rx) => match rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => break, // every shard exited
+                },
+                None => break,
+            };
+            if let Some((shard, flows)) = self.on_reply(reply) {
+                batches[shard] = Some(flows);
+                got += 1;
+            }
+        }
+        // Shard-index order: the order flows reach analysis is fixed, so
+        // nothing downstream can observe scheduling (the final total sort
+        // over alerts makes even this ordering unobservable, but being
+        // deterministic here keeps batching and timing attribution
+        // stable too).
+        batches.into_iter().flatten().flatten().collect()
+    }
+
+    /// Streaming mode: expire idle flows on every shard and analyze just
+    /// those, exactly like the sequential [`Nids::poll`].
+    pub fn poll(&mut self, now: u64) -> Vec<Alert> {
+        if self.shards.is_empty() || self.finished {
+            return self.inner.poll(now);
+        }
+        let expired = self.barrier(|| ShardMsg::Poll(now));
+        let alerts = if expired.is_empty() && self.inner.pending_alerts.is_empty() {
+            Vec::new()
+        } else {
+            let mut alerts = std::mem::take(&mut self.inner.pending_alerts);
+            alerts.extend(self.inner.analyze_flows(expired));
+            let alerts = self.inner.finalize_alerts(alerts);
+            let mut srcs: Vec<Ipv4Addr> = alerts.iter().map(|a| a.src).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            for src in srcs {
+                self.broadcast_protect(src);
+            }
+            alerts
+        };
+        self.inner.sync_drop_counters();
+        self.refresh_merged();
+        alerts
+    }
+
+    /// Drain every shard, analyze all remaining flows, and produce the
+    /// final (totally ordered, deduped) alert batch. Mirrors
+    /// [`Nids::finish`]; the shard threads exit and are joined here.
+    pub fn finish(&mut self) -> Vec<Alert> {
+        if self.shards.is_empty() || self.finished {
+            return self.inner.finish();
+        }
+        self.finished = true;
+        // Fragments still buffered will never complete; account them
+        // before the ledger is merged.
+        self.inner.defrag.drain_incomplete();
+        let flows = self.barrier(|| ShardMsg::Finish);
+        for handle in &mut self.shards {
+            handle.tx = None;
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+        let mut alerts = std::mem::take(&mut self.inner.pending_alerts);
+        alerts.extend(self.inner.analyze_flows(flows));
+        let alerts = self.inner.finalize_alerts(alerts);
+        self.inner.sync_drop_counters();
+        self.inner.note_pressure();
+        self.refresh_merged();
+        debug_assert_eq!(
+            self.inner.budget.tracked(),
+            0,
+            "memory budget must return to zero after sharded finish"
+        );
+        alerts
+    }
+
+    /// Convenience: run a whole capture through the pipeline.
+    pub fn process_capture(&mut self, packets: &[Packet]) -> Vec<Alert> {
+        for p in packets {
+            self.process_packet(p);
+        }
+        self.finish()
+    }
+
+    /// Recompute the merged ledger: the driver's stats (capture,
+    /// checksum, defrag, classify, analysis tail, shed-analyzed) plus
+    /// every shard's latest contribution (prefilter, reassembly, flow
+    /// table), with shed attribution computed over the union of the
+    /// shard tables exactly as `Nids::sync_drop_counters` does over its
+    /// single table.
+    fn refresh_merged(&mut self) {
+        self.inner.sync_drop_counters();
+        let mut m = self.inner.stats.clone();
+        let mut evicted = 0u64;
+        let mut by_budget = 0u64;
+        let mut truncated = 0u64;
+        for handle in &self.shards {
+            let l = &handle.ledger;
+            m.prefilter_passed += l.prefilter_passed;
+            m.prefilter_escalated += l.prefilter_escalated;
+            m.prefilter_rejected += l.prefilter_rejected;
+            m.prefilter_nanos += l.prefilter_nanos;
+            m.reassembly_nanos += l.reassembly_nanos;
+            m.overlap_conflict_bytes += l.overlap_conflict_bytes;
+            m.degraded_flows += l.degraded_flows;
+            evicted += l.evicted;
+            by_budget += l.evicted_by_budget;
+            truncated += l.truncated_flows;
+        }
+        m.drops
+            .set(DropReason::PrefilterRejected, m.prefilter_rejected);
+        m.drops.set(DropReason::StreamTruncated, truncated);
+        let analyzed = self.inner.shed_analyzed;
+        let analyzed_budget = self.inner.shed_analyzed_budget;
+        let analyzed_count_cap = analyzed.saturating_sub(analyzed_budget);
+        m.drops.set(DropReason::ShedAnalyzed, analyzed);
+        m.drops.set(
+            DropReason::ShedUnanalyzed,
+            by_budget.saturating_sub(analyzed_budget),
+        );
+        m.drops.set(
+            DropReason::FlowEvicted,
+            evicted
+                .saturating_sub(by_budget)
+                .saturating_sub(analyzed_count_cap),
+        );
+        m.memory_limit_bytes = self.inner.budget.limit();
+        m.peak_tracked_bytes = self.inner.budget.peak();
+        self.merged = m;
+    }
+
+    /// Mirror the merged ledger and the per-shard gauges into the obs
+    /// registry (sharded counterpart of `Nids::publish_gauges`).
+    fn publish_sharded_gauges(&self) {
+        let obs = &self.inner.obs;
+        if !obs.enabled() {
+            return;
+        }
+        // Publish the sequential gauge set first (pool self-profile,
+        // per-worker gauges — identical either way), then overwrite every
+        // value the sharding changes with the merged ledger's figures.
+        self.inner.publish_gauges();
+        let m = &self.merged;
+        for reason in DropReason::ALL {
+            obs.set_named(&format!("drop.{}", reason.name()), m.drops.get(reason));
+        }
+        obs.set_named("snids_packets_total", m.packets);
+        obs.set_named("snids_processed_total", m.processed);
+        obs.set_named("snids_flows_analyzed_total", m.flows_analyzed);
+        obs.set_named("snids_alerts_total", m.alerts);
+        obs.set_named("snids_prefilter_passed_total", m.prefilter_passed);
+        obs.set_named("snids_prefilter_escalated_total", m.prefilter_escalated);
+        obs.set_named("snids_prefilter_rejected_total", m.prefilter_rejected);
+        let budget = self.inner.budget();
+        obs.set_named("snids_budget_limit_bytes", budget.limit());
+        obs.set_named("snids_budget_tracked_bytes", budget.tracked());
+        obs.set_named("snids_budget_peak_bytes", budget.peak());
+        obs.set_named("snids_budget_pressure_level", budget.level().code());
+        let mut protected = 0u64;
+        let mut degraded = 0u64;
+        let mut shed = 0u64;
+        for handle in &self.shards {
+            protected += handle.ledger.protected_len;
+            degraded += handle.ledger.degraded_flows;
+            shed += handle.ledger.evicted;
+        }
+        obs.set_named("snids_flows_protected", protected);
+        obs.set_named("snids_flows_degraded_total", degraded);
+        obs.set_named("snids_flows_shed_total", shed);
+        obs.set_named("snids_shards", self.shards.len() as u64);
+        for (i, handle) in self.shards.iter().enumerate() {
+            let l = &handle.ledger;
+            let mb = &handle.mailbox;
+            obs.set_named(
+                &format!("snids_shard_packets_total{{shard=\"{i}\"}}"),
+                l.packets,
+            );
+            obs.set_named(
+                &format!("snids_shard_prefilter_rejected_total{{shard=\"{i}\"}}"),
+                l.prefilter_rejected,
+            );
+            obs.set_named(
+                &format!("snids_shard_flows_live{{shard=\"{i}\"}}"),
+                l.flows_live,
+            );
+            obs.set_named(
+                &format!("snids_shard_flows_shed_total{{shard=\"{i}\"}}"),
+                l.evicted,
+            );
+            obs.set_named(
+                &format!("snids_shard_reassembly_nanos_total{{shard=\"{i}\"}}"),
+                l.reassembly_nanos,
+            );
+            obs.set_named(
+                &format!("snids_shard_mailbox_depth{{shard=\"{i}\"}}"),
+                mb.depth as u64,
+            );
+            obs.set_named(
+                &format!("snids_shard_mailbox_capacity{{shard=\"{i}\"}}"),
+                mb.capacity as u64,
+            );
+            obs.set_named(
+                &format!("snids_shard_mailbox_blocked_sends_total{{shard=\"{i}\"}}"),
+                mb.blocked_sends,
+            );
+            obs.set_named(
+                &format!("snids_shard_mailbox_peak_depth{{shard=\"{i}\"}}"),
+                mb.peak_depth,
+            );
+        }
+    }
+
+    /// A deterministic point-in-time metrics snapshot (merged ledger and
+    /// per-shard gauges freshly mirrored in).
+    pub fn obs_snapshot(&mut self) -> snids_obs::Snapshot {
+        if self.shards.is_empty() {
+            return self.inner.obs_snapshot();
+        }
+        self.refresh_merged();
+        self.publish_sharded_gauges();
+        self.inner.obs.snapshot()
+    }
+
+    /// The Prometheus-style text exposition page for this pipeline.
+    pub fn metrics_page(&mut self) -> String {
+        snids_obs::expo::render_text(&self.obs_snapshot())
+    }
+
+    /// The JSON metrics snapshot for this pipeline.
+    pub fn metrics_json(&mut self) -> String {
+        snids_obs::expo::render_json(&self.obs_snapshot())
+    }
+
+    /// Mailbox backpressure totals across all shards:
+    /// `(blocked_sends, peak_depth)` — `(0, 0)` in sequential mode.
+    pub fn backpressure(&self) -> (u64, u64) {
+        let mut blocked = 0;
+        let mut peak = 0;
+        for handle in &self.shards {
+            blocked += handle.mailbox.blocked_sends;
+            peak = peak.max(handle.mailbox.peak_depth);
+        }
+        (blocked, peak)
+    }
+}
+
+impl Drop for ShardedNids {
+    fn drop(&mut self) {
+        // Dropping the senders closes every mailbox; shard threads
+        // observe the disconnect and exit. Join so no thread outlives
+        // the pipeline.
+        for handle in &mut self.shards {
+            handle.tx = None;
+        }
+        for handle in &mut self.shards {
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snids_gen::traces::{codered_capture, AddressPlan};
+
+    fn plan_config(plan: &AddressPlan) -> NidsConfig {
+        NidsConfig {
+            honeypots: plan.honeypots.clone(),
+            dark_nets: vec![(plan.dark_net, 16)],
+            dark_threshold: 5,
+            ..NidsConfig::default()
+        }
+    }
+
+    /// The ledger minus its timing and peak fields, which legitimately
+    /// vary between runs even on identical input.
+    #[allow(clippy::type_complexity)]
+    fn deterministic(
+        s: &PipelineStats,
+    ) -> (
+        (u64, u64, u64, u64),
+        (u64, u64, u64),
+        (u64, u64, u64, u64),
+        (u64, u64, crate::DropCounters),
+    ) {
+        (
+            (s.records_in, s.packets, s.processed, s.suspicious_packets),
+            (
+                s.prefilter_passed,
+                s.prefilter_escalated,
+                s.prefilter_rejected,
+            ),
+            (
+                s.flows_analyzed,
+                s.frames_extracted,
+                s.frame_bytes,
+                s.alerts,
+            ),
+            (s.overlap_conflict_bytes, s.degraded_flows, s.drops),
+        )
+    }
+
+    /// One shard delegates to the sequential pipeline: identical alerts
+    /// and identical ledger, trivially.
+    #[test]
+    fn single_shard_is_the_sequential_pipeline() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (packets, _) = codered_capture(&mut rng, &plan, 1200, 3);
+        let mut seq = Nids::new(plan_config(&plan));
+        let seq_alerts = seq.process_capture(&packets);
+        let mut sharded = ShardedNids::new(plan_config(&plan));
+        assert_eq!(sharded.shard_count(), 1);
+        let sh_alerts = sharded.process_capture(&packets);
+        assert_eq!(
+            seq_alerts.iter().map(|a| a.render()).collect::<Vec<_>>(),
+            sh_alerts.iter().map(|a| a.render()).collect::<Vec<_>>(),
+        );
+        assert_eq!(deterministic(seq.stats()), deterministic(sharded.stats()));
+    }
+
+    /// The sharded front half finds the same worm instances as the
+    /// sequential pipeline, and its merged ledger balances.
+    #[test]
+    fn sharded_worm_detection_and_ledger_balance() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (packets, truth) = codered_capture(&mut rng, &plan, 1200, 3);
+        let mut config = plan_config(&plan);
+        config.shards = 4;
+        let mut nids = ShardedNids::new(config);
+        assert_eq!(nids.shard_count(), 4);
+        let alerts = nids.process_capture(&packets);
+        let mut sources: Vec<_> = alerts
+            .iter()
+            .filter(|a| a.template == "code-red-ii")
+            .map(|a| a.src)
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(sources.len(), truth.crii_sources.len(), "{alerts:?}");
+        let s = nids.stats();
+        assert_eq!(s.packets, packets.len() as u64);
+        assert!(s.packet_ledger_balanced(), "{}", s.drop_report());
+        assert_eq!(nids.budget().tracked(), 0);
+    }
+
+    /// Dropping a sharded pipeline without finish() must not hang or
+    /// leak threads.
+    #[test]
+    fn drop_without_finish_shuts_down() {
+        let plan = AddressPlan::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (packets, _) = codered_capture(&mut rng, &plan, 400, 2);
+        let mut config = plan_config(&plan);
+        config.shards = 3;
+        let mut nids = ShardedNids::new(config);
+        for p in &packets {
+            nids.process_packet(p);
+        }
+        drop(nids);
+    }
+}

@@ -1,0 +1,317 @@
+//! Bounded blocking mailboxes — the backpressure channel between the
+//! streaming driver and its front-half shards.
+//!
+//! The sharded pipeline must never queue unboundedly: a shard that falls
+//! behind (a reassembly-heavy flow, a defrag storm aimed at one address
+//! pair) has to slow the *producer* down rather than buffer the backlog
+//! in RAM outside the memory governor's sight. A mailbox (a
+//! [`Sender`]/[`Receiver`] pair from [`bounded`]) is therefore
+//! a fixed-capacity MPSC queue whose `send` **blocks** when the box is
+//! full — capture stalls, which is exactly the behaviour a tap/span port
+//! sensor exhibits under overload, and the stall time is observable (the
+//! driver records it against the `dispatch` stage).
+//!
+//! Implementation: `Mutex<VecDeque>` plus two condvars (`not_full`,
+//! `not_empty`). Deliberately simpler than the work-stealing pool's
+//! deques — mailbox traffic is one-producer-per-driver, one-consumer-
+//! per-shard, and fairness/ordering (FIFO per sender) matters more than
+//! raw enqueue cost. FIFO order is what lets the sharded pipeline
+//! preserve per-source packet causality.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] is gone:
+/// the value comes back so the caller can account for it.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Counters a mailbox keeps about its own congestion, shared by both
+/// endpoints and readable at any time (e.g. for per-shard gauges).
+#[derive(Debug, Default)]
+struct MailboxCounters {
+    /// Messages accepted by `send` over the mailbox's lifetime.
+    sent: AtomicU64,
+    /// Number of `send` calls that found the mailbox full and had to
+    /// block at least once — the backpressure signal.
+    blocked_sends: AtomicU64,
+    /// High-water mark of queue depth.
+    peak_depth: AtomicU64,
+}
+
+struct Shared<T> {
+    queue: Mutex<MailboxState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    counters: MailboxCounters,
+}
+
+struct MailboxState<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// A point-in-time congestion snapshot of one mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Messages accepted over the mailbox's lifetime.
+    pub sent: u64,
+    /// `send` calls that had to block on a full mailbox.
+    pub blocked_sends: u64,
+    /// Deepest the queue ever got.
+    pub peak_depth: u64,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Current depth.
+    pub depth: usize,
+}
+
+/// Producer endpoint of a bounded mailbox. Cloneable (the driver is the
+/// only producer today, but broadcast shutdown paths clone briefly).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer endpoint of a bounded mailbox; exactly one per mailbox.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded mailbox of the given capacity (minimum 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(MailboxState {
+            items: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+        counters: MailboxCounters::default(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, blocking while the mailbox is full. Returns the
+    /// value back if the receiver has disappeared (so nothing is lost
+    /// silently).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut state = match shared.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if state.items.len() >= shared.capacity {
+            shared
+                .counters
+                .blocked_sends
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        while state.items.len() >= shared.capacity {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            state = match shared.not_full.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.items.push_back(value);
+        let depth = state.items.len() as u64;
+        shared.counters.sent.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .peak_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        drop(state);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Congestion counters (shared with the receiver side).
+    pub fn stats(&self) -> MailboxStats {
+        self.shared.stats()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut state = match self.shared.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.senders += 1;
+        drop(state);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = match self.shared.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake a receiver blocked on an empty mailbox so it can
+            // observe disconnection and shut down.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next message, blocking while the mailbox is empty.
+    /// Returns `None` once the mailbox is empty *and* every sender is
+    /// gone — the shard's shutdown signal.
+    pub fn recv(&self) -> Option<T> {
+        let shared = &*self.shared;
+        let mut state = match shared.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            if let Some(value) = state.items.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Some(value);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = match shared.not_empty.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Congestion counters (shared with the sender side).
+    pub fn stats(&self) -> MailboxStats {
+        self.shared.stats()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = match self.shared.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.receiver_alive = false;
+        drop(state);
+        // Unblock every producer stuck in `send`; they will observe the
+        // dead receiver and return their values as errors.
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> Shared<T> {
+    fn stats(&self) -> MailboxStats {
+        let depth = match self.queue.lock() {
+            Ok(g) => g.items.len(),
+            Err(poisoned) => poisoned.into_inner().items.len(),
+        };
+        MailboxStats {
+            sent: self.counters.sent.load(Ordering::Relaxed),
+            blocked_sends: self.counters.blocked_sends.load(Ordering::Relaxed),
+            peak_depth: self.counters.peak_depth.load(Ordering::Relaxed),
+            capacity: self.capacity,
+            depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_one_sender() {
+        let (tx, rx) = bounded(16);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_returns_none_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u8>(4);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn full_mailbox_blocks_sender_until_receiver_drains() {
+        let (tx, rx) = bounded(2);
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        let handle = thread::spawn(move || {
+            // Blocks until the main thread receives one message.
+            tx.send(3).unwrap();
+            tx.stats()
+        });
+        // Give the sender a moment to park on the full mailbox.
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.recv(), Some(1));
+        let stats = handle.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert!(stats.blocked_sends >= 1, "send should have blocked");
+        assert_eq!(stats.sent, 3);
+        assert!(stats.peak_depth <= 2, "capacity respected");
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(42u64), Err(SendError(42)));
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_when_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).unwrap();
+        let handle = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.send(9i64).unwrap();
+        assert_eq!(tx.stats().capacity, 1);
+        assert_eq!(rx.recv(), Some(9));
+    }
+}

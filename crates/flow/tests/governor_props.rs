@@ -166,6 +166,56 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded front half hands every shard its own `Arc` clone of
+    /// one global budget. N clones charging and releasing concurrently
+    /// must keep the shared `tracked_bytes` exact: it can never exceed
+    /// the limit plus the bounded in-flight slack (each shard holds at
+    /// most one charge before its matching release), it can never go
+    /// negative — `release` saturates, so any underflow would *strand*
+    /// bytes and show up as a non-zero final count — and once every
+    /// shard drains it returns to exactly 0.
+    #[test]
+    fn multi_clone_charges_stay_bounded_and_drain_to_zero(
+        per_shard in proptest::collection::vec(
+            proptest::collection::vec(1u64..2048, 1..64),
+            2..9,
+        ),
+    ) {
+        const SLACK: u64 = 2048; // max single in-flight charge per clone
+        let shards = per_shard.len() as u64;
+        let limit = 8 * 1024;
+        let budget = Arc::new(MemoryBudget::limited(limit));
+        std::thread::scope(|scope| {
+            for amounts in &per_shard {
+                let clone = Arc::clone(&budget);
+                scope.spawn(move || {
+                    for &n in amounts {
+                        clone.charge(n);
+                        // Each clone holds at most one charge in flight,
+                        // so the global count is bounded by everyone's
+                        // worst-case in-flight bytes at once.
+                        assert!(
+                            clone.tracked() <= shards * SLACK,
+                            "tracked {} above limit+slack",
+                            clone.tracked()
+                        );
+                        clone.release(n);
+                    }
+                });
+            }
+        });
+        // Exactly zero: a saturated (would-be negative) release anywhere
+        // leaves stranded bytes behind, so == 0 proves both properties.
+        prop_assert_eq!(budget.tracked(), 0, "clones did not drain to zero");
+        prop_assert!(budget.peak() <= shards * SLACK);
+        prop_assert!(budget.peak() > 0);
+        prop_assert_eq!(budget.level(), PressureLevel::Normal);
+    }
+}
+
 /// Seq-wraparound spotlight (deterministic, not a proptest): a stream
 /// anchored just below `u32::MAX` crossing zero keeps its accounting
 /// exact — wraparound cannot double-charge or leak on drain.

@@ -1,0 +1,155 @@
+//! Property tests for the canonical flow hash that keys the sharded
+//! front half. Three properties carry the whole sharding refactor:
+//! direction symmetry (both directions of a conversation co-locate),
+//! fragment stability (every fragment of a datagram co-locates, which
+//! is why the hash must ignore ports), and rough uniformity (no shard
+//! is a hot spot on random traffic).
+
+use proptest::prelude::*;
+use snids_flow::defrag::fragment_packet;
+use snids_flow::shard::{canonical_flow_hash, shard_of_key, shard_of_packet, shard_of_pair};
+use snids_flow::FlowKey;
+use snids_packet::{IpProtocol, PacketBuilder, TcpFlags};
+use std::net::Ipv4Addr;
+
+fn addr(bits: u32) -> Ipv4Addr {
+    Ipv4Addr::from(bits)
+}
+
+proptest! {
+    /// `shard_of_key` never distinguishes a key from its reverse: the
+    /// response stream always lands on the shard that holds the request
+    /// stream, for every shard count.
+    #[test]
+    fn direction_symmetric(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        shards in 1usize..16,
+    ) {
+        let key = FlowKey {
+            src: addr(src),
+            dst: addr(dst),
+            src_port: sport,
+            dst_port: dport,
+            proto: IpProtocol::Tcp,
+        };
+        prop_assert_eq!(
+            shard_of_key(&key, shards),
+            shard_of_key(&key.reversed(), shards)
+        );
+        prop_assert_eq!(
+            canonical_flow_hash(key.src, key.dst),
+            canonical_flow_hash(key.dst, key.src)
+        );
+        prop_assert!(shard_of_key(&key, shards) < shards);
+    }
+
+    /// Ports never influence routing: two conversations between the same
+    /// address pair co-locate no matter their ports. (This is the
+    /// property that makes fragment routing possible at all — non-first
+    /// fragments have no ports to hash.)
+    #[test]
+    fn port_blind(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ports in proptest::collection::vec((any::<u16>(), any::<u16>()), 2..8),
+        shards in 2usize..16,
+    ) {
+        let home = shard_of_pair(addr(src), addr(dst), shards);
+        for (sport, dport) in ports {
+            let key = FlowKey {
+                src: addr(src),
+                dst: addr(dst),
+                src_port: sport,
+                dst_port: dport,
+                proto: IpProtocol::Tcp,
+            };
+            prop_assert_eq!(shard_of_key(&key, shards), home);
+        }
+    }
+
+    /// Every fragment of a fragmented datagram routes to the same shard
+    /// as the unfragmented original — including non-first fragments,
+    /// which carry no transport header and therefore no `FlowKey`.
+    #[test]
+    fn fragment_stable(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in 1u16..,
+        payload_len in 600usize..2400,
+        mtu in 64usize..512,
+        shards in 2usize..16,
+    ) {
+        let payload = vec![0x5Au8; payload_len];
+        let packet = PacketBuilder::new(addr(src), addr(dst))
+            .identification(0x1234)
+            .tcp(sport, 80, 1, 0, TcpFlags::ACK | TcpFlags::PSH, &payload)
+            .unwrap();
+        let home = shard_of_packet(&packet, shards).unwrap();
+        if let Some(key) = FlowKey::of(&packet) {
+            prop_assert_eq!(shard_of_key(&key, shards), home);
+        }
+        let frags = fragment_packet(&packet, mtu);
+        prop_assert!(frags.len() >= 2, "payload should not fit one fragment");
+        for frag in &frags {
+            prop_assert_eq!(shard_of_packet(frag, shards), Some(home));
+        }
+    }
+
+    /// Load balance: hashing 10 000 pseudo-random address pairs onto 8
+    /// shards, no shard receives more than 2× the mean. The pairs are
+    /// derived from a proptest-chosen seed through an xorshift stream,
+    /// so each case exercises a fresh corner of the address space
+    /// without generating 10 000 strategy values per case.
+    #[test]
+    fn uniform_over_random_pairs(seed in any::<u64>()) {
+        const KEYS: usize = 10_000;
+        const SHARDS: usize = 8;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut counts = [0usize; SHARDS];
+        for _ in 0..KEYS {
+            let word = next();
+            let (a, b) = ((word >> 32) as u32, word as u32);
+            counts[shard_of_pair(addr(a), addr(b), SHARDS)] += 1;
+        }
+        let mean = KEYS / SHARDS;
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count <= 2 * mean,
+                "shard {shard} got {count} of {KEYS} keys (mean {mean})"
+            );
+        }
+    }
+}
+
+/// Structured address plans must also spread: one busy server talking to
+/// a sequential /16 of clients (the worst case for a truncation-style
+/// hash) still keeps every shard under 2× the mean.
+#[test]
+fn uniform_over_sequential_clients() {
+    const SHARDS: usize = 8;
+    let server = Ipv4Addr::new(192, 168, 1, 10);
+    let mut counts = [0usize; SHARDS];
+    let total = 256 * 40;
+    for c in 0..40u32 {
+        for d in 0..256u32 {
+            let client = Ipv4Addr::from(0x0A00_0000 | (c << 8) | d);
+            counts[shard_of_pair(client, server, SHARDS)] += 1;
+        }
+    }
+    let mean = total / SHARDS;
+    for (shard, &count) in counts.iter().enumerate() {
+        assert!(
+            count <= 2 * mean,
+            "shard {shard} got {count} of {total} sequential clients (mean {mean})"
+        );
+    }
+}

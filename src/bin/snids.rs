@@ -37,6 +37,13 @@
 //! # reassemble like the protected hosts' stacks
 //! snids analyze trace.pcap --overlap-policy linux-like
 //!
+//! # shard the front half (prefilter + reassembly) across 4 threads;
+//! # alerts are byte-identical to --shards 1 (the default)
+//! snids analyze trace.pcap --shards 4
+//!
+//! # sweep shard counts under a sustained overload: pkts/s + p99 stalls
+//! snids bench --shard --flood 1024
+//!
 //! # control the dataflow second pass (slice matching + alternative
 //! # stream views on desynced flows); near-miss is the default
 //! snids analyze trace.pcap --dataflow on
@@ -50,7 +57,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use snids::core::{Nids, NidsConfig};
+use snids::core::{NidsConfig, ShardedNids};
 use snids::gen::chaos::{chaos_pcap, ChaosConfig};
 use snids::gen::traces::{codered_capture, AddressPlan};
 use snids::packet::{PcapReader, PcapWriter};
@@ -61,7 +68,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--prefilter on|off] [--memory-budget BYTES[k|m|g]] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload|--prefilter] [--flows N] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--prefilter on|off] [--memory-budget BYTES[k|m|g]] [--shards N] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload|--prefilter|--shard] [--flows N] [--flood N] [--shards N,N,..] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -202,6 +209,15 @@ fn analyze(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(spec) = flag_values(args, "--shards").first() {
+        match spec.parse::<usize>() {
+            Ok(n) if n >= 1 => config.shards = n,
+            _ => {
+                eprintln!("bad --shards `{spec}` (want an integer >= 1)");
+                return ExitCode::from(2);
+            }
+        }
+    }
     for dn in flag_values(args, "--dark") {
         let parsed = dn.split_once('/').and_then(|(net, prefix)| {
             Some((net.parse::<Ipv4Addr>().ok()?, prefix.parse::<u8>().ok()?))
@@ -226,7 +242,9 @@ fn analyze(args: &[String]) -> ExitCode {
     // reader's stats rather than aborting the run.
     let packets = reader.decode_all().unwrap_or_default();
 
-    let mut nids = Nids::new(config);
+    // ShardedNids with shards=1 (the default) delegates to the plain
+    // sequential pipeline — identical code path, identical output.
+    let mut nids = ShardedNids::new(config);
 
     // Live exposition: bind and serve *before* the replay starts, from a
     // cloned (Arc-backed) registry handle, so a scraper watches counters,
@@ -400,6 +418,9 @@ fn bench(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--prefilter") {
         return bench_prefilter(args);
     }
+    if args.iter().any(|a| a == "--shard") {
+        return bench_shard(args);
+    }
     let flows = flag_value_u64(args, "--flows", 144) as usize;
     let cfg = snids::bench::throughput::BenchConfig {
         seed: flag_value_u64(args, "--seed", 2006),
@@ -469,6 +490,64 @@ fn bench_prefilter(args: &[String]) -> ExitCode {
             "warning: header lane {:.0} pkts/s below the 1M floor",
             report.header_lane_pps
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_shard(args: &[String]) -> ExitCode {
+    use snids::bench::shard;
+    let mut cfg = shard::ShardBenchConfig {
+        seed: flag_value_u64(args, "--seed", 2006),
+        flood: flag_value_u64(args, "--flood", 1024) as usize,
+        repeats: flag_value_u64(args, "--repeats", 3) as usize,
+        ..shard::ShardBenchConfig::default()
+    };
+    if let Some(flows) = flag_values(args, "--flows")
+        .first()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        cfg.planted_attacks = flows.max(1);
+    }
+    if let Some(spec) = flag_values(args, "--budget").first() {
+        match parse_bytes(spec) {
+            Some(bytes) if bytes > 0 => cfg.memory_budget = bytes,
+            _ => {
+                eprintln!("bad --budget `{spec}` (want BYTES > 0 with optional k/m/g suffix)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(list) = flag_values(args, "--shards").first() {
+        let parsed: Option<Vec<usize>> = list
+            .split(',')
+            .map(|n| n.trim().parse::<usize>().ok().filter(|n| *n >= 1))
+            .collect();
+        match parsed {
+            Some(counts) if !counts.is_empty() => cfg.shard_counts = counts,
+            _ => {
+                eprintln!("bad --shards `{list}` (want a comma-separated list of integers >= 1)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!(
+        "shard sweep: {} planted attacks + {} flood flows, shard counts {:?}, budget {} bytes, mailbox {} deep",
+        cfg.planted_attacks, cfg.flood, cfg.shard_counts, cfg.memory_budget, cfg.mailbox,
+    );
+    let report = shard::run(&cfg);
+    print!("{}", shard::render(&report));
+    let out = flag_values(args, "--out")
+        .first()
+        .copied()
+        .unwrap_or("BENCH_shard.json");
+    if let Err(e) = std::fs::write(out, shard::to_json(&report)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if !report.alerts_identical {
+        eprintln!("ALERT STREAMS DIVERGED ACROSS SHARD COUNTS");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use snids::core::{DropReason, Nids, NidsConfig};
+use snids::core::{DropReason, Nids, NidsConfig, ShardedNids};
 use snids::gen::chaos::{chaos_pcap, ChaosConfig};
 use snids::gen::traces::{codered_capture, AddressPlan};
 use snids::obs::Stage;
@@ -92,6 +92,93 @@ fn obs_counters_conserve_against_the_ledger_under_chaos() {
 
     // And the ledger itself still balances — observability must not
     // perturb the accounting it observes.
+    assert!(stats.packet_ledger_balanced(), "{}", stats.drop_report());
+    assert!(stats.record_ledger_balanced(), "{}", stats.drop_report());
+}
+
+#[test]
+fn obs_counters_conserve_at_four_shards() {
+    // The same conservation law with the front half sharded four ways:
+    // the merged ledger (driver stats + per-shard ledgers) is what the
+    // gauges must mirror, and the capture stage still counts every
+    // packet exactly once because classification stays on the driver.
+    let chaos = ChaosConfig {
+        flood_flows: 48,
+        ..ChaosConfig::with_rate(0.15)
+    };
+    let plan = AddressPlan::default();
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let (packets, _truth) = codered_capture(&mut rng, &plan, 1200, 3);
+    let (bytes, _log) = chaos_pcap(&mut rng, &packets, &chaos);
+    let mut reader =
+        PcapReader::new(Cursor::new(bytes)).expect("chaos keeps the global header valid");
+    let decoded = reader.decode_all().unwrap_or_default();
+
+    let mut nids = ShardedNids::new(NidsConfig {
+        honeypots: plan.honeypots.clone(),
+        dark_nets: vec![(plan.dark_net, 16)],
+        observability: true,
+        shards: 4,
+        ..NidsConfig::default()
+    });
+    nids.process_capture(&decoded);
+    nids.absorb_read_stats(&reader.read_stats());
+    let stats = nids.stats().clone();
+    let snap = nids.obs_snapshot();
+    assert!(snap.enabled);
+
+    let capture = snap
+        .stages
+        .iter()
+        .find(|s| s.stage == Stage::Capture)
+        .expect("capture stage present");
+    assert_eq!(
+        capture.events, stats.packets,
+        "capture events vs merged packets ledger"
+    );
+
+    // Every drop reason mirrors the *merged* ledger, which folds the
+    // per-shard eviction and prefilter counts back in.
+    for reason in DropReason::ALL {
+        let name = format!("drop.{}", reason.name());
+        let mirrored = snap
+            .named
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name} missing from snapshot"));
+        assert_eq!(mirrored.1, stats.drops.get(reason), "{name}");
+    }
+    for (gauge, ledger) in [
+        ("snids_packets_total", stats.packets),
+        ("snids_processed_total", stats.processed),
+        ("snids_flows_analyzed_total", stats.flows_analyzed),
+        ("snids_shards", 4),
+    ] {
+        let v = snap
+            .named
+            .iter()
+            .find(|(n, _)| n == gauge)
+            .unwrap_or_else(|| panic!("{gauge} missing from snapshot"));
+        assert_eq!(v.1, ledger, "{gauge}");
+    }
+
+    // Per-shard packet gauges partition the suspicious stream: the
+    // driver dispatches exactly one message per suspicious packet.
+    let shard_packets: u64 = (0..4)
+        .map(|i| {
+            let name = format!("snids_shard_packets_total{{shard=\"{i}\"}}");
+            snap.named
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("{name} missing from snapshot"))
+                .1
+        })
+        .sum();
+    assert_eq!(
+        shard_packets, stats.suspicious_packets,
+        "per-shard packet gauges must partition the suspicious stream"
+    );
+
     assert!(stats.packet_ledger_balanced(), "{}", stats.drop_report());
     assert!(stats.record_ledger_balanced(), "{}", stats.drop_report());
 }
