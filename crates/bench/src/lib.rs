@@ -10,6 +10,7 @@
 pub mod ablation;
 pub mod desync;
 pub mod figures;
+pub mod fleet;
 pub mod fp;
 pub mod overload;
 pub mod prefilter;

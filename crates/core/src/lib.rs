@@ -150,6 +150,17 @@ fn record_event(
     });
 }
 
+/// The per-flow latency identity of a tracked flow (free function for
+/// the same reason as [`record_event`]).
+fn flow_latency_id(key: &FlowKey) -> snids_obs::FlowId {
+    snids_obs::FlowId {
+        src: key.src,
+        dst: key.dst,
+        src_port: key.src_port,
+        dst_port: key.dst_port,
+    }
+}
+
 /// Render one flight-recorder event for a dump.
 fn render_event(e: &Event) -> String {
     format!(
@@ -350,6 +361,12 @@ impl Nids {
             "snids_prefilter_rejected_total",
             self.stats.prefilter_rejected,
         );
+        for (lane, rule, n) in &self.stats.lane_hits {
+            self.obs.set_named(
+                &format!("snids_prefilter_lane_hits_total{{lane=\"{lane}\",rule=\"{rule}\"}}"),
+                *n,
+            );
+        }
         self.obs
             .set_named("snids_budget_limit_bytes", self.budget.limit());
         self.obs
@@ -375,15 +392,15 @@ impl Nids {
             .set_named("snids_pool_tasks_panicked_total", pool.tasks_panicked);
         for (i, w) in pool.workers.iter().enumerate() {
             self.obs.set_named(
-                &format!("snids_pool_tasks_total{{worker=\"{i}\"}}"),
+                &format!("snids_pool_tasks_total{{thread=\"{i}\"}}"),
                 w.tasks,
             );
             self.obs.set_named(
-                &format!("snids_pool_steals_total{{worker=\"{i}\"}}"),
+                &format!("snids_pool_steals_total{{thread=\"{i}\"}}"),
                 w.steals,
             );
             self.obs.set_named(
-                &format!("snids_pool_busy_nanos_total{{worker=\"{i}\"}}"),
+                &format!("snids_pool_busy_nanos_total{{thread=\"{i}\"}}"),
                 w.busy_nanos,
             );
         }
@@ -444,7 +461,7 @@ impl Nids {
         if trail.is_empty() {
             return;
         }
-        self.flight_dumps.push(format!(
+        let mut dump = format!(
             "flight[{}] {} -> {}:{} ({} events)\n{}",
             why,
             std::net::Ipv4Addr::from(src),
@@ -452,7 +469,18 @@ impl Nids {
             dst_port,
             trail.len(),
             trail.join("\n"),
-        ));
+        );
+        // Attribution: the flow's per-stage latency trail, when one is
+        // retained (source port wildcarded, same as the event filter).
+        if let Some((outcome, stage_nanos)) = self.obs.flow_trail(
+            std::net::Ipv4Addr::from(src),
+            std::net::Ipv4Addr::from(dst),
+            dst_port,
+        ) {
+            dump.push('\n');
+            dump.push_str(&snids_obs::flowlat::render_trail(outcome, &stage_nanos));
+        }
+        self.flight_dumps.push(dump);
     }
 
     /// The pool the flow-analysis stage runs on: this pipeline's dedicated
@@ -488,6 +516,13 @@ impl Nids {
 
     /// Copy the cumulative per-stage drop tallies into the stats ledgers.
     fn sync_drop_counters(&mut self) {
+        if let Some(pf) = &self.prefilter {
+            // Cumulative like the drop counters: set, don't add.
+            self.stats.lane_hits = pf
+                .rule_hits()
+                .map(|(lane, rule, n)| (lane.to_string(), rule.to_string(), n))
+                .collect();
+        }
         let ds = self.defrag.stats();
         self.stats
             .drops
@@ -780,6 +815,10 @@ impl Nids {
                     prefilter_nanos,
                     packet.payload().len() as u64,
                 );
+                if let Some(k) = key.as_ref() {
+                    self.obs
+                        .flow_charge(flow_latency_id(k), Stage::Prefilter, prefilter_nanos);
+                }
             }
             match decision {
                 Decision::Escalate(Lane::Sticky) => self.stats.prefilter_escalated += 1,
@@ -811,6 +850,10 @@ impl Nids {
                 reassembly_nanos,
                 outcome.segment_bytes as u64,
             );
+            if let Some(k) = outcome.key.as_ref() {
+                self.obs
+                    .flow_charge(flow_latency_id(k), Stage::Reassembly, reassembly_nanos);
+            }
             // The flight recorder tracks suspicious (tracked) traffic:
             // only those flows can later alert or be dropped with a trail
             // worth dumping, and skipping the benign majority keeps the
@@ -832,6 +875,11 @@ impl Nids {
                     0,
                     Some(DropReason::FlowEvicted),
                 );
+                // An unanalyzed eviction is the end of this flow's story:
+                // settle its latency trail under the dropped outcome
+                // before dumping, so the dump carries it.
+                self.obs
+                    .flow_settle(&flow_latency_id(&evicted), snids_obs::FlowOutcome::Dropped);
                 let (src, dst, port) = (evicted.src, evicted.dst, evicted.dst_port);
                 self.dump_flight("flow_evicted", src, dst, port);
             }
@@ -913,6 +961,13 @@ impl Nids {
         let alerts = self.finalize_alerts(alerts);
         self.sync_drop_counters();
         self.note_pressure();
+        if self.obs.enabled() {
+            // Flows that left the pipeline without an analysis verdict
+            // (pre-filter-rejected after a charge, contended settles)
+            // drain under the dropped outcome so the tracked-flow count
+            // balances against the settled histograms.
+            self.obs.flow_settle_all(snids_obs::FlowOutcome::Dropped);
+        }
         // Satellite invariant: every byte charged to the budget by the
         // flow table and the defragmenter was released on drain —
         // accounting cannot drift across runs.
@@ -978,11 +1033,9 @@ impl Nids {
             }
             let frames = extractor.extract(&payload);
             if let Some(t) = t_extract {
-                obs.record_stage(
-                    Stage::Extract,
-                    t.elapsed().as_nanos() as u64,
-                    payload.len() as u64,
-                );
+                let nanos = t.elapsed().as_nanos() as u64;
+                obs.record_stage(Stage::Extract, nanos, payload.len() as u64);
+                obs.flow_charge(flow_latency_id(&flow.key), Stage::Extract, nanos);
             }
             let mut out = FlowOutcome {
                 frames: frames.len() as u64,
@@ -1001,6 +1054,10 @@ impl Nids {
                     obs.record_stage(Stage::Decode, timing.decode_nanos, bytes);
                     obs.record_stage(Stage::IrLift, timing.lift_nanos, bytes);
                     obs.record_stage(Stage::TemplateMatch, timing.match_nanos, bytes);
+                    let id = flow_latency_id(&flow.key);
+                    obs.flow_charge(id, Stage::Decode, timing.decode_nanos);
+                    obs.flow_charge(id, Stage::IrLift, timing.lift_nanos);
+                    obs.flow_charge(id, Stage::TemplateMatch, timing.match_nanos);
                     analysis
                 } else {
                     analyzer.analyze_frame(data)
@@ -1076,8 +1133,21 @@ impl Nids {
                     out.dataflow_recovered += 1;
                 }
                 if let Some(t) = t_df {
-                    obs.record_stage(Stage::Dataflow, t.elapsed().as_nanos() as u64, df_bytes);
+                    let nanos = t.elapsed().as_nanos() as u64;
+                    obs.record_stage(Stage::Dataflow, nanos, df_bytes);
+                    obs.flow_charge(flow_latency_id(&flow.key), Stage::Dataflow, nanos);
                 }
+            }
+            if observing {
+                // The analysis verdict settles this flow's latency trail:
+                // it folds into the (stage × outcome) histogram family and
+                // stays resolvable for flight dumps.
+                let verdict = if out.alerts.is_empty() {
+                    snids_obs::FlowOutcome::Benign
+                } else {
+                    snids_obs::FlowOutcome::Alerted
+                };
+                obs.flow_settle(&flow_latency_id(&flow.key), verdict);
             }
             out
         };
@@ -1156,6 +1226,10 @@ impl Nids {
                     0,
                     Some(DropReason::AnalysisPanicked),
                 );
+                // The panic ended analysis mid-flow: whatever stage time
+                // was already charged settles as a dropped flow.
+                self.obs
+                    .flow_settle(&flow_latency_id(key), snids_obs::FlowOutcome::Dropped);
             }
             for key in total.panicked_keys.clone() {
                 self.dump_flight("analysis_panicked", key.src, key.dst, key.dst_port);

@@ -92,7 +92,7 @@ enum ShardReply {
 /// One shard's cumulative contribution to the pipeline ledger, shipped
 /// with every barrier reply. All fields are running totals, so the
 /// driver keeps only the latest snapshot per shard.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct ShardLedger {
     /// Suspicious packets this shard tracked.
     packets: u64,
@@ -100,6 +100,8 @@ struct ShardLedger {
     prefilter_escalated: u64,
     prefilter_rejected: u64,
     prefilter_nanos: u64,
+    /// Per-`(lane, rule)` pre-filter hits (cumulative, like the rest).
+    lane_hits: Vec<(String, String, u64)>,
     reassembly_nanos: u64,
     /// Flow-table counters (cumulative, mirroring `FlowTable`'s own).
     evicted: u64,
@@ -136,7 +138,7 @@ impl FrontShard {
                     let _ = self.replies.send(ShardReply::Polled {
                         shard: self.index,
                         expired,
-                        ledger: self.ledger,
+                        ledger: self.ledger.clone(),
                     });
                 }
                 ShardMsg::Finish => {
@@ -146,7 +148,7 @@ impl FrontShard {
                     let _ = self.replies.send(ShardReply::Finished {
                         shard: self.index,
                         flows,
-                        ledger: self.ledger,
+                        ledger: self.ledger.clone(),
                     });
                     return;
                 }
@@ -179,6 +181,13 @@ impl FrontShard {
                     prefilter_nanos,
                     packet.payload().len() as u64,
                 );
+                if let Some(k) = key.as_ref() {
+                    self.obs.flow_charge(
+                        crate::flow_latency_id(k),
+                        Stage::Prefilter,
+                        prefilter_nanos,
+                    );
+                }
             }
             match decision {
                 Decision::Escalate(Lane::Sticky) => self.ledger.prefilter_escalated += 1,
@@ -209,6 +218,13 @@ impl FrontShard {
                 reassembly_nanos,
                 outcome.segment_bytes as u64,
             );
+            if let Some(k) = outcome.key.as_ref() {
+                self.obs.flow_charge(
+                    crate::flow_latency_id(k),
+                    Stage::Reassembly,
+                    reassembly_nanos,
+                );
+            }
             record_event(
                 &self.obs,
                 Stage::Capture,
@@ -225,6 +241,10 @@ impl FrontShard {
                     Some(&evicted),
                     0,
                     Some(DropReason::FlowEvicted),
+                );
+                self.obs.flow_settle(
+                    &crate::flow_latency_id(&evicted),
+                    snids_obs::FlowOutcome::Dropped,
                 );
             }
             if outcome.conflict_bytes > 0 {
@@ -262,6 +282,12 @@ impl FrontShard {
 
     /// Refresh the cumulative ledger from the flow table's counters.
     fn snapshot(&mut self) {
+        if let Some(pf) = &self.prefilter {
+            self.ledger.lane_hits = pf
+                .rule_hits()
+                .map(|(lane, rule, n)| (lane.to_string(), rule.to_string(), n))
+                .collect();
+        }
         self.ledger.evicted = self.flows.evicted();
         self.ledger.evicted_by_budget = self.flows.evicted_by_budget();
         self.ledger.truncated_flows = self.flows.truncated_flows();
@@ -654,6 +680,7 @@ impl ShardedNids {
             m.prefilter_escalated += l.prefilter_escalated;
             m.prefilter_rejected += l.prefilter_rejected;
             m.prefilter_nanos += l.prefilter_nanos;
+            crate::stats::merge_lane_hits(&mut m.lane_hits, &l.lane_hits);
             m.reassembly_nanos += l.reassembly_nanos;
             m.overlap_conflict_bytes += l.overlap_conflict_bytes;
             m.degraded_flows += l.degraded_flows;
@@ -705,6 +732,12 @@ impl ShardedNids {
         obs.set_named("snids_prefilter_passed_total", m.prefilter_passed);
         obs.set_named("snids_prefilter_escalated_total", m.prefilter_escalated);
         obs.set_named("snids_prefilter_rejected_total", m.prefilter_rejected);
+        for (lane, rule, n) in &m.lane_hits {
+            obs.set_named(
+                &format!("snids_prefilter_lane_hits_total{{lane=\"{lane}\",rule=\"{rule}\"}}"),
+                *n,
+            );
+        }
         let budget = self.inner.budget();
         obs.set_named("snids_budget_limit_bytes", budget.limit());
         obs.set_named("snids_budget_tracked_bytes", budget.tracked());

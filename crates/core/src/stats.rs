@@ -195,6 +195,23 @@ impl DropCounters {
     }
 }
 
+/// Fold `other`'s `(lane, rule, hits)` triples into `hits`, keeping the
+/// lexical `(lane, rule)` order both sides already maintain.
+pub(crate) fn merge_lane_hits(
+    hits: &mut Vec<(String, String, u64)>,
+    other: &[(String, String, u64)],
+) {
+    for (lane, rule, n) in other {
+        match hits.iter_mut().find(|(l, r, _)| l == lane && r == rule) {
+            Some((_, _, slot)) => *slot += n,
+            None => {
+                hits.push((lane.clone(), rule.clone(), *n));
+                hits.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            }
+        }
+    }
+}
+
 /// Counters and stage timings for one pipeline run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
@@ -222,6 +239,10 @@ pub struct PipelineStats {
     pub prefilter_rejected: u64,
     /// Time in the pre-filter gate.
     pub prefilter_nanos: u64,
+    /// Per-`(lane, rule)` pre-filter escalation hits, in lexical order.
+    /// Cardinality is bounded by the compiled rule tables (every name is
+    /// baked into the binary), never by traffic.
+    pub lane_hits: Vec<(String, String, u64)>,
     /// Flows handed to the analysis tail.
     pub flows_analyzed: u64,
     /// Binary frames extracted.
@@ -298,6 +319,7 @@ impl PipelineStats {
         self.prefilter_escalated += other.prefilter_escalated;
         self.prefilter_rejected += other.prefilter_rejected;
         self.prefilter_nanos += other.prefilter_nanos;
+        merge_lane_hits(&mut self.lane_hits, &other.lane_hits);
         self.flows_analyzed += other.flows_analyzed;
         self.frames_extracted += other.frames_extracted;
         self.frame_bytes += other.frame_bytes;
@@ -396,6 +418,11 @@ impl PipelineStats {
                 self.prefilter_rejected,
                 self.prefilter_reject_ratio() * 100.0
             ));
+            for (lane, rule, n) in &self.lane_hits {
+                out.push_str(&format!(
+                    "  prefilter.hits{{lane={lane},rule={rule}}} = {n}\n"
+                ));
+            }
         }
         out.push_str(&format!(
             "ledgers: records {} packets {}\n",
@@ -424,13 +451,26 @@ impl PipelineStats {
             drops.push_str(&format!("\"{}\":{}", reason.name(), n));
         }
         drops.push('}');
+        let mut lane_hits = String::from("[");
+        for (i, (lane, rule, n)) in self.lane_hits.iter().enumerate() {
+            if i > 0 {
+                lane_hits.push(',');
+            }
+            // Lane and rule names are compiled into the binary (simple
+            // identifier-shaped strings), so no escaping is needed.
+            lane_hits.push_str(&format!(
+                "{{\"lane\":\"{lane}\",\"rule\":\"{rule}\",\"hits\":{n}}}"
+            ));
+        }
+        lane_hits.push(']');
         let prefilter = format!(
-            "{{\"passed\":{},\"escalated\":{},\"rejected\":{},\"reject_ratio\":{:.4},\"nanos\":{}}}",
+            "{{\"passed\":{},\"escalated\":{},\"rejected\":{},\"reject_ratio\":{:.4},\"nanos\":{},\"lane_hits\":{}}}",
             self.prefilter_passed,
             self.prefilter_escalated,
             self.prefilter_rejected,
             self.prefilter_reject_ratio(),
             self.prefilter_nanos,
+            lane_hits,
         );
         format!(
             "{{\"records_in\":{},\"packets\":{},\"processed\":{},\"suspicious_packets\":{},\"flows_analyzed\":{},\"frames_extracted\":{},\"frame_bytes\":{},\"alerts\":{},\"overlap_conflict_bytes\":{},\"memory_limit_bytes\":{},\"peak_tracked_bytes\":{},\"degraded_flows\":{},\"prefilter\":{},\"drops\":{},\"drops_total\":{},\"classify_nanos\":{},\"reassembly_nanos\":{},\"analysis_nanos\":{}}}",
@@ -618,6 +658,45 @@ mod tests {
         s.merge(&other);
         assert_eq!(s.prefilter_rejected, 12);
         assert_eq!(s.prefilter_nanos, 5);
+    }
+
+    #[test]
+    fn lane_hits_merge_by_key_and_render_in_order() {
+        let hit = |l: &str, r: &str, n: u64| (l.to_string(), r.to_string(), n);
+        let mut s = PipelineStats {
+            suspicious_packets: 3,
+            prefilter_passed: 3,
+            lane_hits: vec![
+                hit("header", "dark-range", 2),
+                hit("ngram", "position-score", 1),
+            ],
+            ..PipelineStats::default()
+        };
+        let other = PipelineStats {
+            prefilter_passed: 2,
+            lane_hits: vec![
+                hit("control", "empty-payload", 1),
+                hit("header", "dark-range", 3),
+            ],
+            ..PipelineStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(
+            s.lane_hits,
+            vec![
+                hit("control", "empty-payload", 1),
+                hit("header", "dark-range", 5),
+                hit("ngram", "position-score", 1),
+            ]
+        );
+        assert!(s.to_json().contains(
+            "\"lane_hits\":[{\"lane\":\"control\",\"rule\":\"empty-payload\",\"hits\":1},\
+             {\"lane\":\"header\",\"rule\":\"dark-range\",\"hits\":5},\
+             {\"lane\":\"ngram\",\"rule\":\"position-score\",\"hits\":1}]"
+        ));
+        assert!(s
+            .drop_report()
+            .contains("prefilter.hits{lane=header,rule=dark-range} = 5"));
     }
 
     #[test]

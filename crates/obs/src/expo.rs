@@ -22,10 +22,18 @@ const QUANTILES: [(&str, QuantileSelector); 3] = [
 /// Render a Prometheus-style text exposition page.
 ///
 /// Named counters whose names already embed a label set (e.g.
-/// `snids_pool_tasks_total{worker="0"}`) are emitted verbatim; plain names
+/// `snids_pool_tasks_total{thread="0"}`) are emitted verbatim; plain names
 /// get no labels.
 pub fn render_text(snap: &Snapshot) -> String {
     let mut out = String::new();
+    if let Some(worker) = &snap.worker {
+        out.push_str("# HELP snids_worker_info Instance identity of this exposition.\n");
+        out.push_str("# TYPE snids_worker_info gauge\n");
+        out.push_str(&format!(
+            "snids_worker_info{{worker=\"{}\"}} 1\n",
+            escape(worker)
+        ));
+    }
     out.push_str("# HELP snids_stage_events_total Events handled per pipeline stage.\n");
     out.push_str("# TYPE snids_stage_events_total counter\n");
     for stage in &snap.stages {
@@ -109,6 +117,49 @@ pub fn render_text(snap: &Snapshot) -> String {
             cumulative
         ));
     }
+    out.push_str(
+        "# HELP snids_flow_latency_nanos Per-flow total stage time by outcome (log2 buckets).\n",
+    );
+    out.push_str("# TYPE snids_flow_latency_nanos summary\n");
+    for fl in &snap.flow_latency {
+        let labels = format!(
+            "stage=\"{}\",outcome=\"{}\"",
+            fl.stage.name(),
+            fl.outcome.name()
+        );
+        out.push_str(&format!(
+            "snids_flow_latency_nanos{{{labels},quantile=\"0.5\"}} {}\n",
+            fl.p50_nanos
+        ));
+        out.push_str(&format!(
+            "snids_flow_latency_nanos{{{labels},quantile=\"0.9\"}} {}\n",
+            fl.p90_nanos
+        ));
+        out.push_str(&format!(
+            "snids_flow_latency_nanos{{{labels},quantile=\"0.99\"}} {}\n",
+            fl.p99_nanos
+        ));
+        out.push_str(&format!(
+            "snids_flow_latency_nanos_sum{{{labels}}} {}\n",
+            fl.sum_nanos
+        ));
+        out.push_str(&format!(
+            "snids_flow_latency_nanos_count{{{labels}}} {}\n",
+            fl.count
+        ));
+        out.push_str(&format!(
+            "snids_flow_latency_nanos_max{{{labels}}} {}\n",
+            fl.max_nanos
+        ));
+    }
+    out.push_str(&format!(
+        "snids_flow_latency_tracked_flows {}\n",
+        snap.flow_tracked
+    ));
+    out.push_str(&format!(
+        "snids_flow_latency_overflow_total {}\n",
+        snap.flow_overflow
+    ));
     for (name, value) in &snap.named {
         out.push_str(&format!("{name} {value}\n"));
     }
@@ -139,6 +190,10 @@ pub fn render_text(snap: &Snapshot) -> String {
 pub fn render_json(snap: &Snapshot) -> String {
     let mut out = String::from("{");
     out.push_str(&format!("\"enabled\":{},", snap.enabled));
+    match &snap.worker {
+        Some(worker) => out.push_str(&format!("\"worker\":\"{}\",", escape(worker))),
+        None => out.push_str("\"worker\":null,"),
+    }
     out.push_str("\"stages\":[");
     for (i, stage) in snap.stages.iter().enumerate() {
         if i > 0 {
@@ -172,8 +227,37 @@ pub fn render_json(snap: &Snapshot) -> String {
         }
         out.push_str(&format!("\"{}\":{}", escape(name), value));
     }
+    out.push_str("},\"flow_latency\":[");
+    for (i, fl) in snap.flow_latency.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sparse: Vec<String> = fl
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| format!("[{idx},{n}]"))
+            .collect();
+        out.push_str(&format!(
+            "{{\"stage\":\"{}\",\"outcome\":\"{}\",\"count\":{},\"sum_nanos\":{},\"max_nanos\":{},\"p50_nanos\":{},\"p90_nanos\":{},\"p99_nanos\":{},\"buckets\":[{}]}}",
+            fl.stage.name(),
+            fl.outcome.name(),
+            fl.count,
+            fl.sum_nanos,
+            fl.max_nanos,
+            fl.p50_nanos,
+            fl.p90_nanos,
+            fl.p99_nanos,
+            sparse.join(",")
+        ));
+    }
     out.push_str(&format!(
-        "}},\"warnings\":{},\"flight_recorder\":{{\"recorded\":{},\"contended\":{},\"capacity\":{}}}}}",
+        "],\"flow_tracked\":{},\"flow_overflow\":{},",
+        snap.flow_tracked, snap.flow_overflow
+    ));
+    out.push_str(&format!(
+        "\"warnings\":{},\"flight_recorder\":{{\"recorded\":{},\"contended\":{},\"capacity\":{}}}}}",
         snap.warnings, snap.recorder_recorded, snap.recorder_contended, snap.recorder_capacity
     ));
     out
@@ -190,7 +274,7 @@ mod tests {
         obs.record_stage(Stage::Capture, 120, 60);
         obs.record_stage(Stage::Capture, 90, 40);
         obs.record_stage(Stage::TemplateMatch, 5000, 512);
-        obs.counter("snids_pool_tasks_total{worker=\"0\"}").add(7);
+        obs.counter("snids_pool_tasks_total{thread=\"0\"}").add(7);
         obs.counter("drop.truncated_segment").add(2);
         obs
     }
@@ -204,7 +288,7 @@ mod tests {
             page.contains("snids_stage_latency_nanos{stage=\"template_match\",quantile=\"0.99\"}")
         );
         assert!(page.contains("snids_stage_latency_nanos_count{stage=\"capture\"} 2"));
-        assert!(page.contains("snids_pool_tasks_total{worker=\"0\"} 7"));
+        assert!(page.contains("snids_pool_tasks_total{thread=\"0\"} 7"));
         assert!(page.contains("drop.truncated_segment 2"));
         assert!(page.contains("snids_flight_recorder_capacity 8"));
     }
@@ -253,6 +337,48 @@ mod tests {
     }
 
     #[test]
+    fn flow_latency_family_renders_in_both_expositions() {
+        use crate::flowlat::{FlowId, FlowOutcome};
+        let obs = Obs::new(8);
+        obs.set_worker(Some("w0"));
+        let id = FlowId {
+            src: std::net::Ipv4Addr::new(10, 0, 0, 1),
+            dst: std::net::Ipv4Addr::new(192, 168, 1, 10),
+            src_port: 1234,
+            dst_port: 80,
+        };
+        obs.flow_charge(id, Stage::Decode, 900);
+        obs.flow_charge(id, Stage::Prefilter, 40);
+        obs.flow_settle(&id, FlowOutcome::Alerted);
+        let snap = obs.snapshot();
+        let page = render_text(&snap);
+        assert!(
+            page.contains("snids_worker_info{worker=\"w0\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains(
+            "snids_flow_latency_nanos{stage=\"decode\",outcome=\"alerted\",quantile=\"0.99\"}"
+        ));
+        assert!(
+            page.contains("snids_flow_latency_nanos_sum{stage=\"decode\",outcome=\"alerted\"} 900")
+        );
+        assert!(page.contains("snids_flow_latency_tracked_flows 1"));
+        assert!(page.contains("snids_flow_latency_overflow_total 0"));
+        let doc = render_json(&snap);
+        assert!(doc.contains("\"worker\":\"w0\""), "{doc}");
+        // Stage order is discriminant order, so decode (5) precedes the
+        // late-added prefilter (9).
+        assert!(
+            doc.contains("\"flow_latency\":[{\"stage\":\"decode\",\"outcome\":\"alerted\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"flow_tracked\":1,\"flow_overflow\":0"));
+        // Unlabeled registries keep a stable shape too.
+        let plain = render_json(&sample().snapshot());
+        assert!(plain.contains("\"worker\":null"));
+    }
+
+    #[test]
     fn renders_are_deterministic() {
         let obs = sample();
         let snap = obs.snapshot();
@@ -271,7 +397,7 @@ mod tests {
         );
         assert!(doc.contains("\"stage\":\"capture\",\"events\":2,\"bytes\":100"));
         // Embedded label quotes in counter names must be escaped.
-        assert!(doc.contains("\"snids_pool_tasks_total{worker=\\\"0\\\"}\":7"));
+        assert!(doc.contains("\"snids_pool_tasks_total{thread=\\\"0\\\"}\":7"));
         assert!(doc.contains("\"flight_recorder\":{\"recorded\":"));
     }
 }

@@ -1,0 +1,685 @@
+//! Fleet federation: scrape N worker expositions, merge them into one.
+//!
+//! A fleet of `snids` workers each serves its own `/metrics` + `/json`
+//! endpoint. This module is the other side of that contract: a minimal
+//! blocking HTTP scrape client ([`scrape`], with retry/timeout that
+//! **degrades** a worker to unhealthy instead of aborting the fleet
+//! report), a parser that reads a worker's `/json` page back into a
+//! [`Snapshot`] ([`snapshot_from_json`]), and the [`FleetSnapshot`]
+//! merger.
+//!
+//! ## Merge algebra
+//!
+//! Deterministic and shape-preserving, so the merged snapshot re-renders
+//! through the ordinary [`crate::expo`] renderers as one fleet page:
+//!
+//! * **Stage metrics** — events/bytes/count/sum are summed, `max` is
+//!   maxed, log₂ buckets merge **bucket-wise**, and quantiles are
+//!   recomputed from the merged buckets
+//!   ([`crate::hist::quantile_from_buckets`]), so a fleet p99 has the
+//!   same semantics as a worker p99.
+//! * **Per-flow latency family** — merged the same way, keyed by
+//!   (stage, outcome).
+//! * **Named counters** — summed when the name says cumulative
+//!   (`*_total`, `drop.*`), maxed otherwise (gauges, peaks, limits,
+//!   capacities). Names that already embed a label set (per-shard and
+//!   per-pool-worker gauges) are re-labeled with `worker="<label>"` so
+//!   instances never collide in the merged page.
+//! * **Warnings / recorder tallies** — summed; recorder capacity sums
+//!   too (it is the fleet's total ring capacity).
+//!
+//! Conservation is re-checked at the fleet level by
+//! [`FleetSnapshot::conservation`]: merged capture events must equal the
+//! summed per-worker packet counters, and the merged ledger must balance
+//! (`packets == processed + packet drops`, with the caller naming which
+//! drop counters are packet-level — that split belongs to the pipeline
+//! crate, not this one).
+
+use crate::flowlat::FlowLatencySnapshot;
+use crate::hist::{self, BUCKETS};
+use crate::json::{self, Value};
+use crate::registry::{Snapshot, StageSnapshot};
+use crate::stage::Stage;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Retry/timeout policy for one scrape.
+#[derive(Debug, Clone)]
+pub struct ScrapeConfig {
+    /// Attempts before the worker is reported unhealthy.
+    pub attempts: u32,
+    /// Connect/read/write timeout per attempt.
+    pub timeout: Duration,
+    /// Pause between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for ScrapeConfig {
+    fn default() -> Self {
+        ScrapeConfig {
+            attempts: 3,
+            timeout: Duration::from_secs(2),
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One blocking HTTP/1.0 GET against `endpoint` (a `host:port` string),
+/// returning the response body. Mirrors [`crate::serve::MetricsServer`]'s
+/// dialect: connection-close, no chunking, tiny requests.
+pub fn scrape(endpoint: &str, path: &str, timeout: Duration) -> io::Result<String> {
+    let addr = endpoint.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "endpoint resolves to nothing")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nConnection: close\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_headers, body)) => Ok(body.to_string()),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response carried no header/body separator",
+        )),
+    }
+}
+
+/// [`scrape`] with the retry/backoff policy of `cfg`. Returns the last
+/// error when every attempt fails — the caller degrades the worker, it
+/// does not abort.
+pub fn scrape_with_retry(endpoint: &str, path: &str, cfg: &ScrapeConfig) -> io::Result<String> {
+    let mut last = io::Error::other("no scrape attempts configured");
+    for attempt in 0..cfg.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(cfg.backoff);
+        }
+        match scrape(endpoint, path, cfg.timeout) {
+            Ok(body) => return Ok(body),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// The scrape record for one worker: either a parsed snapshot or the
+/// reason it was degraded. Kept in the fleet report either way, so a
+/// dead worker is visible rather than silently absent.
+#[derive(Debug, Clone)]
+pub struct WorkerScrape {
+    /// Instance label (`worker="…"` in the merged page).
+    pub label: String,
+    /// `host:port` the worker serves on.
+    pub endpoint: String,
+    /// Whether the scrape succeeded and parsed.
+    pub healthy: bool,
+    /// Wall-clock nanoseconds the (final successful or last failing)
+    /// scrape took — the fleet's scrape-overhead number.
+    pub scrape_nanos: u64,
+    /// Why the worker was degraded, when it was.
+    pub error: Option<String>,
+    /// The worker's parsed snapshot, when healthy.
+    pub snapshot: Option<Snapshot>,
+}
+
+/// Scrape one worker's `/json` page and parse it, degrading (never
+/// panicking, never propagating) on failure.
+pub fn scrape_worker(label: &str, endpoint: &str, cfg: &ScrapeConfig) -> WorkerScrape {
+    let t0 = Instant::now();
+    let outcome = scrape_with_retry(endpoint, "/json", cfg);
+    let scrape_nanos = t0.elapsed().as_nanos() as u64;
+    match outcome {
+        Err(e) => WorkerScrape {
+            label: label.to_string(),
+            endpoint: endpoint.to_string(),
+            healthy: false,
+            scrape_nanos,
+            error: Some(format!("scrape failed: {e}")),
+            snapshot: None,
+        },
+        Ok(body) => match json::parse(&body).as_ref().and_then(snapshot_from_json) {
+            Some(snapshot) => WorkerScrape {
+                label: label.to_string(),
+                endpoint: endpoint.to_string(),
+                healthy: true,
+                scrape_nanos,
+                error: None,
+                snapshot: Some(snapshot),
+            },
+            None => WorkerScrape {
+                label: label.to_string(),
+                endpoint: endpoint.to_string(),
+                healthy: false,
+                scrape_nanos,
+                error: Some("scrape returned an unparsable page".to_string()),
+                snapshot: None,
+            },
+        },
+    }
+}
+
+/// Parse a `/json` exposition page (the [`crate::expo::render_json`]
+/// shape) back into a [`Snapshot`]. Returns `None` on any structural
+/// mismatch.
+pub fn snapshot_from_json(doc: &Value) -> Option<Snapshot> {
+    let enabled = doc.get("enabled")?.as_bool()?;
+    let worker = match doc.get("worker") {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let mut stages = Vec::new();
+    for entry in doc.get("stages")?.as_arr()? {
+        let stage = Stage::from_name(entry.get("stage")?.as_str()?)?;
+        let latency = entry.get("latency")?;
+        stages.push(StageSnapshot {
+            stage,
+            events: entry.get("events")?.as_u64()?,
+            bytes: entry.get("bytes")?.as_u64()?,
+            count: latency.get("count")?.as_u64()?,
+            sum_nanos: latency.get("sum_nanos")?.as_u64()?,
+            max_nanos: latency.get("max_nanos")?.as_u64()?,
+            p50_nanos: latency.get("p50_nanos")?.as_u64()?,
+            p90_nanos: latency.get("p90_nanos")?.as_u64()?,
+            p99_nanos: latency.get("p99_nanos")?.as_u64()?,
+            buckets: buckets_from_sparse(latency.get("buckets")?)?,
+        });
+    }
+    let mut named = Vec::new();
+    for (name, value) in doc.get("counters")?.as_obj()? {
+        named.push((name.clone(), value.as_u64()?));
+    }
+    let mut flow_latency = Vec::new();
+    for entry in doc.get("flow_latency")?.as_arr()? {
+        flow_latency.push(FlowLatencySnapshot {
+            stage: Stage::from_name(entry.get("stage")?.as_str()?)?,
+            outcome: crate::flowlat::FlowOutcome::from_name(entry.get("outcome")?.as_str()?)?,
+            count: entry.get("count")?.as_u64()?,
+            sum_nanos: entry.get("sum_nanos")?.as_u64()?,
+            max_nanos: entry.get("max_nanos")?.as_u64()?,
+            p50_nanos: entry.get("p50_nanos")?.as_u64()?,
+            p90_nanos: entry.get("p90_nanos")?.as_u64()?,
+            p99_nanos: entry.get("p99_nanos")?.as_u64()?,
+            buckets: buckets_from_sparse(entry.get("buckets")?)?,
+        });
+    }
+    let recorder = doc.get("flight_recorder")?;
+    Some(Snapshot {
+        enabled,
+        worker,
+        stages,
+        named,
+        flow_latency,
+        flow_tracked: doc.get("flow_tracked")?.as_u64()?,
+        flow_overflow: doc.get("flow_overflow")?.as_u64()?,
+        warnings: doc.get("warnings")?.as_u64()?,
+        recorder_recorded: recorder.get("recorded")?.as_u64()?,
+        recorder_contended: recorder.get("contended")?.as_u64()?,
+        recorder_capacity: recorder.get("capacity")?.as_u64()? as usize,
+    })
+}
+
+fn buckets_from_sparse(value: &Value) -> Option<[u64; BUCKETS]> {
+    let mut buckets = [0u64; BUCKETS];
+    for pair in value.as_arr()? {
+        let pair = pair.as_arr()?;
+        let idx = pair.first()?.as_u64()? as usize;
+        let n = pair.get(1)?.as_u64()?;
+        *buckets.get_mut(idx)? = n;
+    }
+    Some(buckets)
+}
+
+/// Whether a named metric accumulates (merge by sum) rather than gauges
+/// (merge by max). The workspace's naming convention carries the answer:
+/// cumulative names end in `_total` or live under the `drop.` ledger
+/// mirror.
+fn is_cumulative(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    base.ends_with("_total") || base.starts_with("drop.")
+}
+
+/// Prefix a `worker="…"` label onto a metric name that already embeds a
+/// label set, so per-instance gauges from different workers never
+/// collide in the merged page.
+fn with_worker_label(name: &str, worker: &str) -> String {
+    match name.split_once('{') {
+        Some((base, rest)) => format!("{base}{{worker=\"{}\",{rest}", json::escape(worker)),
+        None => name.to_string(),
+    }
+}
+
+/// The federated view: every worker's scrape record plus the merged
+/// snapshot, ready for the ordinary exposition renderers.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Per-worker scrape records, in scrape order (degraded ones too).
+    pub workers: Vec<WorkerScrape>,
+    /// The bucket-wise merged snapshot of every *healthy* worker.
+    pub merged: Snapshot,
+}
+
+impl FleetSnapshot {
+    /// Merge a set of scrapes. Unhealthy workers stay in
+    /// [`FleetSnapshot::workers`] (and are counted in the injected
+    /// `snids_fleet_*` gauges) but contribute nothing to the merge.
+    pub fn from_scrapes(workers: Vec<WorkerScrape>) -> FleetSnapshot {
+        let mut stages: Vec<StageSnapshot> = Stage::ALL
+            .iter()
+            .map(|&stage| StageSnapshot {
+                stage,
+                events: 0,
+                bytes: 0,
+                count: 0,
+                sum_nanos: 0,
+                max_nanos: 0,
+                p50_nanos: 0,
+                p90_nanos: 0,
+                p99_nanos: 0,
+                buckets: [0; BUCKETS],
+            })
+            .collect();
+        let mut named: BTreeMap<String, u64> = BTreeMap::new();
+        let mut flows: BTreeMap<(Stage, crate::flowlat::FlowOutcome), FlowLatencySnapshot> =
+            BTreeMap::new();
+        let mut flow_tracked = 0u64;
+        let mut flow_overflow = 0u64;
+        let mut warnings = 0u64;
+        let mut recorded = 0u64;
+        let mut contended = 0u64;
+        let mut capacity = 0usize;
+        let mut enabled = false;
+
+        for worker in workers.iter().filter(|w| w.healthy) {
+            let Some(snap) = &worker.snapshot else {
+                continue;
+            };
+            enabled |= snap.enabled;
+            for stage in &snap.stages {
+                let Some(merged) = stages.get_mut(stage.stage as usize) else {
+                    continue;
+                };
+                merged.events += stage.events;
+                merged.bytes += stage.bytes;
+                merged.count += stage.count;
+                merged.sum_nanos += stage.sum_nanos;
+                merged.max_nanos = merged.max_nanos.max(stage.max_nanos);
+                for (m, n) in merged.buckets.iter_mut().zip(stage.buckets.iter()) {
+                    *m += n;
+                }
+            }
+            for (name, value) in &snap.named {
+                let key = if name.contains('{') {
+                    with_worker_label(name, &worker.label)
+                } else {
+                    name.clone()
+                };
+                let slot = named.entry(key).or_insert(0);
+                if is_cumulative(name) {
+                    *slot += value;
+                } else {
+                    *slot = (*slot).max(*value);
+                }
+            }
+            for fl in &snap.flow_latency {
+                let merged =
+                    flows
+                        .entry((fl.stage, fl.outcome))
+                        .or_insert_with(|| FlowLatencySnapshot {
+                            stage: fl.stage,
+                            outcome: fl.outcome,
+                            count: 0,
+                            sum_nanos: 0,
+                            max_nanos: 0,
+                            p50_nanos: 0,
+                            p90_nanos: 0,
+                            p99_nanos: 0,
+                            buckets: [0; BUCKETS],
+                        });
+                merged.count += fl.count;
+                merged.sum_nanos += fl.sum_nanos;
+                merged.max_nanos = merged.max_nanos.max(fl.max_nanos);
+                for (m, n) in merged.buckets.iter_mut().zip(fl.buckets.iter()) {
+                    *m += n;
+                }
+            }
+            flow_tracked += snap.flow_tracked;
+            flow_overflow += snap.flow_overflow;
+            warnings += snap.warnings;
+            recorded += snap.recorder_recorded;
+            contended += snap.recorder_contended;
+            capacity += snap.recorder_capacity;
+        }
+
+        // Quantiles over the *merged* buckets — same rank walk a single
+        // worker performs, so fleet quantiles are not an average of
+        // averages.
+        for stage in &mut stages {
+            stage.p50_nanos = hist::quantile_from_buckets(&stage.buckets, 0.50);
+            stage.p90_nanos = hist::quantile_from_buckets(&stage.buckets, 0.90);
+            stage.p99_nanos = hist::quantile_from_buckets(&stage.buckets, 0.99);
+        }
+        let mut flow_latency: Vec<FlowLatencySnapshot> = Vec::new();
+        for ((_, _), mut fl) in flows {
+            fl.p50_nanos = hist::quantile_from_buckets(&fl.buckets, 0.50);
+            fl.p90_nanos = hist::quantile_from_buckets(&fl.buckets, 0.90);
+            fl.p99_nanos = hist::quantile_from_buckets(&fl.buckets, 0.99);
+            flow_latency.push(fl);
+        }
+        // The BTreeMap keyed them by (stage, outcome) discriminants, which
+        // is exactly the per-worker exposition order.
+        flow_latency.sort_by_key(|fl| (fl.stage as u8, fl.outcome as u8));
+
+        // Fleet identity gauges, visible on the merged page.
+        named.insert("snids_fleet_workers".to_string(), workers.len() as u64);
+        named.insert(
+            "snids_fleet_workers_healthy".to_string(),
+            workers.iter().filter(|w| w.healthy).count() as u64,
+        );
+        for worker in &workers {
+            named.insert(
+                format!(
+                    "snids_worker_up{{worker=\"{}\"}}",
+                    json::escape(&worker.label)
+                ),
+                u64::from(worker.healthy),
+            );
+        }
+
+        FleetSnapshot {
+            merged: Snapshot {
+                enabled,
+                worker: None,
+                stages,
+                named: named.into_iter().collect(),
+                flow_latency,
+                flow_tracked,
+                flow_overflow,
+                warnings,
+                recorder_recorded: recorded,
+                recorder_contended: contended,
+                recorder_capacity: capacity,
+            },
+            workers,
+        }
+    }
+
+    /// The merged Prometheus text page.
+    pub fn render_text(&self) -> String {
+        crate::expo::render_text(&self.merged)
+    }
+
+    /// The merged JSON page.
+    pub fn render_json(&self) -> String {
+        crate::expo::render_json(&self.merged)
+    }
+
+    /// Re-check the pipeline's conservation invariants over the merged
+    /// snapshot. `packet_drop_counters` names the `drop.*` mirrors that
+    /// count *packet-level* drops (the record/packet split belongs to
+    /// the pipeline crate).
+    pub fn conservation(&self, packet_drop_counters: &[&str]) -> Conservation {
+        let named = |name: &str| -> u64 {
+            self.merged
+                .named
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let fleet_packets = named("snids_packets_total");
+        let processed = named("snids_processed_total");
+        let packet_drops: u64 = packet_drop_counters.iter().map(|n| named(n)).sum();
+        let capture_events = self
+            .merged
+            .stages
+            .get(Stage::Capture as usize)
+            .map(|s| s.events)
+            .unwrap_or(0);
+        let worker_packets: Vec<(String, u64)> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let packets = w
+                    .snapshot
+                    .as_ref()
+                    .and_then(|s| {
+                        s.named
+                            .iter()
+                            .find(|(n, _)| n == "snids_packets_total")
+                            .map(|(_, v)| *v)
+                    })
+                    .unwrap_or(0);
+                (w.label.clone(), packets)
+            })
+            .collect();
+        let summed: u64 = worker_packets.iter().map(|(_, n)| n).sum();
+        Conservation {
+            fleet_packets,
+            capture_events,
+            processed,
+            packet_drops,
+            worker_packets,
+            capture_matches: capture_events == fleet_packets && fleet_packets == summed,
+            ledger_balanced: fleet_packets == processed + packet_drops,
+        }
+    }
+}
+
+/// The fleet-level conservation readout.
+#[derive(Debug, Clone)]
+pub struct Conservation {
+    /// Merged `snids_packets_total`.
+    pub fleet_packets: u64,
+    /// Merged capture-stage events.
+    pub capture_events: u64,
+    /// Merged `snids_processed_total`.
+    pub processed: u64,
+    /// Sum of the named packet-level drop counters.
+    pub packet_drops: u64,
+    /// Each worker's own packet counter.
+    pub worker_packets: Vec<(String, u64)>,
+    /// `capture events == merged packets == Σ worker packets`.
+    pub capture_matches: bool,
+    /// `packets == processed + packet drops` at the fleet level.
+    pub ledger_balanced: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowlat::{FlowId, FlowOutcome};
+    use crate::registry::Obs;
+    use std::net::Ipv4Addr;
+
+    fn worker(label: &str, snap: Snapshot) -> WorkerScrape {
+        WorkerScrape {
+            label: label.to_string(),
+            endpoint: "127.0.0.1:0".to_string(),
+            healthy: true,
+            scrape_nanos: 1000,
+            error: None,
+            snapshot: Some(snap),
+        }
+    }
+
+    fn sample_obs(offset: u64) -> Obs {
+        let obs = Obs::new(8);
+        obs.record_stage(Stage::Capture, 100 + offset, 64);
+        obs.record_stage(Stage::Decode, 5000 + offset, 256);
+        obs.counter("snids_packets_total").add(10 + offset);
+        obs.counter("snids_budget_peak_bytes").set(300 + offset);
+        obs.counter("snids_pool_tasks_total{worker=\"0\"}").add(5);
+        let id = FlowId {
+            src: Ipv4Addr::new(10, 0, 0, offset as u8),
+            dst: Ipv4Addr::new(192, 168, 1, 10),
+            src_port: 1000,
+            dst_port: 80,
+        };
+        obs.flow_charge(id, Stage::Decode, 900 + offset);
+        obs.flow_settle(&id, FlowOutcome::Alerted);
+        obs
+    }
+
+    #[test]
+    fn json_page_round_trips_through_the_parser() {
+        let obs = sample_obs(0);
+        obs.set_worker(Some("w0"));
+        let snap = obs.snapshot();
+        let page = crate::expo::render_json(&snap);
+        let parsed = snapshot_from_json(&json::parse(&page).expect("parses")).expect("shape");
+        // Re-rendering the parsed snapshot reproduces the page exactly —
+        // the parse/merge path loses nothing.
+        assert_eq!(crate::expo::render_json(&parsed), page);
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_merges_buckets() {
+        let a = sample_obs(0).snapshot();
+        let b = sample_obs(7).snapshot();
+        let fleet =
+            FleetSnapshot::from_scrapes(vec![worker("w0", a.clone()), worker("w1", b.clone())]);
+        let m = &fleet.merged;
+        let named = |name: &str| {
+            m.named
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name} in {:?}", m.named))
+        };
+        // Counters sum; gauges max.
+        assert_eq!(named("snids_packets_total"), 10 + 17);
+        assert_eq!(named("snids_budget_peak_bytes"), 307);
+        // Labeled gauges are re-labeled per worker, never collide.
+        assert_eq!(
+            named("snids_pool_tasks_total{worker=\"w0\",worker=\"0\"}"),
+            5
+        );
+        assert_eq!(named("snids_fleet_workers"), 2);
+        assert_eq!(named("snids_fleet_workers_healthy"), 2);
+        assert_eq!(named("snids_worker_up{worker=\"w1\"}"), 1);
+        // Stage metrics sum; buckets merge bucket-wise.
+        let capture = &m.stages[Stage::Capture as usize];
+        assert_eq!(capture.events, 2);
+        assert_eq!(capture.count, 2);
+        assert_eq!(capture.buckets.iter().sum::<u64>(), 2);
+        // Flow-latency family merges by (stage, outcome).
+        assert_eq!(m.flow_latency.len(), 1);
+        assert_eq!(m.flow_latency[0].count, 2);
+        assert_eq!(m.flow_tracked, 2);
+        // The merged page renders deterministically.
+        assert_eq!(fleet.render_text(), fleet.render_text());
+        assert_eq!(fleet.render_json(), fleet.render_json());
+    }
+
+    #[test]
+    fn degraded_workers_are_reported_not_merged() {
+        let healthy = worker("w0", sample_obs(0).snapshot());
+        let dead = WorkerScrape {
+            label: "w1".to_string(),
+            endpoint: "127.0.0.1:1".to_string(),
+            healthy: false,
+            scrape_nanos: 5,
+            error: Some("scrape failed: refused".to_string()),
+            snapshot: None,
+        };
+        let fleet = FleetSnapshot::from_scrapes(vec![healthy, dead]);
+        let named = |name: &str| {
+            fleet
+                .merged
+                .named
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(named("snids_fleet_workers"), Some(2));
+        assert_eq!(named("snids_fleet_workers_healthy"), Some(1));
+        assert_eq!(named("snids_worker_up{worker=\"w1\"}"), Some(0));
+        assert_eq!(named("snids_packets_total"), Some(10));
+        assert_eq!(fleet.workers.len(), 2);
+        assert!(fleet.workers[1].error.as_deref().is_some());
+    }
+
+    #[test]
+    fn scrape_against_a_live_server_with_retry_and_quit() {
+        let server = crate::serve::MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let obs = sample_obs(0);
+        obs.set_worker(Some("w0"));
+        let page_obs = obs.clone();
+        let handle = std::thread::spawn(move || {
+            server.serve_until_quit(
+                |path| {
+                    if path == "/healthz" {
+                        (
+                            "application/json".to_string(),
+                            "{\"status\":\"ok\"}".to_string(),
+                        )
+                    } else {
+                        (
+                            "application/json".to_string(),
+                            crate::expo::render_json(&page_obs.snapshot()),
+                        )
+                    }
+                },
+                "/quit",
+            )
+        });
+        let cfg = ScrapeConfig::default();
+        let health = scrape_with_retry(&addr, "/healthz", &cfg).expect("healthz");
+        assert!(health.contains("\"status\":\"ok\""));
+        let scraped = scrape_worker("w0", &addr, &cfg);
+        assert!(scraped.healthy, "{:?}", scraped.error);
+        assert_eq!(
+            scraped.snapshot.as_ref().and_then(|s| s.worker.clone()),
+            Some("w0".to_string())
+        );
+        assert!(scraped.scrape_nanos > 0);
+        let _ = scrape(&addr, "/quit", Duration::from_secs(2));
+        let _ = handle.join();
+        // Dead endpoint: degrade, don't abort.
+        let dead = scrape_worker(
+            "w1",
+            &addr,
+            &ScrapeConfig {
+                attempts: 1,
+                timeout: Duration::from_millis(200),
+                backoff: Duration::from_millis(1),
+            },
+        );
+        assert!(!dead.healthy);
+        assert!(dead.error.is_some());
+    }
+
+    #[test]
+    fn conservation_balances_over_a_synthetic_fleet() {
+        let mk = |packets: u64, processed: u64, dropped: u64| {
+            let obs = Obs::new(4);
+            for _ in 0..packets {
+                obs.record_stage(Stage::Capture, 10, 1);
+            }
+            obs.counter("snids_packets_total").add(packets);
+            obs.counter("snids_processed_total").add(processed);
+            obs.counter("drop.checksum_failed").add(dropped);
+            obs.snapshot()
+        };
+        let fleet = FleetSnapshot::from_scrapes(vec![
+            worker("w0", mk(10, 9, 1)),
+            worker("w1", mk(5, 5, 0)),
+        ]);
+        let conservation = fleet.conservation(&["drop.checksum_failed"]);
+        assert_eq!(conservation.fleet_packets, 15);
+        assert_eq!(conservation.capture_events, 15);
+        assert!(conservation.capture_matches, "{conservation:?}");
+        assert!(conservation.ledger_balanced, "{conservation:?}");
+        // An unbalanced worker breaks the fleet-level invariant.
+        let broken = FleetSnapshot::from_scrapes(vec![worker("w0", mk(10, 7, 1))]);
+        assert!(
+            !broken
+                .conservation(&["drop.checksum_failed"])
+                .ledger_balanced
+        );
+    }
+}

@@ -85,22 +85,30 @@ impl LogHistogram {
     /// of the bucket containing that rank. Returns 0 for an empty
     /// histogram.
     pub fn quantile(&self, q: f64) -> u64 {
-        let buckets = self.buckets();
-        let total: u64 = buckets.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        // Rank of the requested quantile, 1-based, clamped into range.
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, n) in buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_upper_bound(i);
-            }
-        }
-        bucket_upper_bound(BUCKETS - 1)
+        quantile_from_buckets(&self.buckets(), q)
     }
+}
+
+/// The quantile readout over a raw bucket array — the same rank walk
+/// [`LogHistogram::quantile`] performs, exposed separately so merged
+/// bucket sets (federation sums worker histograms bucket-wise) report
+/// quantiles with identical semantics. Returns 0 when the buckets are
+/// empty.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the requested quantile, 1-based, clamped into range.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_upper_bound(i);
+        }
+    }
+    bucket_upper_bound(BUCKETS.min(buckets.len()).saturating_sub(1))
 }
 
 #[cfg(test)]
@@ -134,6 +142,29 @@ mod tests {
         assert_eq!(h.quantile(0.5), bucket_upper_bound(bucket_of(30)));
         assert_eq!(h.quantile(1.0), bucket_upper_bound(bucket_of(1000)));
         assert!(h.quantile(0.99) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn merged_buckets_report_the_same_quantiles() {
+        let a = LogHistogram::default();
+        let b = LogHistogram::default();
+        let whole = LogHistogram::default();
+        for (i, v) in [3u64, 9, 17, 80, 4096, 70_000].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            whole.record(*v);
+        }
+        let mut merged = a.buckets();
+        for (m, n) in merged.iter_mut().zip(b.buckets()) {
+            *m += n;
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(quantile_from_buckets(&merged, q), whole.quantile(q));
+        }
+        assert_eq!(quantile_from_buckets(&[0u64; BUCKETS], 0.99), 0);
     }
 
     #[test]

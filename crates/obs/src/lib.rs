@@ -27,8 +27,14 @@
 //!   flow is dropped the pipeline dumps the flow's causal trail.
 //! * [`expo`] — deterministic Prometheus-style text and JSON rendering of
 //!   a [`Snapshot`].
+//! * [`flowlat`] — per-flow, per-stage latency attribution: bounded
+//!   stage-nanos trails settled into an outcome-labeled histogram family
+//!   (`snids_flow_latency_*`) and appended to flight dumps.
 //! * [`serve::MetricsServer`] — a minimal blocking TCP responder for
-//!   `--metrics-listen`.
+//!   `--metrics-listen`, with `/healthz` and a quit path for harnesses.
+//! * [`federate`] — the fleet side: a blocking scrape client and the
+//!   [`federate::FleetSnapshot`] merger that folds N workers' `/json`
+//!   pages into one deterministic fleet page.
 //! * [`warn`] — the process-wide warning stream (counted, bounded,
 //!   mirrored to stderr) for configuration problems that must not be
 //!   silent.
@@ -36,6 +42,8 @@
 //!   emitters.
 
 pub mod expo;
+pub mod federate;
+pub mod flowlat;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -43,6 +51,7 @@ mod registry;
 pub mod serve;
 mod stage;
 
+pub use flowlat::{FlowId, FlowLatencySnapshot, FlowOutcome};
 pub use recorder::{Event, EventKind, FlightRecorder};
 pub use registry::{Counter, Obs, Snapshot, StageSnapshot, DEFAULT_RECORDER_CAPACITY};
 pub use serve::MetricsServer;

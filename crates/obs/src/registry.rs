@@ -1,9 +1,11 @@
 //! The per-pipeline metrics registry behind the [`Obs`] handle.
 
+use crate::flowlat::{FlowId, FlowLatencySnapshot, FlowLatencyTracker, FlowOutcome, TRAIL_STAGES};
 use crate::hist::LogHistogram;
 use crate::recorder::FlightRecorder;
 use crate::stage::Stage;
 use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -46,10 +48,18 @@ struct ObsCore {
     enabled: AtomicBool,
     stages: [StageMetrics; Stage::ALL.len()],
     /// Named counters and gauges, keyed by metric name (may embed a
-    /// Prometheus label set, e.g. `snids_pool_tasks_total{worker="0"}`).
+    /// Prometheus label set, e.g. `snids_pool_tasks_total{thread="0"}`).
     /// A `BTreeMap` so exposition order is deterministic.
     named: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     recorder: FlightRecorder,
+    /// Per-flow stage-nanos trails and their settled outcome histograms.
+    flow: Mutex<FlowLatencyTracker>,
+    /// Charges dropped because the tracker mutex was contended (the
+    /// charge path never blocks a shard or pool thread).
+    flow_contended: AtomicU64,
+    /// Instance identity (`worker` label) carried into every snapshot so
+    /// a federated page can tell its constituents apart.
+    worker: Mutex<Option<String>>,
 }
 
 /// The observability handle a pipeline (and its helpers) carry around.
@@ -74,6 +84,9 @@ impl Obs {
                 stages: Default::default(),
                 named: Mutex::new(BTreeMap::new()),
                 recorder: FlightRecorder::new(recorder_capacity),
+                flow: Mutex::new(FlowLatencyTracker::default()),
+                flow_contended: AtomicU64::new(0),
+                worker: Mutex::new(None),
             }),
         }
     }
@@ -138,6 +151,74 @@ impl Obs {
         &self.core.recorder
     }
 
+    /// Set this registry's instance identity (the `worker` label in
+    /// expositions); `None` clears it. Fleet children set it from
+    /// `--worker-label`.
+    pub fn set_worker(&self, label: Option<&str>) {
+        *self.core.worker.lock().unwrap_or_else(|e| e.into_inner()) = label.map(|l| l.to_string());
+    }
+
+    /// The instance identity, if one was set.
+    pub fn worker(&self) -> Option<String> {
+        self.core
+            .worker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Charge `nanos` of `stage` time to flow `id`'s stage-nanos trail.
+    /// Hot-path safe: callers gate on [`Obs::enabled`], and a contended
+    /// tracker drops the charge (counted as overflow) instead of
+    /// blocking.
+    pub fn flow_charge(&self, id: FlowId, stage: Stage, nanos: u64) {
+        match self.core.flow.try_lock() {
+            Ok(mut tracker) => tracker.charge(id, stage, nanos),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.core.flow_contended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().charge(id, stage, nanos),
+        }
+    }
+
+    /// Settle flow `id`: fold its trail into the (stage × `outcome`)
+    /// histogram family and retain it for flight-dump enrichment.
+    /// Returns the trail, or `None` if the flow was never charged.
+    pub fn flow_settle(&self, id: &FlowId, outcome: FlowOutcome) -> Option<[u64; TRAIL_STAGES]> {
+        self.core
+            .flow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .settle(id, outcome)
+    }
+
+    /// Settle every still-live flow with `outcome` (end-of-run drain for
+    /// flows that left the pipeline without an analysis verdict).
+    /// Returns how many were settled.
+    pub fn flow_settle_all(&self, outcome: FlowOutcome) -> usize {
+        self.core
+            .flow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .settle_all(outcome)
+    }
+
+    /// The most recent stage-nanos trail for `(src, dst, dst_port)`, if
+    /// one is retained: the settled outcome (or `None` while in flight)
+    /// and the per-stage nanoseconds.
+    pub fn flow_trail(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        dst_port: u16,
+    ) -> Option<(Option<FlowOutcome>, [u64; TRAIL_STAGES])> {
+        self.core
+            .flow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .trail(src, dst, dst_port)
+    }
+
     /// A deterministic point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
         let stages = Stage::ALL
@@ -166,10 +247,20 @@ impl Obs {
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
+        let (flow_latency, flow_tracked, flow_overflow) = self
+            .core
+            .flow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .snapshot();
         Snapshot {
             enabled: self.enabled(),
+            worker: self.worker(),
             stages,
             named,
+            flow_latency,
+            flow_tracked,
+            flow_overflow: flow_overflow + self.core.flow_contended.load(Ordering::Relaxed),
             warnings: crate::warning_count(),
             recorder_recorded: self.core.recorder.recorded(),
             recorder_contended: self.core.recorder.contended(),
@@ -208,10 +299,19 @@ pub struct StageSnapshot {
 pub struct Snapshot {
     /// Whether the registry was live when snapped.
     pub enabled: bool,
+    /// Instance identity (`worker` exposition label), if one was set.
+    pub worker: Option<String>,
     /// Per-stage metrics, in pipeline order.
     pub stages: Vec<StageSnapshot>,
     /// Named counters and gauges, sorted by name.
     pub named: Vec<(String, u64)>,
+    /// Per-flow per-stage latency distributions by outcome (only
+    /// combinations with settled flows, in (stage, outcome) order).
+    pub flow_latency: Vec<FlowLatencySnapshot>,
+    /// Flows settled into the per-flow latency family.
+    pub flow_tracked: u64,
+    /// Per-flow latency charges refused (live-flow cap or contention).
+    pub flow_overflow: u64,
     /// Process-wide warning count (see [`crate::warn`]).
     pub warnings: u64,
     /// Flight-recorder events offered.

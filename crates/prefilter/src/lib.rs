@@ -62,7 +62,7 @@ pub use ngram::{NgramConfig, NgramScorer};
 
 use snids_packet::Packet;
 use snids_sig::RuleSet;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// Which mechanism escalated a packet (diagnostics + counters).
@@ -180,6 +180,7 @@ pub struct Prefilter {
     ngram: NgramScorer,
     sticky: HashSet<Ipv4Addr>,
     counters: LaneCounters,
+    rule_hits: BTreeMap<(&'static str, &'static str), u64>,
 }
 
 impl Prefilter {
@@ -195,6 +196,7 @@ impl Prefilter {
             ngram: NgramScorer::new(config.ngram),
             sticky: HashSet::new(),
             counters: LaneCounters::default(),
+            rule_hits: BTreeMap::new(),
         }
     }
 
@@ -223,6 +225,22 @@ impl Prefilter {
         self.sticky.len()
     }
 
+    /// Per-`(lane, rule)` escalation hit counts, in lexical order.
+    ///
+    /// Every key is a `&'static str` pair — header-rule and signature
+    /// names are compiled in, and the control/sticky/n-gram lanes use
+    /// one fixed rule name each — so the cardinality is bounded by the
+    /// rule tables, never by traffic.
+    pub fn rule_hits(&self) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        self.rule_hits
+            .iter()
+            .map(|(&(lane, rule), &n)| (lane, rule, n))
+    }
+
+    fn record_hit(&mut self, lane: &'static str, rule: &'static str) {
+        *self.rule_hits.entry((lane, rule)).or_insert(0) += 1;
+    }
+
     /// Gate one packet. `flow_buffered` is true when the packet's flow
     /// already holds reassembled payload — such flows are mid-analysis
     /// and must keep receiving segments regardless of lane scores.
@@ -234,28 +252,36 @@ impl Prefilter {
         let payload = packet.payload();
         if payload.is_empty() {
             self.counters.control += 1;
+            self.record_hit("control", "empty-payload");
             return Decision::Escalate(Lane::Control);
         }
         let src = packet.ip().map(|ip| ip.src);
         if flow_buffered || src.map(|s| self.sticky.contains(&s)).unwrap_or(false) {
             self.counters.sticky += 1;
+            self.record_hit("sticky", "pinned-source");
             return Decision::Escalate(Lane::Sticky);
         }
-        let lane = if self.header.matches(&HeaderFields::of(packet)) {
-            Some(Lane::Header)
-        } else if !self
-            .sigs
-            .match_payload(payload, packet.dst_port())
-            .is_empty()
-        {
-            Some(Lane::Signature)
+        // Each lane attributes its escalation to the specific rule that
+        // fired (lowest-bit header rule / first signature hit); the
+        // n-gram lane has a single scoring "rule".
+        let mask = self.header.match_mask(&HeaderFields::of(packet));
+        let hit: Option<(Lane, &'static str)> = if mask != 0 {
+            let rule = self
+                .header
+                .rules()
+                .get(mask.trailing_zeros() as usize)
+                .map(|r| r.name)
+                .unwrap_or("unknown");
+            Some((Lane::Header, rule))
+        } else if let Some(sig) = self.sigs.match_payload(payload, packet.dst_port()).first() {
+            Some((Lane::Signature, sig.rule))
         } else if self.ngram.is_suspicious(payload) {
-            Some(Lane::Ngram)
+            Some((Lane::Ngram, "position-score"))
         } else {
             None
         };
-        match lane {
-            Some(lane) => {
+        match hit {
+            Some((lane, rule)) => {
                 if let Some(s) = src {
                     self.sticky.insert(s);
                 }
@@ -265,6 +291,7 @@ impl Prefilter {
                     Lane::Ngram => self.counters.ngram += 1,
                     Lane::Control | Lane::Sticky => unreachable!("handled above"),
                 }
+                self.record_hit(lane.name(), rule);
                 Decision::Escalate(lane)
             }
             None => {
@@ -372,5 +399,37 @@ mod tests {
         assert_eq!(pf.counters().total(), n);
         assert_eq!(pf.counters().rejected, 1);
         assert_eq!(pf.counters().escalated(), 3);
+    }
+
+    #[test]
+    fn rule_hits_attribute_escalations_to_named_rules() {
+        let decoy = Ipv4Addr::new(192, 168, 1, 200);
+        let mut pf = Prefilter::new(PrefilterConfig::deployment_rules(&[decoy], &[]));
+        // Header rule by name.
+        let to_decoy = PacketBuilder::new(Ipv4Addr::new(198, 18, 0, 8), decoy)
+            .tcp(40000, 80, 1, 0, TcpFlags::PSH | TcpFlags::ACK, b"hello")
+            .unwrap();
+        pf.decide(&to_decoy, false);
+        // Control + sticky lanes use one fixed rule name each.
+        let syn = builder(9).tcp_syn(40001, 80, 1).unwrap();
+        pf.decide(&syn, false);
+        // N-gram scoring rule.
+        let encoded: Vec<u8> = [0xde, 0xad, 0xbe, 0xef].repeat(32);
+        pf.decide(&data(&builder(10), 40002, &encoded), false);
+        pf.decide(&data(&builder(10), 40003, b"tail"), false);
+        let hits: Vec<_> = pf.rule_hits().collect();
+        assert!(hits.contains(&("header", "honeypot-decoy", 1)), "{hits:?}");
+        assert!(hits.contains(&("control", "empty-payload", 1)), "{hits:?}");
+        assert!(hits.contains(&("ngram", "position-score", 1)), "{hits:?}");
+        assert!(hits.contains(&("sticky", "pinned-source", 1)), "{hits:?}");
+        // Rejections are not rule hits; total hits == escalations.
+        pf.decide(&data(&builder(11), 40004, b"GET / HTTP/1.0\r\n\r\n"), false);
+        let total: u64 = pf.rule_hits().map(|(_, _, n)| n).sum();
+        assert_eq!(total, pf.counters().escalated());
+        // Lexical (lane, rule) order: deterministic exposition.
+        let keys: Vec<_> = pf.rule_hits().map(|(l, r, _)| (l, r)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
     }
 }

@@ -52,7 +52,13 @@
 //! snids analyze trace.pcap --metrics
 //!
 //! # serve metrics over HTTP for a scraper, live from replay start
-//! snids analyze trace.pcap --metrics-listen 127.0.0.1:9100
+//! # (also /json, /healthz, /quit; --worker-label stamps the series)
+//! snids analyze trace.pcap --metrics-listen 127.0.0.1:9100 --worker-label w0
+//!
+//! # split a worm+flood corpus across 3 worker processes, scrape and
+//! # federate their live metrics, gate on fleet conservation + alert
+//! # union byte-identity vs a single-process run
+//! snids fleet --workers 3
 //! ```
 
 use rand::rngs::StdRng;
@@ -68,7 +74,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--prefilter on|off] [--memory-budget BYTES[k|m|g]] [--shards N] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload|--prefilter|--shard] [--flows N] [--flood N] [--shards N,N,..] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]"
+        "usage:\n  snids analyze <pcap> [--honeypot IP]... [--dark NET/PREFIX]... [--templates FILE]... [--overlap-policy first-wins|last-wins|bsd-like|linux-like] [--dataflow on|off|near-miss] [--prefilter on|off] [--memory-budget BYTES[k|m|g]] [--shards N] [--no-classify] [--json] [--stats] [--metrics] [--metrics-listen ADDR] [--worker-label LABEL]\n  snids synth <pcap> [--packets N] [--crii N] [--seed N] [--chaos RATE] [--flood N]\n  snids disasm <file>\n  snids bench [--desync|--overload|--prefilter|--shard] [--flows N] [--flood N] [--shards N,N,..] [--seed N] [--repeats N] [--budget BYTES[k|m|g]] [--out FILE]\n  snids fleet [--workers N] [--packets N] [--crii N] [--flood N] [--seed N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -83,6 +89,7 @@ fn main() -> ExitCode {
         Some("synth") => synth(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("fleet") => fleet(&args[1..]),
         _ => usage(),
     }
 }
@@ -133,6 +140,25 @@ fn analyze(args: &[String]) -> ExitCode {
     let stats_report = args.iter().any(|a| a == "--stats");
     let metrics = args.iter().any(|a| a == "--metrics");
     let metrics_listen = flag_values(args, "--metrics-listen").first().copied();
+    // Validate the listen address at parse time: a typo should fail with a
+    // clear message (and a counted warning) before any work happens, not as
+    // an opaque bind error mid-setup.
+    if let Some(addr) = metrics_listen {
+        use std::net::ToSocketAddrs;
+        if addr
+            .to_socket_addrs()
+            .map(|mut it| it.next())
+            .ok()
+            .flatten()
+            .is_none()
+        {
+            snids::obs::warn(&format!(
+                "bad --metrics-listen `{addr}` (want HOST:PORT, e.g. 127.0.0.1:9100)"
+            ));
+            return ExitCode::from(2);
+        }
+    }
+    let worker_label = flag_values(args, "--worker-label").first().copied();
 
     let mut config = NidsConfig {
         classification_enabled: !no_classify,
@@ -245,11 +271,17 @@ fn analyze(args: &[String]) -> ExitCode {
     // ShardedNids with shards=1 (the default) delegates to the plain
     // sequential pipeline — identical code path, identical output.
     let mut nids = ShardedNids::new(config);
+    if let Some(label) = worker_label {
+        // Instance label: federated expositions tag this worker's series
+        // with `worker="LABEL"` so fleet pages stay attributable.
+        nids.obs().set_worker(Some(label));
+    }
 
     // Live exposition: bind and serve *before* the replay starts, from a
     // cloned (Arc-backed) registry handle, so a scraper watches counters,
     // watermark transitions and budget gauges move mid-run. The thread
-    // keeps serving the final numbers after the run until ctrl-c.
+    // keeps serving the final numbers after the run until a `GET /quit`
+    // (or ctrl-c) releases it.
     let server_thread = match metrics_listen {
         Some(addr) => {
             let server = match snids::obs::MetricsServer::bind(addr) {
@@ -261,15 +293,33 @@ fn analyze(args: &[String]) -> ExitCode {
             };
             if let Ok(local) = server.local_addr() {
                 eprintln!(
-                    "serving live metrics on http://{local}/metrics (and /json); ctrl-c to stop"
+                    "serving live metrics on http://{local}/metrics (also /json, /healthz; GET /quit or ctrl-c to stop)"
                 );
             }
             let obs = nids.obs().clone();
+            let started = std::time::Instant::now();
             Some(std::thread::spawn(move || {
-                let _ = server.serve(
+                let _ = server.serve_until_quit(
                     |path| {
                         let snap = obs.snapshot();
-                        if path.ends_with("json") {
+                        if path == "/healthz" {
+                            let find = |name: &str| {
+                                snap.named
+                                    .iter()
+                                    .find(|(n, _)| n == name)
+                                    .map(|(_, v)| *v)
+                                    .unwrap_or(0)
+                            };
+                            (
+                                "application/json".to_string(),
+                                format!(
+                                    "{{\"status\":\"ok\",\"uptime_seconds\":{},\"pressure\":{},\"packets\":{}}}",
+                                    started.elapsed().as_secs(),
+                                    find("snids_budget_pressure_level"),
+                                    find("snids_packets_total"),
+                                ),
+                            )
+                        } else if path.ends_with("json") {
                             (
                                 "application/json".to_string(),
                                 snids::obs::expo::render_json(&snap),
@@ -281,7 +331,7 @@ fn analyze(args: &[String]) -> ExitCode {
                             )
                         }
                     },
-                    None,
+                    "/quit",
                 );
             }))
         }
@@ -290,6 +340,12 @@ fn analyze(args: &[String]) -> ExitCode {
 
     let alerts = nids.process_capture(&packets);
     nids.absorb_read_stats(&reader.read_stats());
+    if server_thread.is_some() {
+        // Mirror the final ledger totals into the registry *before* any
+        // result line hits stdout: a federator treats the result line as
+        // its scrape barrier, so the registry must already be settled.
+        let _ = nids.obs_snapshot();
+    }
 
     if json {
         let alerts_json: Vec<String> = alerts.iter().map(|a| a.to_json()).collect();
@@ -321,9 +377,7 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     }
     if let Some(handle) = server_thread {
-        // Mirror the final ledger totals into the registry so post-run
-        // scrapes see them, then keep serving until interrupted.
-        let _ = nids.obs_snapshot();
+        // Keep serving the settled numbers until /quit or ctrl-c.
         let _ = handle.join();
     }
     if alerts.is_empty() {
@@ -644,6 +698,54 @@ fn bench_overload(args: &[String]) -> ExitCode {
             "warning: storm throughput ratio {:.3} below the 0.95 target",
             report.storm.ratio
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn fleet(args: &[String]) -> ExitCode {
+    use snids::bench::fleet;
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate the snids binary to spawn workers: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = fleet::FleetConfig {
+        exe,
+        workers: flag_value_u64(args, "--workers", 3).max(1) as usize,
+        seed: flag_value_u64(args, "--seed", 2006),
+        packets: flag_value_u64(args, "--packets", 3_000) as usize,
+        crii: flag_value_u64(args, "--crii", 3) as usize,
+        flood: flag_value_u64(args, "--flood", 256) as usize,
+        ..fleet::FleetConfig::default()
+    };
+    eprintln!(
+        "fleet replay: {} workers over {} background packets + {} Code Red II + {} flood flows",
+        cfg.workers, cfg.packets, cfg.crii, cfg.flood,
+    );
+    let report = fleet::run(&cfg);
+    print!("{}", fleet::render(&report));
+    print!("{}", report.merged_text_page());
+    let out = flag_values(args, "--out")
+        .first()
+        .copied()
+        .unwrap_or("BENCH_fleet.json");
+    if let Err(e) = std::fs::write(out, fleet::to_json(&report)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if !report.union_identical {
+        eprintln!("FLEET ALERT UNION DIVERGED FROM THE SINGLE-WORKER RUN");
+        return ExitCode::FAILURE;
+    }
+    if !report.capture_matches || !report.ledger_balanced {
+        eprintln!("FLEET CONSERVATION CHECK FAILED");
+        return ExitCode::FAILURE;
+    }
+    if report.workers.iter().any(|w| !w.healthy) {
+        eprintln!("warning: some workers could not be scraped; fleet page is partial");
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,104 @@
+//! Fleet-level conservation, end to end: `snids fleet --workers 3`
+//! spawns three real worker processes over a split worm+flood corpus,
+//! scrapes their live endpoints, federates the snapshots, and must
+//! report (a) a balanced merged ledger, (b) capture events equal to the
+//! merged packet counter equal to the unsplit corpus, and (c) a worker
+//! alert union byte-identical to the single-process run. This test
+//! drives the actual CLI binary so the whole plane — banner parsing,
+//! `/healthz`, `/json`, `/quit`, the federation merge — is on the hook.
+
+use std::process::Command;
+
+fn field_u64(json: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let rest = &json[json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{name} in {json}"))
+        + pat.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} is not a number in {json}"))
+}
+
+fn field_bool(json: &str, name: &str) -> bool {
+    let pat = format!("\"{name}\":");
+    let rest = &json[json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{name} in {json}"))
+        + pat.len()..];
+    rest.starts_with("true")
+}
+
+#[test]
+fn three_worker_fleet_conserves_and_matches_single() {
+    let dir = std::env::temp_dir().join(format!("snids-fleet-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let out = dir.join("BENCH_fleet.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_snids"))
+        .arg("fleet")
+        .arg("--workers")
+        .arg("3")
+        .arg("--packets")
+        .arg("1200")
+        .arg("--crii")
+        .arg("2")
+        .arg("--flood")
+        .arg("96")
+        .arg("--out")
+        .arg(&out)
+        .current_dir(&dir)
+        .output()
+        .expect("fleet run spawns");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "fleet run failed\nstderr:\n{stderr}\nstdout:\n{stdout}"
+    );
+
+    let report = std::fs::read_to_string(&out).expect("fleet report written");
+
+    // The three verification gates, from the committed report format.
+    assert!(field_bool(&report, "union_identical"), "{report}");
+    assert!(field_bool(&report, "capture_matches"), "{report}");
+    assert!(field_bool(&report, "ledger_balanced"), "{report}");
+
+    // Every worker got packets, answered /healthz mid-run, and was
+    // scraped at the end; the splits partition the corpus exactly.
+    let total = field_u64(&report, "total_packets");
+    assert!(total >= 1200, "{report}");
+    let mut split_sum = 0;
+    for w in 0..3 {
+        let tag = format!("\"label\":\"w{w}\"");
+        let at = report
+            .find(&tag)
+            .unwrap_or_else(|| panic!("w{w} in {report}"));
+        let section = &report[at..];
+        assert!(field_bool(section, "healthz_ok"), "w{w} healthz: {report}");
+        assert!(field_bool(section, "healthy"), "w{w} scrape: {report}");
+        let split = field_u64(section, "split_packets");
+        assert!(split > 0, "w{w} got no packets: {report}");
+        assert_eq!(
+            split,
+            field_u64(section, "reported_packets"),
+            "w{w} split vs its own packet counter: {report}"
+        );
+        split_sum += split;
+    }
+    assert_eq!(split_sum, total, "splits partition the corpus: {report}");
+
+    // The merged page renders on stdout with fleet identity gauges and
+    // the per-flow latency family carried through federation.
+    assert!(stdout.contains("snids_fleet_workers 3"), "{stdout}");
+    assert!(stdout.contains("snids_fleet_workers_healthy 3"), "{stdout}");
+    assert!(
+        stdout.contains("snids_worker_up{worker=\"w1\"} 1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("snids_flow_latency_nanos"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
